@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+simulated cluster.  Each runs exactly once (``rounds=1``) — the quantity of
+interest is the *simulated* time/throughput inside the result, not the
+wall-clock of the simulator.  Rendered tables are printed and archived
+under ``benchmarks/results/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir, request):
+    """Persist a rendered table/figure next to the benchmarks."""
+
+    def _save(text, name=None):
+        name = name or request.node.name
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print("\n" + text)
+        return path
+
+    return _save
+
+
+def bench_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+#: Smaller geometries when REPRO_BENCH_QUICK=1 (used by CI/smoke runs).
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"

@@ -1,0 +1,56 @@
+"""Benchmark: paper Fig 4 — weak scaling of the three variants.
+
+Paper (4→256 MareNostrum4 nodes, four spheres, one initial block per
+MPI-only rank, blocks doubling with nodes): TAMPI+OSS has the highest
+throughput everywhere, its advantage over MPI-only *grows* with scale
+(1.50x at 128-256 nodes); MPI+OMP never exceeds ~1.06x and trails at small
+node counts; every variant's NR (no-refinement) efficiency exceeds its
+total efficiency.
+
+Scaled run: 8-core nodes, 1→32 nodes (see EXPERIMENTS.md for the mapping).
+"""
+
+from conftest import QUICK, bench_once
+
+from repro.bench import weak_scaling
+
+NODES = (1, 2, 4, 8) if QUICK else (1, 2, 4, 8, 16, 32)
+
+
+def test_fig4_weak_scaling(benchmark, save_result):
+    result = bench_once(benchmark, weak_scaling, node_counts=NODES,
+                        quick=QUICK)
+
+    top = NODES[-1]
+    lines = [result.text, "", "derived (paper Fig 4 quantities):"]
+    for n in NODES:
+        lines.append(
+            f"  nodes={n:3d} tampi/mpi={result.speedup_vs('tampi_dataflow', 'mpi_only', n):.3f} "
+            f"fj/mpi={result.speedup_vs('fork_join', 'mpi_only', n):.3f} "
+            f"eff(tampi)={result.efficiency('tampi_dataflow', n):.3f} "
+            f"eff(mpi)={result.efficiency('mpi_only', n):.3f} "
+            f"effNR(tampi)={result.efficiency('tampi_dataflow', n, non_refine=True):.3f}"
+        )
+    save_result("\n".join(lines), "fig4_weak_scaling")
+
+    # TAMPI+OSS wins at scale, and the advantage grows with node count.
+    speedups = [
+        result.speedup_vs("tampi_dataflow", "mpi_only", n) for n in NODES
+    ]
+    assert speedups[-1] > 1.05, speedups
+    assert speedups[-1] >= speedups[0], speedups
+
+    # Fork-join never gets far above MPI-only (paper: <= 1.06x).
+    fj = [result.speedup_vs("fork_join", "mpi_only", n) for n in NODES]
+    assert max(fj) < 1.15, fj
+    # ...and TAMPI+OSS beats fork-join at scale.
+    assert speedups[-1] > fj[-1]
+
+    # NR efficiency exceeds total efficiency for TAMPI+OSS (refinement is
+    # the non-scaling part).
+    eff = result.efficiency("tampi_dataflow", top)
+    eff_nr = result.efficiency("tampi_dataflow", top, non_refine=True)
+    assert eff_nr >= eff, (eff, eff_nr)
+
+    # TAMPI+OSS scales at least as efficiently as MPI-only.
+    assert eff >= result.efficiency("mpi_only", top) * 0.98

@@ -1,0 +1,55 @@
+"""Benchmark: paper Fig 5 — strong scaling at a fixed problem size.
+
+Paper (1→256 nodes, four spheres, fixed mesh; a 16x smaller input below 16
+nodes for memory reasons): TAMPI+OSS performs and scales best everywhere
+(1.60x over MPI-only at 256 nodes, 0.88 efficiency); MPI+OMP is slightly
+ahead of MPI-only at mid scale but its efficiency falls faster, dropping
+below MPI-only at the largest scale.
+
+Scaled run: 8-core nodes, 1→32 nodes, an 8x smaller input below 4 nodes.
+"""
+
+from conftest import QUICK, bench_once
+
+from repro.bench import strong_scaling
+
+NODES = (1, 2, 4, 8) if QUICK else (1, 2, 4, 8, 16, 32)
+
+
+def test_fig5_strong_scaling(benchmark, save_result):
+    result = bench_once(benchmark, strong_scaling, node_counts=NODES,
+                        quick=QUICK)
+
+    top = NODES[-1]
+    lines = [result.text, "", "derived (paper Fig 5 quantities):"]
+    for n in NODES:
+        lines.append(
+            f"  nodes={n:3d} "
+            f"tampi/mpi={result.speedup_vs('tampi_dataflow', 'mpi_only', n):.3f} "
+            f"fj/mpi={result.speedup_vs('fork_join', 'mpi_only', n):.3f} "
+            f"eff(tampi)={result.efficiency('tampi_dataflow', n):.3f} "
+            f"eff(mpi)={result.efficiency('mpi_only', n):.3f}"
+        )
+    save_result("\n".join(lines), "fig5_strong_scaling")
+
+    # Throughput rises with nodes for every variant (strong scaling works).
+    for variant in ("mpi_only", "fork_join", "tampi_dataflow"):
+        series = result.series(variant)
+        assert series[-1].gflops > series[0].gflops
+
+    # TAMPI+OSS is the fastest variant at the largest scale.
+    tampi_top = result.gflops_at("tampi_dataflow", top)
+    assert tampi_top > result.gflops_at("mpi_only", top)
+    assert tampi_top > result.gflops_at("fork_join", top)
+
+    # Fork-join's efficiency decays at least as fast as MPI-only's at the
+    # top of the sweep (the paper's crossover behaviour).
+    assert (
+        result.efficiency("fork_join", top)
+        <= result.efficiency("mpi_only", top) * 1.05
+    )
+
+    # TAMPI+OSS keeps the best efficiency at scale.
+    assert result.efficiency("tampi_dataflow", top) >= result.efficiency(
+        "mpi_only", top
+    )

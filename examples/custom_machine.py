@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Exploring what-if machines: how hardware parameters move the result.
+
+The reproduction's machine model is fully parametric, so questions the
+paper could not ask of MareNostrum4 are one-liners here:
+
+  * What if the network were 4x slower? (data-flow overlap matters more)
+  * What if tasks were free? (the granularity limit disappears)
+  * What if there were no cache-locality IPC boost? (one of the paper's
+    four explanations, isolated)
+
+Run:  python examples/custom_machine.py
+"""
+
+import dataclasses
+
+from repro import marenostrum4_scaled, run_simulation
+from repro.bench import TAMPI_OPTS, build_config, four_spheres
+from repro.machine import MachineSpec
+
+
+def run_pair(spec, label, cost_overrides=None):
+    num_nodes = 4
+    results = {}
+    for variant in ("mpi_only", "tampi_dataflow"):
+        rpn = 8 if variant == "mpi_only" else 2
+        opts = TAMPI_OPTS if variant == "tampi_dataflow" else {}
+        cfg = build_config(
+            num_nodes * rpn, (4, 4, 2), four_spheres(2),
+            num_tsteps=2, stages_per_ts=8, refine_freq=1,
+            checksum_freq=8, max_refine_level=2, **opts,
+        )
+        results[variant] = run_simulation(
+            cfg, spec, variant=variant, num_nodes=num_nodes,
+            ranks_per_node=rpn, cost_overrides=cost_overrides,
+        )
+    ratio = (
+        results["tampi_dataflow"].gflops / results["mpi_only"].gflops
+    )
+    print(f"{label:<38} mpi={results['mpi_only'].gflops:6.1f} GF  "
+          f"tampi={results['tampi_dataflow'].gflops:6.1f} GF  "
+          f"tampi/mpi={ratio:.3f}")
+    return ratio
+
+
+def main():
+    base = marenostrum4_scaled(8)
+    print("TAMPI+OSS vs MPI-only on 4 scaled nodes under machine what-ifs\n")
+
+    run_pair(base, "baseline")
+
+    slow_net = MachineSpec(
+        node=base.node,
+        network=dataclasses.replace(
+            base.network,
+            bandwidth_inter=base.network.bandwidth_inter / 4,
+            latency_inter=base.network.latency_inter * 4,
+        ),
+        cost=base.cost,
+        name="slow-network",
+    )
+    run_pair(slow_net, "4x slower network (overlap matters)")
+
+    run_pair(
+        base,
+        "no locality IPC boost (ablated)",
+        cost_overrides={"locality_ipc_boost": 1.0},
+    )
+
+    run_pair(
+        base,
+        "free tasking runtime (no overheads)",
+        cost_overrides={
+            "task_spawn_overhead": 0.0,
+            "task_dispatch_overhead": 0.0,
+        },
+    )
+
+    run_pair(
+        base,
+        "noiseless machine (no OS jitter)",
+        cost_overrides={"noise_amplitude": 0.0, "noise_spike_rate": 0.0},
+    )
+
+
+if __name__ == "__main__":
+    main()

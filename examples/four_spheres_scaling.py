@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""The four-spheres input (Vaughan et al.): weak scaling of the variants.
+
+Reproduces the structure of the paper's Fig 4 at a reduced scale: four
+spheres cross the mesh along the X axis while the problem doubles with the
+node count (one initial block per MPI-only rank).  Prints throughput,
+speedup of each hybrid over MPI-only, and parallel efficiency.
+
+Run:  python examples/four_spheres_scaling.py [max_nodes]
+"""
+
+import sys
+
+from repro.bench import weak_scaling
+
+
+def main():
+    max_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    node_counts = [n for n in (1, 2, 4, 8, 16, 32) if n <= max_nodes]
+
+    result = weak_scaling(node_counts=tuple(node_counts))
+    print(result.text)
+
+    print(f"\n{'nodes':>5} {'tampi/mpi':>10} {'fj/mpi':>7} "
+          f"{'eff(tampi)':>10} {'eff(mpi)':>9} {'effNR(tampi)':>12}")
+    for n in node_counts:
+        print(
+            f"{n:>5} "
+            f"{result.speedup_vs('tampi_dataflow', 'mpi_only', n):>10.3f} "
+            f"{result.speedup_vs('fork_join', 'mpi_only', n):>7.3f} "
+            f"{result.efficiency('tampi_dataflow', n):>10.3f} "
+            f"{result.efficiency('mpi_only', n):>9.3f} "
+            f"{result.efficiency('tampi_dataflow', n, non_refine=True):>12.3f}"
+        )
+    print(
+        "\npaper shape: the TAMPI+OSS advantage over MPI-only grows with "
+        "scale\n(1.5x at 128-256 real nodes); fork-join hovers near parity "
+        "and falls off;\nNR efficiency stays above total efficiency."
+    )
+
+
+if __name__ == "__main__":
+    main()

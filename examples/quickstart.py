@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: run miniAMR on a simulated cluster with all three variants.
+
+Simulates a small AMR problem (a sphere moving through the unit cube) on
+one 4-core node and compares the MPI-only reference, the MPI+OpenMP
+fork-join hybrid, and the TAMPI+OmpSs-2 data-flow port.  All three compute
+identical physics — the global checksums agree to floating-point reduction
+order — while their simulated execution times differ.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AmrConfig, laptop, run_simulation, sphere
+
+
+def main():
+    # One moving sphere; blocks that intersect its surface get refined.
+    objects = (
+        sphere(center=(0.3, 0.3, 0.3), radius=0.25, move=(0.05, 0.05, 0.0)),
+    )
+
+    # The rank grid (npx x npy x npz) must equal nodes x ranks/node, and
+    # all variants must share the same root mesh (npx*init_x etc.).
+    configs = {
+        # MPI-only runs one rank per core: 4 ranks on the laptop node.
+        "mpi_only": AmrConfig(
+            npx=2, npy=2, npz=1, init_x=1, init_y=1, init_z=2,
+            nx=4, ny=4, nz=4, num_vars=4,
+            num_tsteps=4, stages_per_ts=4,
+            refine_freq=2, checksum_freq=4, max_refine_level=2,
+            objects=objects,
+        ),
+        # Hybrids run 2 ranks x 2 cores.
+        "fork_join": AmrConfig(
+            npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2,
+            nx=4, ny=4, nz=4, num_vars=4,
+            num_tsteps=4, stages_per_ts=4,
+            refine_freq=2, checksum_freq=4, max_refine_level=2,
+            objects=objects,
+        ),
+        # The data-flow variant enables the paper's options.
+        "tampi_dataflow": AmrConfig(
+            npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2,
+            nx=4, ny=4, nz=4, num_vars=4,
+            num_tsteps=4, stages_per_ts=4,
+            refine_freq=2, checksum_freq=4, max_refine_level=2,
+            send_faces=True, separate_buffers=True, max_comm_tasks=8,
+            objects=objects,
+        ),
+    }
+
+    print(f"{'variant':<16} {'total(ms)':>10} {'refine(ms)':>11} "
+          f"{'blocks':>7} {'GFLOPS':>7} {'messages':>9}")
+    checksums = {}
+    for variant, cfg in configs.items():
+        rpn = 4 if variant == "mpi_only" else 2
+        res = run_simulation(
+            cfg, laptop(), variant=variant, num_nodes=1, ranks_per_node=rpn
+        )
+        checksums[variant] = res.checksums
+        print(
+            f"{variant:<16} {res.total_time * 1000:>10.3f} "
+            f"{res.refine_time * 1000:>11.3f} {res.num_blocks:>7} "
+            f"{res.gflops:>7.2f} {res.comm_stats.messages:>9}"
+        )
+
+    # Cross-variant functional validation.
+    ref = checksums["mpi_only"]
+    print("\nchecksum agreement vs MPI-only (max relative difference):")
+    for variant in ("fork_join", "tampi_dataflow"):
+        worst = 0.0
+        for (_, c_ref, _), (_, c_other, _) in zip(ref, checksums[variant]):
+            worst = max(
+                worst, float(np.max(np.abs(c_ref - c_other) / np.abs(c_ref)))
+            )
+        print(f"  {variant:<16} {worst:.2e}")
+
+    print(
+        "\nnote: with 4^3-cell toy blocks a stencil task costs ~1 us, so "
+        "the\ndata-flow variant's per-task overheads dominate here. At the "
+        "paper's\nblock sizes it wins — see examples/four_spheres_scaling.py."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""The single-sphere input (Rico et al.): ranks-per-node configuration.
+
+Reproduces the structure of the paper's Table I at a reduced scale: a big
+sphere enters the mesh from a lower corner (imbalancing the early
+timesteps) while the two hybrid variants run with different ranks-per-node
+configurations on 4 simulated MareNostrum4-like nodes (48 cores, 2 NUMA
+domains each).
+
+Things to observe in the output (the paper's findings):
+  * 1 rank/node is the worst configuration — the rank's threads span both
+    NUMA domains;
+  * the fork-join hybrid improves monotonically with more ranks/node
+    (its refinement work parallelizes via rank count, not threads);
+  * TAMPI+OSS is best at 2-4 ranks/node and its refinement time is roughly
+    half the fork-join's.
+
+Run:  python examples/single_sphere_study.py
+"""
+
+from repro import marenostrum4, run_simulation
+from repro.bench import TAMPI_OPTS, build_config, single_sphere
+
+
+def main():
+    spec = marenostrum4()
+    num_nodes = 4
+    root = (8, 4, 4)  # shared root mesh for every configuration
+    tsteps = 2
+
+    print(f"machine: {spec.name} ({spec.node.cores_per_node} cores/node, "
+          f"{spec.node.sockets_per_node} NUMA domains), {num_nodes} nodes")
+    print(f"{'ranks/node':>10} {'variant':<16} {'total(ms)':>10} "
+          f"{'refine(ms)':>11} {'no-refine(ms)':>14} {'numa-span':>9}")
+
+    for variant in ("fork_join", "tampi_dataflow"):
+        for rpn in (1, 2, 4, 8, 16):
+            opts = TAMPI_OPTS if variant == "tampi_dataflow" else {}
+            cfg = build_config(
+                num_nodes * rpn, root, single_sphere(tsteps),
+                nx=12, num_vars=24, num_tsteps=tsteps, stages_per_ts=6,
+                refine_freq=1, checksum_freq=6, max_refine_level=2, **opts,
+            )
+            res = run_simulation(
+                cfg, spec, variant=variant,
+                num_nodes=num_nodes, ranks_per_node=rpn,
+            )
+            spans = spec.machine(num_nodes, rpn).placement(0).spans_numa
+            print(
+                f"{rpn:>10} {variant:<16} {res.total_time * 1e3:>10.2f} "
+                f"{res.refine_time * 1e3:>11.2f} "
+                f"{res.non_refine_time * 1e3:>14.2f} "
+                f"{'yes' if spans else 'no':>9}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — data-flow parallelization for AMR applications, reproduced.
+
+A from-scratch Python reproduction of *"Towards Data-Flow Parallelization
+for Adaptive Mesh Refinement Applications"* (Sala, Rico, Beltran — IEEE
+CLUSTER 2020): the miniAMR proxy application, an OmpSs-2-like tasking
+runtime, a simulated MPI library, the Task-Aware MPI (TAMPI) layer, and a
+deterministic discrete-event cluster simulator to run them on.
+
+Quickstart::
+
+    from repro import AmrConfig, marenostrum4, run_simulation, sphere
+
+    cfg = AmrConfig(
+        npx=2, npy=2, npz=1, nx=8, ny=8, nz=8, num_vars=8,
+        num_tsteps=4, stages_per_ts=4,
+        objects=(sphere(center=(0.4, 0.4, 0.4), radius=0.2),),
+    )
+    result = run_simulation(
+        cfg, marenostrum4(), variant="tampi_dataflow",
+        num_nodes=1, ranks_per_node=4,
+    )
+    print(result.total_time, result.gflops)
+"""
+
+from . import amr, core, machine, mpi, simx, tampi, tasking, trace
+from .amr import AmrConfig, ObjectSpec, Shape, sphere
+from .core import RunResult, run_simulation
+from .machine import (
+    CostSpec,
+    MachineSpec,
+    NetworkSpec,
+    NodeSpec,
+    laptop,
+    marenostrum4,
+    marenostrum4_scaled,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmrConfig",
+    "CostSpec",
+    "MachineSpec",
+    "NetworkSpec",
+    "NodeSpec",
+    "ObjectSpec",
+    "RunResult",
+    "Shape",
+    "amr",
+    "core",
+    "laptop",
+    "machine",
+    "marenostrum4",
+    "marenostrum4_scaled",
+    "mpi",
+    "run_simulation",
+    "simx",
+    "sphere",
+    "tampi",
+    "tasking",
+    "trace",
+    "__version__",
+]

@@ -1,0 +1,182 @@
+"""miniAMR run configuration (mirrors the mini-app's CLI options).
+
+Includes the options the reference implementation exposes plus the three
+the paper introduces/uses for the taskified port: ``send_faces``,
+``separate_buffers``, and ``max_comm_tasks`` (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..machine.costmodel import VAR_BYTES
+from .objects import ObjectSpec
+
+
+@dataclass(frozen=True)
+class AmrConfig:
+    """All knobs of one miniAMR simulation."""
+
+    # ----- domain decomposition -------------------------------------
+    #: MPI ranks per dimension (npx * npy * npz must equal world size).
+    npx: int = 1
+    npy: int = 1
+    npz: int = 1
+    #: Initial blocks per rank per dimension.
+    init_x: int = 1
+    init_y: int = 1
+    init_z: int = 1
+
+    # ----- block shape ----------------------------------------------
+    #: Interior cells per block per dimension (must be even for 2:1
+    #: face restriction).
+    nx: int = 12
+    ny: int = 12
+    nz: int = 12
+    #: Variables per cell.
+    num_vars: int = 40
+    #: Stencil selection: 7 (face neighbors) or 27 (full cube).
+    stencil: int = 7
+    #: Variables communicated/computed together per group
+    #: (``--comm_vars``); 0 means all variables in one group.
+    comm_vars: int = 0
+
+    # ----- time stepping ----------------------------------------------
+    num_tsteps: int = 20
+    stages_per_ts: int = 20
+    #: Refinement happens every `refine_freq` timesteps.
+    refine_freq: int = 5
+    #: Checksum validation every `checksum_freq` stages.
+    checksum_freq: int = 10
+    #: Maximum refinement level of any block.
+    max_refine_level: int = 4
+    #: Refine every block regardless of objects (miniAMR --uniform_refine).
+    uniform_refine: bool = False
+    #: Load balancer: "sfc" (Morton chunks) or "rcb" (recursive coordinate
+    #: bisection, the reference implementation's default).
+    lb_method: str = "sfc"
+    #: Maximum levels a block may move in a single refinement stage.
+    refine_step_cap: int = 1
+
+    # ----- objects -----------------------------------------------------
+    objects: tuple = field(default_factory=tuple)  # of ObjectSpec
+
+    # ----- checksum ----------------------------------------------------
+    #: Relative change allowed between consecutive checksums.  The 7-point
+    #: averaging stencil with reflected boundaries drifts a few percent per
+    #: stage; the check guards against NaNs and gross corruption (the exact
+    #: cross-variant comparison is done by the integration tests).
+    checksum_tolerance: float = 0.5
+
+    # ----- paper options (Section IV-A) ---------------------------------
+    #: One MPI message per face instead of one per (neighbor, direction).
+    send_faces: bool = False
+    #: Separate communication buffers per direction (removes false deps).
+    separate_buffers: bool = False
+    #: Max communication tasks (messages) per neighbor and direction when
+    #: ``send_faces`` is on; 0 = one per face.
+    max_comm_tasks: int = 0
+    #: Extension (beyond the paper): declare ghost-fill tasks (unpack and
+    #: intra-process copies) with OmpSs-2 *commutative* dependencies on the
+    #: destination block instead of inout — they write disjoint ghost
+    #: planes, so any mutually-exclusive order is valid, letting the
+    #: scheduler run them in arrival order.
+    commutative_ghosts: bool = False
+
+    #: Per-rank block capacity for the load-balance exchange (0 =
+    #: unlimited).  When bounded, receivers ACK negatively once full and
+    #: the exchange runs additional rounds (Section IV-B).
+    max_blocks_per_rank: int = 0
+
+    #: "real" = numpy payloads (functional mode), "synthetic" = costs only.
+    payload: str = "real"
+
+    # ------------------------------------------------------------------
+    def __post_init__(self):
+        for name in ("npx", "npy", "npz", "init_x", "init_y", "init_z"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("nx", "ny", "nz"):
+            v = getattr(self, name)
+            if v < 2 or v % 2:
+                raise ValueError(f"{name} must be even and >= 2 (2:1 faces)")
+        if self.num_vars <= 0:
+            raise ValueError("num_vars must be positive")
+        if self.comm_vars < 0 or self.comm_vars > self.num_vars:
+            raise ValueError("comm_vars must be in [0, num_vars]")
+        if self.payload not in ("real", "synthetic"):
+            raise ValueError("payload must be 'real' or 'synthetic'")
+        if self.max_comm_tasks < 0:
+            raise ValueError("max_comm_tasks must be >= 0")
+        if self.stencil not in (7, 27):
+            raise ValueError("stencil must be 7 or 27")
+        if self.lb_method not in ("sfc", "rcb"):
+            raise ValueError("lb_method must be 'sfc' or 'rcb'")
+        for obj in self.objects:
+            if not isinstance(obj, ObjectSpec):
+                raise TypeError(f"{obj!r} is not an ObjectSpec")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_ranks(self) -> int:
+        return self.npx * self.npy * self.npz
+
+    @property
+    def root_dims(self):
+        """Root-grid block counts per dimension."""
+        return (
+            self.npx * self.init_x,
+            self.npy * self.init_y,
+            self.npz * self.init_z,
+        )
+
+    @property
+    def cells_per_block(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def vars_per_group(self) -> int:
+        return self.comm_vars if self.comm_vars else self.num_vars
+
+    @property
+    def num_groups(self) -> int:
+        return math.ceil(self.num_vars / self.vars_per_group)
+
+    def group_slice(self, group: int) -> slice:
+        """Variable slice of communication group ``group``."""
+        if not 0 <= group < self.num_groups:
+            raise ValueError(f"invalid group {group}")
+        lo = group * self.vars_per_group
+        hi = min(lo + self.vars_per_group, self.num_vars)
+        return slice(lo, hi)
+
+    def group_size(self, group: int) -> int:
+        s = self.group_slice(group)
+        return s.stop - s.start
+
+    # ------------------------------------------------------------------
+    # Byte sizes (for message costs)
+    # ------------------------------------------------------------------
+    def block_bytes(self, nvars=None) -> int:
+        nvars = self.num_vars if nvars is None else nvars
+        return self.cells_per_block * nvars * VAR_BYTES
+
+    def face_bytes(self, axis: int, nvars: int, cross_level: bool) -> int:
+        """Message bytes of one face transfer.
+
+        Cross-level transfers carry a quarter plane (restricted or
+        to-be-prolonged), same-level a full plane.
+        """
+        dims = (self.nx, self.ny, self.nz)
+        plane = 1
+        for a in range(3):
+            if a != axis:
+                plane *= dims[a]
+        if cross_level:
+            plane //= 4
+        return plane * nvars * VAR_BYTES
+
+    # ------------------------------------------------------------------
+    def with_overrides(self, **kwargs) -> "AmrConfig":
+        return replace(self, **kwargs)

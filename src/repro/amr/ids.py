@@ -1,0 +1,147 @@
+"""Octree block identifiers and geometry over the unit-cube domain.
+
+The mesh is a rectangular grid of root blocks (the coarsest level).  A
+block id is ``(level, i, j, k)`` with integer coordinates in the level's
+grid: level ``L`` has ``root_dims * 2**L`` slots per dimension.  Refining a
+block produces its 8 children at ``level+1``; coarsening consolidates the 8
+siblings back into their parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Axis indices.
+X, Y, Z = 0, 1, 2
+#: Face sides.
+LO, HI = 0, 1
+
+#: The six faces as (axis, side) pairs, in miniAMR's direction order
+#: (X first, then Y, then Z; low before high).
+FACES = tuple((axis, side) for axis in (X, Y, Z) for side in (LO, HI))
+
+
+@dataclass(frozen=True, order=True)
+class BlockId:
+    """Identifier of one mesh block: refinement level + grid coordinates."""
+
+    level: int
+    i: int
+    j: int
+    k: int
+
+    @property
+    def coords(self):
+        return (self.i, self.j, self.k)
+
+    def parent(self) -> "BlockId":
+        if self.level == 0:
+            raise ValueError("root blocks have no parent")
+        return BlockId(self.level - 1, self.i // 2, self.j // 2, self.k // 2)
+
+    def children(self):
+        """The 8 children, in octant order (z fastest)."""
+        level = self.level + 1
+        base = (self.i * 2, self.j * 2, self.k * 2)
+        return [
+            BlockId(level, base[0] + di, base[1] + dj, base[2] + dk)
+            for di in (0, 1)
+            for dj in (0, 1)
+            for dk in (0, 1)
+        ]
+
+    def octant(self) -> int:
+        """Index of this block within its sibling group (0..7)."""
+        return ((self.i & 1) << 2) | ((self.j & 1) << 1) | (self.k & 1)
+
+    def sibling_group(self):
+        """All 8 blocks sharing this block's parent."""
+        if self.level == 0:
+            raise ValueError("root blocks have no siblings")
+        return self.parent().children()
+
+
+class Grid:
+    """Geometry helpers bound to the root-grid dimensions."""
+
+    def __init__(self, root_dims):
+        rx, ry, rz = root_dims
+        if rx <= 0 or ry <= 0 or rz <= 0:
+            raise ValueError("root dimensions must be positive")
+        self.root_dims = (rx, ry, rz)
+
+    def dims_at(self, level: int):
+        """Grid slots per dimension at ``level``."""
+        return tuple(d << level for d in self.root_dims)
+
+    def contains(self, bid: BlockId) -> bool:
+        dims = self.dims_at(bid.level)
+        return all(0 <= c < d for c, d in zip(bid.coords, dims))
+
+    def bounds(self, bid: BlockId):
+        """Axis-aligned bounding box ((x0,x1),(y0,y1),(z0,z1)) in [0,1]³."""
+        dims = self.dims_at(bid.level)
+        return tuple(
+            (c / d, (c + 1) / d) for c, d in zip(bid.coords, dims)
+        )
+
+    def face_coord(self, bid: BlockId, axis: int, side: int):
+        """Same-level neighbor coordinates across a face, or None at the
+        domain boundary."""
+        dims = self.dims_at(bid.level)
+        coords = list(bid.coords)
+        coords[axis] += 1 if side == HI else -1
+        if not 0 <= coords[axis] < dims[axis]:
+            return None
+        return BlockId(bid.level, *coords)
+
+    def finer_face_neighbors(self, neighbor_slot: BlockId, axis: int,
+                             side: int):
+        """The 4 children of ``neighbor_slot`` touching our shared face.
+
+        ``side`` is the face side *on the original block*; the children we
+        want sit on the opposite side of the neighbor slot.
+        """
+        touching = []
+        want = 0 if side == HI else 1  # child coord parity on that axis
+        for child in neighbor_slot.children():
+            if (child.coords[axis] & 1) == want:
+                touching.append(child)
+        return touching
+
+    def morton_key(self, bid: BlockId, max_level: int):
+        """Space-filling-curve sort key (Morton order at ``max_level``).
+
+        Blocks are mapped to their position at the finest level; the level
+        is appended so a parent sorts immediately before its first child.
+        """
+        shift = max_level - bid.level
+        if shift < 0:
+            raise ValueError("bid.level exceeds max_level")
+        fi, fj, fk = (c << shift for c in bid.coords)
+        return (_morton3(fi, fj, fk), bid.level)
+
+
+def _part1by2(n: int) -> int:
+    """Spread the bits of ``n`` so there are two zero bits between each."""
+    result = 0
+    bit = 0
+    while n:
+        result |= (n & 1) << (3 * bit)
+        n >>= 1
+        bit += 1
+    return result
+
+
+def _morton3(i: int, j: int, k: int) -> int:
+    return _part1by2(i) | (_part1by2(j) << 1) | (_part1by2(k) << 2)
+
+
+def face_quadrant(child: BlockId, axis: int) -> tuple:
+    """Which quadrant of the coarse face a finer neighbor occupies.
+
+    Returns (q_a, q_b) in {0,1}² for the two in-plane axes (the axes other
+    than ``axis``, in increasing order).
+    """
+    plane_axes = [a for a in (X, Y, Z) if a != axis]
+    return tuple(child.coords[a] & 1 for a in plane_axes)

@@ -1,0 +1,101 @@
+"""Mesh statistics and reports (AMR efficiency analysis).
+
+Quantifies why AMR pays off — the comparison the paper's introduction
+makes against statically refined grids — plus per-rank distribution
+statistics used by examples and analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .mesh import MeshStructure
+
+
+def level_histogram(structure: MeshStructure) -> dict:
+    """Number of active blocks per refinement level."""
+    hist = {}
+    for bid in structure.active:
+        hist[bid.level] = hist.get(bid.level, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def finest_level(structure: MeshStructure) -> int:
+    return max((b.level for b in structure.active), default=0)
+
+
+def uniform_equivalent_blocks(structure: MeshStructure) -> int:
+    """Blocks a uniform grid at the finest level would need."""
+    rx, ry, rz = structure.config.root_dims
+    return rx * ry * rz * 8 ** finest_level(structure)
+
+
+def amr_savings(structure: MeshStructure) -> float:
+    """Fraction of blocks (≈ memory/compute) AMR saves vs uniform.
+
+    0.0 means no savings (mesh is uniformly refined); values near 1.0 mean
+    the refined region is a tiny part of the domain.
+    """
+    uniform = uniform_equivalent_blocks(structure)
+    if uniform == 0:
+        return 0.0
+    return 1.0 - structure.num_blocks() / uniform
+
+
+def cross_level_face_fraction(structure: MeshStructure) -> float:
+    """Fraction of face adjacencies that cross a refinement level.
+
+    Measures how much restriction/prolongation traffic the mesh generates
+    relative to same-level copies.
+    """
+    total = 0
+    cross = 0
+    for bid in structure.active:
+        for _a, _s, nbid, rel in structure.all_neighbors(bid):
+            total += 1
+            if rel != "same":
+                cross += 1
+    if total == 0:
+        return 0.0
+    return cross / total
+
+
+@dataclass
+class MeshReport:
+    """Aggregated statistics of one mesh state."""
+
+    num_blocks: int
+    levels: dict
+    finest_level: int
+    savings_vs_uniform: float
+    cross_level_faces: float
+    rank_counts: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"blocks:              {self.num_blocks}",
+            f"levels:              "
+            + ", ".join(f"L{l}={n}" for l, n in self.levels.items()),
+            f"finest level:        {self.finest_level}",
+            f"savings vs uniform:  {self.savings_vs_uniform:.1%}",
+            f"cross-level faces:   {self.cross_level_faces:.1%}",
+        ]
+        if self.rank_counts:
+            counts = list(self.rank_counts.values())
+            lines.append(
+                f"blocks/rank:         min={min(counts)} max={max(counts)} "
+                f"mean={sum(counts) / len(counts):.1f}"
+            )
+        return "\n".join(lines)
+
+
+def mesh_report(structure: MeshStructure) -> MeshReport:
+    """Build a :class:`MeshReport` for the current mesh."""
+    return MeshReport(
+        num_blocks=structure.num_blocks(),
+        levels=level_histogram(structure),
+        finest_level=finest_level(structure),
+        savings_vs_uniform=amr_savings(structure),
+        cross_level_faces=cross_level_face_fraction(structure),
+        rank_counts=structure.rank_block_counts(),
+    )

@@ -1,0 +1,52 @@
+"""``repro.bench`` — experiment harness for every table and figure.
+
+Each entry point regenerates one published result on the simulated
+cluster: :func:`table1` (ranks-per-node study), :func:`table2`
+(communication-task granularity), :func:`weak_scaling` (Fig 4),
+:func:`strong_scaling` (Fig 5), and :func:`trace_runs` (Figs 1–3).
+"""
+
+from .experiments import (
+    SCALED_RPN,
+    TAMPI_OPTS,
+    ScalingPoint,
+    ScalingResult,
+    Table1Result,
+    Table2Result,
+    TraceExperiment,
+    build_config,
+    format_table,
+    strong_scaling,
+    table1,
+    table2,
+    trace_runs,
+    weak_scaling,
+)
+from .inputs import (
+    factor3,
+    fit_grid,
+    four_spheres,
+    single_sphere,
+    weak_root_dims,
+)
+
+__all__ = [
+    "SCALED_RPN",
+    "TAMPI_OPTS",
+    "ScalingPoint",
+    "ScalingResult",
+    "Table1Result",
+    "Table2Result",
+    "TraceExperiment",
+    "build_config",
+    "factor3",
+    "fit_grid",
+    "format_table",
+    "four_spheres",
+    "single_sphere",
+    "strong_scaling",
+    "table1",
+    "table2",
+    "trace_runs",
+    "weak_root_dims",
+]

@@ -1,0 +1,449 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each function builds the paper's workload (scaled down per EXPERIMENTS.md),
+runs the relevant variants on the simulated cluster, and returns structured
+rows mirroring the published table/figure — plus a formatted text rendering.
+
+Scaling note: the published experiments use 48-core nodes up to 256 nodes
+(12288 cores) and thousands of stages.  Pure-Python event simulation at
+that scale is impractical, so each experiment states its scaled geometry;
+the *shape* (who wins, by what factor, where crossovers fall) is the
+reproduction target, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..amr.config import AmrConfig
+from ..core.driver import run_simulation
+from ..machine.presets import marenostrum4, marenostrum4_scaled
+from .inputs import fit_grid, four_spheres, single_sphere, weak_root_dims
+
+#: TAMPI+OSS options used throughout the evaluation (Section V).
+TAMPI_OPTS = dict(separate_buffers=True, send_faces=True, max_comm_tasks=8)
+
+
+def build_config(
+    num_ranks,
+    root_dims,
+    objects,
+    *,
+    nx=12,
+    num_vars=20,
+    num_tsteps=2,
+    stages_per_ts=10,
+    refine_freq=2,
+    checksum_freq=10,
+    max_refine_level=2,
+    payload="synthetic",
+    **options,
+):
+    """An :class:`AmrConfig` with the rank grid fitted to the root grid."""
+    px, py, pz = fit_grid(num_ranks, root_dims)
+    return AmrConfig(
+        npx=px,
+        npy=py,
+        npz=pz,
+        init_x=root_dims[0] // px,
+        init_y=root_dims[1] // py,
+        init_z=root_dims[2] // pz,
+        nx=nx,
+        ny=nx,
+        nz=nx,
+        num_vars=num_vars,
+        num_tsteps=num_tsteps,
+        stages_per_ts=stages_per_ts,
+        refine_freq=refine_freq,
+        checksum_freq=checksum_freq,
+        max_refine_level=max_refine_level,
+        payload=payload,
+        objects=objects,
+        **options,
+    )
+
+
+def format_table(headers, rows, title=""):
+    """Render rows as a fixed-width text table."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+# ======================================================================
+# Table I — ranks-per-node configuration study (4 nodes, single sphere)
+# ======================================================================
+@dataclass
+class Table1Result:
+    rows: list  # (ranks_per_node, variant, total, refine, no_refine)
+    text: str = ""
+
+
+def table1(ranks_per_node_list=(1, 2, 4, 8, 16), quick=False) -> Table1Result:
+    """Paper Table I: hybrid execution times vs ranks per node on 4 nodes.
+
+    Paper workload: single sphere, 20 ts × 60 stages, 18³ cells, 60 vars,
+    refine every 5 ts, checksum every 10 stages.  Scaled here to 48-core
+    nodes with a reduced step count (see EXPERIMENTS.md).
+    """
+    spec = marenostrum4()
+    num_nodes = 4
+    root = (8, 4, 4)
+    tsteps = 1 if quick else 2
+    stages = 4 if quick else 10
+    rows = []
+    for variant in ("fork_join", "tampi_dataflow"):
+        for rpn in ranks_per_node_list:
+            opts = TAMPI_OPTS if variant == "tampi_dataflow" else {}
+            cfg = build_config(
+                num_nodes * rpn,
+                root,
+                single_sphere(tsteps),
+                nx=12,
+                num_vars=24,
+                num_tsteps=tsteps,
+                stages_per_ts=stages,
+                refine_freq=1,
+                checksum_freq=stages,
+                max_refine_level=2,
+                **opts,
+            )
+            res = run_simulation(
+                cfg,
+                spec,
+                variant=variant,
+                num_nodes=num_nodes,
+                ranks_per_node=rpn,
+            )
+            rows.append(
+                (
+                    rpn,
+                    variant,
+                    res.total_time,
+                    res.refine_time,
+                    res.non_refine_time,
+                )
+            )
+    result = Table1Result(rows=rows)
+    result.text = format_table(
+        ["ranks/node", "variant", "total(s)", "refine(s)", "no-refine(s)"],
+        [
+            (rpn, v, f"{t:.4f}", f"{r:.4f}", f"{n:.4f}")
+            for rpn, v, t, r, n in rows
+        ],
+        title="Table I — time vs ranks per node on 4 nodes (single sphere)",
+    )
+    return result
+
+
+# ======================================================================
+# Table II — communication tasks per neighbor/direction (four spheres)
+# ======================================================================
+@dataclass
+class Table2Result:
+    rows: list  # (max_comm_tasks-label, non_refine_time)
+    text: str = ""
+
+
+def table2(task_counts=(1, 2, 4, 8, 16, 0), num_nodes=4, quick=False):
+    """Paper Table II: non-refinement time vs ``--max_comm_tasks``.
+
+    0 (the paper's *all*) means one communication task per face.  The paper
+    runs 64 nodes; scaled here (see EXPERIMENTS.md); the expected shape is
+    a shallow U: too few tasks starve parallelism, *all* pays per-message
+    overheads.  The published differences are a few percent of 600-second
+    runs; our sub-second runs disable the OS-noise model so the comparison
+    is not swamped by jitter.
+    """
+    spec = marenostrum4_scaled(8)
+    root = (8, 4, 4) if not quick else (4, 4, 2)
+    tsteps = 1 if quick else 2
+    stages = 4 if quick else 10
+    rpn = 2
+    rows = []
+    for mct in task_counts:
+        cfg = build_config(
+            num_nodes * rpn,
+            root,
+            four_spheres(tsteps),
+            num_tsteps=tsteps,
+            stages_per_ts=stages,
+            refine_freq=max(tsteps, 1),
+            checksum_freq=stages,
+            separate_buffers=True,
+            send_faces=True,
+            max_comm_tasks=mct,
+        )
+        res = run_simulation(
+            cfg,
+            spec,
+            variant="tampi_dataflow",
+            num_nodes=num_nodes,
+            ranks_per_node=rpn,
+            cost_overrides={"noise_amplitude": 0.0, "noise_spike_rate": 0.0},
+        )
+        label = "all" if mct == 0 else str(mct)
+        rows.append((label, res.non_refine_time))
+    result = Table2Result(rows=rows)
+    result.text = format_table(
+        ["comm tasks", "no-refine time(s)"],
+        [(l, f"{t:.4f}") for l, t in rows],
+        title=(
+            f"Table II — non-refinement time vs communication tasks per "
+            f"neighbor/direction on {num_nodes} nodes (four spheres)"
+        ),
+    )
+    return result
+
+
+# ======================================================================
+# Figures 4 & 5 — weak and strong scaling
+# ======================================================================
+@dataclass
+class ScalingPoint:
+    variant: str
+    num_nodes: int
+    gflops: float
+    total_time: float
+    refine_time: float
+    flops: float
+
+    @property
+    def non_refine_time(self):
+        return self.total_time - self.refine_time
+
+
+@dataclass
+class ScalingResult:
+    points: list  # ScalingPoint
+    text: str = ""
+
+    def series(self, variant):
+        return sorted(
+            (p for p in self.points if p.variant == variant),
+            key=lambda p: p.num_nodes,
+        )
+
+    def gflops_at(self, variant, nodes):
+        for p in self.points:
+            if p.variant == variant and p.num_nodes == nodes:
+                return p.gflops
+        raise KeyError((variant, nodes))
+
+    def speedup_vs(self, variant, baseline, nodes):
+        return self.gflops_at(variant, nodes) / self.gflops_at(
+            baseline, nodes
+        )
+
+    def to_csv(self) -> str:
+        """Points as CSV (nodes, variant, gflops, total, refine, flops)."""
+        lines = ["nodes,variant,gflops,total_time,refine_time,flops"]
+        for p in sorted(
+            self.points, key=lambda p: (p.num_nodes, p.variant)
+        ):
+            lines.append(
+                f"{p.num_nodes},{p.variant},{p.gflops:.6g},"
+                f"{p.total_time:.9g},{p.refine_time:.9g},{p.flops:.6g}"
+            )
+        return "\n".join(lines)
+
+    def efficiency(self, variant, nodes, non_refine=False):
+        """Parallel efficiency w.r.t. the variant's own 1-node throughput.
+
+        With ``non_refine=True`` computes the paper's NR efficiency
+        (refinement time assumed negligible).
+        """
+        series = self.series(variant)
+        base = series[0]
+        point = next(p for p in series if p.num_nodes == nodes)
+        if non_refine:
+            base_rate = base.flops / base.non_refine_time
+            rate = point.flops / point.non_refine_time
+        else:
+            base_rate = base.flops / base.total_time
+            rate = point.flops / point.total_time
+        scale = point.num_nodes / base.num_nodes
+        return (rate / base_rate) / scale
+
+
+#: Variant → ranks-per-node on the scaled 8-core preset (MPI-only fills the
+#: node, one rank per core; hybrids use 2 ranks/node → 4 cores/rank, the
+#: analogue of the paper's 4 ranks/node on 48-core nodes).
+SCALED_RPN = {"mpi_only": 8, "fork_join": 2, "tampi_dataflow": 2}
+
+
+def _scaling_run(variant, num_nodes, root, tsteps, stages, payload):
+    spec = marenostrum4_scaled(8)
+    rpn = SCALED_RPN[variant]
+    opts = TAMPI_OPTS if variant == "tampi_dataflow" else {}
+    cfg = build_config(
+        num_nodes * rpn,
+        root,
+        four_spheres(tsteps),
+        num_tsteps=tsteps,
+        stages_per_ts=stages,
+        refine_freq=2,
+        checksum_freq=10,
+        max_refine_level=2,
+        payload=payload,
+        **opts,
+    )
+    res = run_simulation(
+        cfg, spec, variant=variant, num_nodes=num_nodes, ranks_per_node=rpn
+    )
+    return ScalingPoint(
+        variant=variant,
+        num_nodes=num_nodes,
+        gflops=res.gflops,
+        total_time=res.total_time,
+        refine_time=res.refine_time,
+        flops=res.flops,
+    )
+
+
+def weak_scaling(
+    node_counts=(1, 2, 4, 8, 16, 32),
+    variants=("mpi_only", "fork_join", "tampi_dataflow"),
+    quick=False,
+) -> ScalingResult:
+    """Paper Fig 4: weak scaling, four spheres, one initial block per
+    MPI-only rank; blocks double with nodes (round-robin per direction)."""
+    tsteps = 1 if quick else 3
+    stages = 4 if quick else 10
+    points = []
+    base_root = (2, 2, 2)  # 8 blocks = 8 MPI-only ranks on 1 node
+    for nodes in node_counts:
+        doublings = (nodes).bit_length() - 1
+        root = weak_root_dims(base_root, doublings)
+        for variant in variants:
+            points.append(
+                _scaling_run(variant, nodes, root, tsteps, stages,
+                             "synthetic")
+            )
+    result = ScalingResult(points=points)
+    rows = [
+        (
+            p.num_nodes,
+            p.variant,
+            f"{p.gflops:.1f}",
+            f"{p.total_time:.4f}",
+            f"{p.refine_time:.4f}",
+        )
+        for p in sorted(points, key=lambda p: (p.num_nodes, p.variant))
+    ]
+    result.text = format_table(
+        ["nodes", "variant", "GFLOPS", "total(s)", "refine(s)"],
+        rows,
+        title="Fig 4 — weak scaling (four spheres)",
+    )
+    return result
+
+
+def strong_scaling(
+    node_counts=(1, 2, 4, 8, 16, 32),
+    variants=("mpi_only", "fork_join", "tampi_dataflow"),
+    quick=False,
+) -> ScalingResult:
+    """Paper Fig 5: strong scaling, fixed total mesh.
+
+    Following the paper, small node counts (here 1–2) use an input divided
+    by a fixed factor (16× in the paper, 4× here) because the full input
+    does not fit/pay at those sizes; throughput normalization handles it
+    (speedups are computed from FLOP rates).
+    """
+    tsteps = 1 if quick else 3
+    stages = 4 if quick else 10
+    big_root = (8, 8, 4)  # fixed problem for >= 4 nodes (256 blocks)
+    small_root = (4, 4, 2)  # 8x smaller for 1-2 nodes
+    points = []
+    for nodes in node_counts:
+        root = small_root if nodes <= 2 else big_root
+        for variant in variants:
+            points.append(
+                _scaling_run(variant, nodes, root, tsteps, stages,
+                             "synthetic")
+            )
+    result = ScalingResult(points=points)
+    rows = [
+        (
+            p.num_nodes,
+            p.variant,
+            f"{p.gflops:.1f}",
+            f"{p.total_time:.4f}",
+        )
+        for p in sorted(points, key=lambda p: (p.num_nodes, p.variant))
+    ]
+    result.text = format_table(
+        ["nodes", "variant", "GFLOPS", "total(s)"],
+        rows,
+        title="Fig 5 — strong scaling (four spheres)",
+    )
+    return result
+
+
+# ======================================================================
+# Figures 1-3 — trace analysis on 2 nodes
+# ======================================================================
+@dataclass
+class TraceExperiment:
+    results: dict  # variant -> RunResult (with tracer)
+    text: str = ""
+
+
+def trace_runs(quick=False) -> TraceExperiment:
+    """Paper Figs 1–3 setup: four spheres on 2 full nodes, small input.
+
+    MPI-only runs 96 ranks (48/node); TAMPI+OSS runs 8 ranks × 12 cores.
+    Scaled step counts; traces are collected for analysis/rendering.
+    """
+    spec = marenostrum4()
+    num_nodes = 2
+    tsteps = 2 if quick else 3
+    stages = 4 if quick else 6
+    root = (8, 4, 3)  # 96 blocks: one per MPI-only rank
+    results = {}
+    for variant, rpn in (("mpi_only", 48), ("tampi_dataflow", 4)):
+        opts = TAMPI_OPTS if variant == "tampi_dataflow" else {}
+        cfg = build_config(
+            num_nodes * rpn,
+            root,
+            four_spheres(tsteps),
+            num_tsteps=tsteps,
+            stages_per_ts=stages,
+            refine_freq=2,
+            checksum_freq=stages,
+            max_refine_level=1,
+            **opts,
+        )
+        results[variant] = run_simulation(
+            cfg,
+            spec,
+            variant=variant,
+            num_nodes=num_nodes,
+            ranks_per_node=rpn,
+            trace=True,
+        )
+    exp = TraceExperiment(results=results)
+    lines = ["Figs 1-3 — trace runs on 2 nodes (four spheres)"]
+    for variant, res in results.items():
+        lines.append(
+            f"  {variant}: total={res.total_time:.4f}s "
+            f"refine={res.refine_time:.4f}s "
+            f"non-refine={res.non_refine_time:.4f}s"
+        )
+    nr_mpi = results["mpi_only"].non_refine_time
+    nr_tampi = results["tampi_dataflow"].non_refine_time
+    lines.append(
+        f"  non-refinement speedup (paper: ~1.3x): {nr_mpi / nr_tampi:.2f}x"
+    )
+    exp.text = "\n".join(lines)
+    return exp

@@ -1,0 +1,118 @@
+"""The paper's two input problems and rank-grid fitting utilities.
+
+*Single sphere* (Rico et al. [16]): a big sphere that starts outside the
+mesh and enters from a lower corner, refining the intersected regions as it
+moves — deliberately imbalanced early in the run.
+
+*Four spheres* (Vaughan et al. [13]): two spheres on one side of the mesh
+moving along +X and two on the opposite side moving along −X; positioned so
+they approach near the center without colliding.  Movement rates are
+computed from the number of timesteps so each sphere arrives at the
+opposite side without reaching the mesh borders.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..amr.objects import sphere
+
+
+def single_sphere(num_tsteps: int):
+    """The Rico et al. input: one big sphere entering from a lower corner."""
+    start = -0.15
+    end = 0.55
+    rate = (end - start) / max(num_tsteps, 1)
+    return (
+        sphere(
+            center=(start, start, start),
+            radius=0.40,
+            move=(rate, rate, rate),
+        ),
+    )
+
+
+def four_spheres(num_tsteps: int):
+    """The Vaughan et al. input: four spheres crossing along the X axis."""
+    x_lo, x_hi = 0.15, 0.85
+    travel = (x_hi - x_lo) - 0.05  # stop just short of the far border
+    rate = travel / max(num_tsteps, 1)
+    r = 0.11
+    return (
+        sphere(center=(x_lo, 0.32, 0.32), radius=r, move=(rate, 0.0, 0.0)),
+        sphere(center=(x_lo, 0.68, 0.68), radius=r, move=(rate, 0.0, 0.0)),
+        sphere(center=(x_hi, 0.32, 0.68), radius=r, move=(-rate, 0.0, 0.0)),
+        sphere(center=(x_hi, 0.68, 0.32), radius=r, move=(-rate, 0.0, 0.0)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Rank-grid fitting
+# ----------------------------------------------------------------------
+def factor3(n: int):
+    """Near-cubic factorization of ``n`` into three factors (descending)."""
+    best = None
+    a = 1
+    while a * a * a <= n:
+        if n % a == 0:
+            m = n // a
+            b = a
+            bb = int(math.isqrt(m))
+            for b in range(bb, a - 1, -1):
+                if m % b == 0:
+                    c = m // b
+                    cand = tuple(sorted((a, b, c), reverse=True))
+                    score = cand[0] - cand[2]
+                    if best is None or score < best[0]:
+                        best = (score, cand)
+                    break
+        a += 1
+    if best is None:
+        return (n, 1, 1)
+    return best[1]
+
+
+def fit_grid(num_ranks: int, root_dims):
+    """Factor ``num_ranks`` into (px, py, pz) dividing ``root_dims``.
+
+    Prefers near-uniform factorizations; raises when impossible (the
+    experiment harness always chooses compatible root grids).
+    """
+    rx, ry, rz = root_dims
+    best = None
+    for px in _divisors(num_ranks):
+        if rx % px:
+            continue
+        rem = num_ranks // px
+        for py in _divisors(rem):
+            if ry % py:
+                continue
+            pz = rem // py
+            if rz % pz:
+                continue
+            dims = (px, py, pz)
+            score = max(dims) - min(dims)
+            if best is None or score < best[0]:
+                best = (score, dims)
+    if best is None:
+        raise ValueError(
+            f"cannot fit {num_ranks} ranks onto root grid {root_dims}"
+        )
+    return best[1]
+
+
+def _divisors(n: int):
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def weak_root_dims(base_dims, doublings: int):
+    """Double the root grid one dimension at a time, round-robin.
+
+    The paper's weak-scaling construction: "when doubling the number of
+    nodes, we double the number of total blocks in one of the directions
+    following a round-robin fashion".
+    """
+    dims = list(base_dims)
+    for i in range(doublings):
+        dims[i % 3] *= 2
+    return tuple(dims)

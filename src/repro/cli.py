@@ -1,0 +1,175 @@
+"""Command-line interface: run simulated miniAMR or regenerate experiments.
+
+Examples::
+
+    miniamr-sim run --variant tampi_dataflow --nodes 2 --ranks-per-node 2
+    miniamr-sim run --variant mpi_only --nodes 1 --preset laptop
+    miniamr-sim bench table1
+    miniamr-sim bench weak --nodes 1 2 4 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import (
+    build_config,
+    four_spheres,
+    single_sphere,
+    strong_scaling,
+    table1,
+    table2,
+    trace_runs,
+    weak_scaling,
+)
+from .core.driver import VARIANTS, run_simulation
+from .machine.presets import laptop, marenostrum4, marenostrum4_scaled
+
+PRESETS = {
+    "laptop": laptop,
+    "marenostrum4": marenostrum4,
+    "marenostrum4_scaled": marenostrum4_scaled,
+}
+
+
+def _add_run_parser(sub):
+    p = sub.add_parser("run", help="run one simulated miniAMR execution")
+    p.add_argument("--variant", choices=sorted(VARIANTS), required=True)
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="marenostrum4_scaled")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--ranks-per-node", type=int, default=None)
+    p.add_argument("--root", type=int, nargs=3, default=(4, 2, 2),
+                   metavar=("RX", "RY", "RZ"),
+                   help="root mesh blocks per dimension")
+    p.add_argument("--nx", type=int, default=12, help="cells per block/dim")
+    p.add_argument("--num-vars", type=int, default=20)
+    p.add_argument("--comm-vars", type=int, default=0,
+                   help="variables per communication group (0 = all)")
+    p.add_argument("--tsteps", type=int, default=2)
+    p.add_argument("--stages", type=int, default=10)
+    p.add_argument("--refine-freq", type=int, default=2)
+    p.add_argument("--checksum-freq", type=int, default=10)
+    p.add_argument("--max-refine-level", type=int, default=2)
+    p.add_argument("--input", choices=("single_sphere", "four_spheres"),
+                   default="four_spheres")
+    p.add_argument("--payload", choices=("real", "synthetic"),
+                   default="synthetic")
+    p.add_argument("--send-faces", action="store_true")
+    p.add_argument("--separate-buffers", action="store_true")
+    p.add_argument("--max-comm-tasks", type=int, default=0)
+    p.add_argument("--stencil", type=int, choices=(7, 27), default=7)
+    p.add_argument("--lb-method", choices=("sfc", "rcb"), default="sfc")
+    p.add_argument("--uniform-refine", action="store_true")
+    p.add_argument("--scheduler", choices=("locality", "fifo"),
+                   default="locality")
+    return p
+
+
+def _add_bench_parser(sub):
+    p = sub.add_parser(
+        "bench", help="regenerate one of the paper's tables/figures"
+    )
+    p.add_argument(
+        "experiment",
+        choices=("table1", "table2", "weak", "strong", "traces"),
+    )
+    p.add_argument("--nodes", type=int, nargs="*", default=None,
+                   help="node counts (weak/strong scaling only)")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller geometry for a fast look")
+    return p
+
+
+def cmd_run(args) -> int:
+    spec = PRESETS[args.preset]()
+    ranks_per_node = args.ranks_per_node
+    if ranks_per_node is None:
+        ranks_per_node = (
+            spec.node.cores_per_node if args.variant == "mpi_only" else 2
+        )
+    num_ranks = args.nodes * ranks_per_node
+    objects = (
+        single_sphere(args.tsteps)
+        if args.input == "single_sphere"
+        else four_spheres(args.tsteps)
+    )
+    cfg = build_config(
+        num_ranks,
+        tuple(args.root),
+        objects,
+        nx=args.nx,
+        num_vars=args.num_vars,
+        num_tsteps=args.tsteps,
+        stages_per_ts=args.stages,
+        refine_freq=args.refine_freq,
+        checksum_freq=args.checksum_freq,
+        max_refine_level=args.max_refine_level,
+        payload=args.payload,
+        comm_vars=args.comm_vars,
+        send_faces=args.send_faces,
+        separate_buffers=args.separate_buffers,
+        max_comm_tasks=args.max_comm_tasks,
+        stencil=args.stencil,
+        lb_method=args.lb_method,
+        uniform_refine=args.uniform_refine,
+    )
+    res = run_simulation(
+        cfg,
+        spec,
+        variant=args.variant,
+        num_nodes=args.nodes,
+        ranks_per_node=ranks_per_node,
+        scheduler=args.scheduler,
+    )
+    print(f"variant:          {res.variant}")
+    print(f"machine:          {spec.name}, {args.nodes} nodes x "
+          f"{ranks_per_node} ranks")
+    print(f"total time:       {res.total_time:.6f} s (simulated)")
+    print(f"refinement time:  {res.refine_time:.6f} s")
+    print(f"throughput:       {res.gflops:.2f} GFLOPS")
+    print(f"final blocks:     {res.num_blocks} "
+          f"(imbalance {res.imbalance:.3f})")
+    print(f"messages:         {res.comm_stats.messages} "
+          f"({res.comm_stats.bytes_sent} bytes)")
+    print(f"checksums:        {len(res.checksums)} validated")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    if args.experiment == "table1":
+        print(table1(quick=args.quick).text)
+    elif args.experiment == "table2":
+        print(table2(quick=args.quick).text)
+    elif args.experiment == "traces":
+        print(trace_runs(quick=args.quick).text)
+    else:
+        fn = weak_scaling if args.experiment == "weak" else strong_scaling
+        kwargs = {"quick": args.quick}
+        if args.nodes:
+            kwargs["node_counts"] = tuple(args.nodes)
+        result = fn(**kwargs)
+        print(result.text)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="miniamr-sim",
+        description=(
+            "Simulated miniAMR: data-flow (TAMPI+OmpSs-2), fork-join, and "
+            "MPI-only parallelizations on a modelled cluster"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(sub)
+    _add_bench_parser(sub)
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_bench(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""``repro.core`` — the paper's contribution: the data-flow port + driver.
+
+The three variants (MPI-only, MPI+OMP fork-join, TAMPI+OmpSs-2 data-flow)
+run the same miniAMR workload on the simulated cluster;
+:func:`run_simulation` executes one configuration and returns the metrics
+the paper reports (total / refinement time, GFLOPS throughput, checksums).
+"""
+
+from .app import BaseRankProgram, SharedState
+from .driver import VARIANTS, RunResult, run_simulation
+from .variants import ForkJoinProgram, MpiOnlyProgram, TampiDataflowProgram
+
+__all__ = [
+    "BaseRankProgram",
+    "ForkJoinProgram",
+    "MpiOnlyProgram",
+    "RunResult",
+    "SharedState",
+    "TampiDataflowProgram",
+    "VARIANTS",
+    "run_simulation",
+]

@@ -1,0 +1,506 @@
+"""Shared machinery of the three miniAMR parallelization variants.
+
+:class:`SharedState` holds the per-simulation replicated metadata (mesh
+structure, plan boards, FLOP counter); :class:`BaseRankProgram` implements
+the variant-independent skeleton of Algorithm 1 — the main loop, refinement
+coordination, the ACK-based block exchange, checksum validation — and
+declares the hooks (communicate / stencil / checksum reduction / data ops)
+each variant overrides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..amr.balance import PARTITIONERS, plan_moves
+from ..amr.block import (
+    Block,
+    consolidate_blocks,
+    prolong_plane,
+    restrict_plane,
+    split_block,
+)
+from ..amr.checksum import validate
+from ..amr.comm_plan import EXCHANGE_TAG_BASE, build_all_rank_plans
+from ..amr.ids import HI, LO
+from ..amr.mesh import MeshStructure, PlanBoard, apply_plan, plan_refinement
+from ..amr.objects import MovingObject
+
+#: Tag offsets inside the exchange tag space.
+_ACK_TAG = EXCHANGE_TAG_BASE
+_DATA_TAG = EXCHANGE_TAG_BASE + (1 << 17)
+_COARSEN_TAG = EXCHANGE_TAG_BASE + (2 << 17)
+
+
+class SharedState:
+    """Replicated simulation metadata shared by every rank program.
+
+    The mesh *structure* is replicated (a documented substitution — see
+    DESIGN.md); block *data* lives only in the per-rank programs and moves
+    exclusively through simulated messages.
+    """
+
+    def __init__(self, config, machine, spec, world, tracer=None):
+        self.config = config
+        self.machine = machine
+        self.spec = spec
+        self.world = world
+        self.tracer = tracer
+        self.structure = MeshStructure(config)
+        self.board = PlanBoard(config.num_ranks)
+        #: Total stencil FLOPs executed (all ranks).
+        self.flops = 0.0
+        #: Global checksums in validation order (shared by construction —
+        #: every rank computes the same values).
+        self.checksum_log = []
+
+    def commplans(self, epoch, nvars):
+        """Per-rank direction plans for the current mesh (computed once)."""
+        return self.board.get(
+            ("commplan", epoch, nvars),
+            lambda: build_all_rank_plans(self.structure, self.config, nvars),
+        )
+
+
+class BaseRankProgram:
+    """One rank's program: state + the variant-independent control flow."""
+
+    #: Variant identifier (overridden).
+    name = "base"
+
+    def __init__(self, shared: SharedState, rank: int, comm, runtime):
+        self.shared = shared
+        self.cfg = shared.config
+        self.rank = rank
+        self.comm = comm
+        self.rt = runtime
+        self.env = comm.env
+        self.cost = shared.spec.cost
+        self.numa = shared.machine.placement(rank).spans_numa
+        self.tracer = shared.tracer
+
+        self.blocks = {}
+        for bid in shared.structure.blocks_of_rank(rank):
+            self.blocks[bid] = Block.initial(bid, self.cfg)
+
+        #: Per-rank copies of the moving objects (advanced identically on
+        #: every rank, like miniAMR's replicated object state).
+        self.objects = [MovingObject(spec) for spec in self.cfg.objects]
+        self.prev_checksum = None
+        self.epoch = 0
+        self._plan_cache = {}
+        #: Simulated seconds this rank spent inside refinement phases.
+        self.refine_seconds = 0.0
+        #: Ablation: join all local work after every stage (destroys the
+        #: cross-stage overlap the data-flow model provides).
+        self.stage_barrier = False
+
+    # ------------------------------------------------------------------
+    # Cost helpers
+    # ------------------------------------------------------------------
+    def charge(self, seconds):
+        """Consume CPU time on the calling thread (with system noise)."""
+        if seconds > 0:
+            yield self.env.timeout(self.rt.noise.stretch(seconds))
+
+    def stencil_cost(self, nvars) -> float:
+        return self.cost.stencil_time(
+            self.cfg.cells_per_block,
+            nvars,
+            numa=self.numa,
+            flops_per_cell=float(self.cfg.stencil),
+        )
+
+    def copy_cost(self, nbytes) -> float:
+        return self.cost.copy_time(nbytes, numa=self.numa)
+
+    def checksum_cost(self, nvars) -> float:
+        nbytes = self.cfg.cells_per_block * nvars * 8
+        return self.cost.checksum_time(nbytes, numa=self.numa)
+
+    def count_stencil_flops(self, nvars):
+        self.shared.flops += self.cost.stencil_flops(
+            self.cfg.cells_per_block, nvars, float(self.cfg.stencil)
+        )
+
+    # ------------------------------------------------------------------
+    # Plans
+    # ------------------------------------------------------------------
+    def plans_for_group(self, group):
+        """This rank's three DirectionPlans for a variable group."""
+        nvars = self.cfg.group_size(group)
+        key = (self.epoch, nvars)
+        plans = self._plan_cache.get(key)
+        if plans is None:
+            all_plans = self.shared.commplans(self.epoch, nvars)
+            plans = all_plans[self.rank]
+            self._plan_cache = {key: plans}
+        return plans
+
+    # ------------------------------------------------------------------
+    # Face payload helpers (real mode; synthetic returns None)
+    # ------------------------------------------------------------------
+    def make_face_payload(self, transfer, vslice):
+        """Extract (and restrict if needed) the source face of a transfer."""
+        src = self.blocks[transfer.src]
+        if not src.is_real:
+            return None
+        src_side = LO if transfer.side == HI else HI
+        if transfer.rel == "same":
+            return src.extract_face(transfer.axis, src_side, vslice)
+        if transfer.rel == "finer":
+            plane = src.extract_face(transfer.axis, src_side, vslice)
+            return restrict_plane(plane)
+        # src coarser: send the destination's quadrant of our face
+        return src.extract_face_quadrant(
+            transfer.axis, src_side, vslice, transfer.quadrant
+        )
+
+    def apply_face_payload(self, transfer, plane, vslice):
+        """Write a received (or locally copied) face into the dst ghosts."""
+        dst = self.blocks[transfer.dst]
+        if not dst.is_real or plane is None:
+            return
+        if transfer.rel == "same":
+            dst.insert_ghost(transfer.axis, transfer.side, vslice, plane)
+        elif transfer.rel == "finer":
+            dst.insert_ghost_quadrant(
+                transfer.axis, transfer.side, vslice, transfer.quadrant, plane
+            )
+        else:  # coarser source: prolong the quadrant to a full fine plane
+            dst.insert_ghost(
+                transfer.axis, transfer.side, vslice, prolong_plane(plane)
+            )
+
+    def copy_local_face(self, transfer, vslice):
+        """Intra-rank ghost copy (both blocks owned by this rank)."""
+        plane = self.make_face_payload(transfer, vslice)
+        self.apply_face_payload(transfer, plane, vslice)
+
+    # ------------------------------------------------------------------
+    # Main loop (Algorithm 1 / Algorithm 4)
+    # ------------------------------------------------------------------
+    def run(self):
+        """The rank's program (a simulation process generator)."""
+        cfg = self.cfg
+        yield from self.initial_refinement()
+        stage_index = 0
+        for ts in range(cfg.num_tsteps):
+            for _stage in range(cfg.stages_per_ts):
+                for group in range(cfg.num_groups):
+                    yield from self.communicate(group)
+                    yield from self.stencil(group)
+                stage_index += 1
+                if self.stage_barrier:
+                    yield from self.join_all()
+                if cfg.checksum_freq and stage_index % cfg.checksum_freq == 0:
+                    yield from self.checksum(stage_index)
+            last = ts + 1 == cfg.num_tsteps
+            if cfg.refine_freq and (ts + 1) % cfg.refine_freq == 0 and not last:
+                yield from self.refinement_phase(move_objects=True)
+        yield from self.finalize()
+
+    def initial_refinement(self):
+        """Refine until the objects are resolved (before the main loop)."""
+        for _ in range(self.cfg.max_refine_level):
+            changed = yield from self.refinement_phase(move_objects=False)
+            if not changed:
+                break
+
+    def finalize(self):
+        """Drain outstanding work and synchronize before exiting."""
+        yield from self.join_all()
+        yield from self.comm.barrier()
+
+    # ------------------------------------------------------------------
+    # Refinement & load balancing (Section IV-B)
+    # ------------------------------------------------------------------
+    def refinement_phase(self, move_objects):
+        """One refinement stage; returns True if the mesh changed."""
+        cfg = self.cfg
+        yield from self.join_all()  # explicit barrier before refinement
+        t_enter = self.env.now
+        if self.tracer:
+            self.tracer.phase_begin(self.rank, "refine", self.env.now)
+
+        # Global synchronization: nobody may still be using the old
+        # structure when the shared plan mutates it (miniAMR performs
+        # collectives here too — the dense areas in Fig 1).
+        yield from self.comm.allreduce(len(self.blocks))
+
+        if move_objects:
+            for obj in self.objects:
+                obj.advance(cfg.refine_freq)
+
+        self.epoch += 1
+        nblocks_before = len(self.blocks)
+        bundle = self.shared.board.get(
+            ("refine", self.epoch), self._compute_refine_bundle
+        )
+        plan, split_owner, coarsen_owner, coarsen_moves = bundle
+
+        # Serial control work: marking, connectivity surgery.  This is the
+        # poorly-parallelizable part every variant pays on its main thread;
+        # MPI-only amortizes it over many more ranks (paper Section IV-B).
+        my_changes = sum(
+            1 for b, r in split_owner.items() if r == self.rank
+        ) + sum(
+            1
+            for p, info in coarsen_owner.items()
+            if info["rank"] == self.rank
+        )
+        control = (
+            self.cost.refine_control_per_block * nblocks_before
+            + self.cost.refine_change_overhead * my_changes
+        )
+        control *= self.refine_control_factor()
+        yield from self.charge(control)
+
+        # Move coarsen children to their designated consolidator rank.
+        yield from self.transfer_blocks(coarsen_moves, _COARSEN_TAG)
+
+        # Split / consolidate payloads (variant-specific parallelism).
+        yield from self.refine_data_ops(plan, split_owner, coarsen_owner)
+        yield from self.join_all()
+
+        # Load balancing over the post-refinement mesh.
+        balance_moves = self.shared.board.get(
+            ("balance", self.epoch), self._compute_balance_moves
+        )
+        yield from self.exchange_blocks(balance_moves)
+
+        self._plan_cache = {}
+        self.refine_seconds += self.env.now - t_enter
+        if self.tracer:
+            self.tracer.phase_end(self.rank, "refine", self.env.now)
+        return not plan.is_empty or bool(balance_moves)
+
+    def refine_control_factor(self) -> float:
+        """Fraction of serial refinement control work this variant pays."""
+        return 1.0
+
+    def _compute_refine_bundle(self):
+        structure = self.shared.structure
+        plan = plan_refinement(
+            structure, self.objects, uniform=self.cfg.uniform_refine
+        )
+        split_owner, coarsen_owner = apply_plan(structure, plan)
+        # Children that must travel to their consolidator, with stable
+        # indices for tagging: (bid, src, dst, index).
+        moves = []
+        for parent in sorted(coarsen_owner):
+            info = coarsen_owner[parent]
+            for child, owner in sorted(info["child_owners"].items()):
+                if owner != info["rank"]:
+                    moves.append((child, owner, info["rank"]))
+        coarsen_moves = [
+            (bid, src, dst, i) for i, (bid, src, dst) in enumerate(moves)
+        ]
+        return plan, split_owner, coarsen_owner, coarsen_moves
+
+    def _compute_balance_moves(self):
+        structure = self.shared.structure
+        partitioner = PARTITIONERS[self.cfg.lb_method]
+        target = partitioner(structure, self.cfg.num_ranks)
+        moveplan = plan_moves(structure, target)
+        moves = [
+            (bid, src, dst, i)
+            for i, (bid, (src, dst)) in enumerate(sorted(moveplan.moves.items()))
+        ]
+        # Apply the new ownership to the shared structure now; the data
+        # follows through the exchange protocol below.
+        for bid, _src, dst, _i in moves:
+            structure.set_owner(bid, dst)
+        return moves
+
+    # ------------------------------------------------------------------
+    # Block transfer (plain, used for coarsen-child moves)
+    # ------------------------------------------------------------------
+    def transfer_blocks(self, moves, tag_base):
+        """Ship whole blocks between ranks (serial baseline implementation;
+        the data-flow variant overrides this with tasks + TAMPI)."""
+        incoming = [
+            (bid, src, idx) for bid, src, dst, idx in moves if dst == self.rank
+        ]
+        outgoing = [
+            (bid, dst, idx) for bid, src, dst, idx in moves if src == self.rank
+        ]
+        nbytes = self.cfg.block_bytes()
+
+        recv_reqs = []
+        for bid, src, idx in incoming:
+            req = yield from self.comm.irecv(src, tag_base + idx, nbytes)
+            recv_reqs.append((bid, req))
+
+        send_reqs = []
+        for bid, dst, idx in outgoing:
+            block = self.blocks[bid]
+            yield from self.charge(self.copy_cost(nbytes))  # pack
+            payload = block.data if block.is_real else block.surrogate
+            req = yield from self.comm.isend(
+                dst, tag_base + idx, nbytes=nbytes, payload=payload
+            )
+            send_reqs.append((bid, req))
+
+        for bid, req in recv_reqs:
+            yield req.event
+            yield from self.charge(self.copy_cost(nbytes))  # unpack
+            self.blocks[bid] = self._block_from_payload(bid, req.data)
+
+        yield from self.comm.waitall([r for _b, r in send_reqs])
+        for bid, _req in send_reqs:
+            del self.blocks[bid]
+
+    def _block_from_payload(self, bid, payload):
+        if self.cfg.payload == "synthetic":
+            return Block(bid, surrogate=np.asarray(payload, dtype=np.float64))
+        return Block(bid, data=payload)
+
+    # ------------------------------------------------------------------
+    # Load-balance exchange (ACK protocol, Section IV-B)
+    # ------------------------------------------------------------------
+    def exchange_blocks(self, moves):
+        """Multi-round ACK-gated block exchange.
+
+        Receivers acknowledge each pending incoming block (positively while
+        they have capacity); senders ship acknowledged blocks; a global
+        reduction decides whether another round is needed (the paper:
+        "the exchange function may return with blocks pending ... so a
+        subsequent call is required").
+        """
+        cfg = self.cfg
+        pending_in = [
+            (bid, src, idx) for bid, src, dst, idx in moves if dst == self.rank
+        ]
+        pending_out = [
+            (bid, dst, idx) for bid, src, dst, idx in moves if src == self.rank
+        ]
+        nbytes = cfg.block_bytes()
+        rounds = 0
+
+        while True:
+            rounds += 1
+            accepted_in, deferred_in = self._acceptance(pending_in)
+
+            # Control messages: ACKs are plain (non-task) MPI, as in the
+            # paper ("standard blocking MPI operations for control
+            # messages, sequentially issued by the main thread").
+            ack_sends = []
+            for bid, src, idx in pending_in:
+                ok = (bid, src, idx) in accepted_in
+                req = yield from self.comm.isend(
+                    src, _ACK_TAG + idx, nbytes=8, payload=ok
+                )
+                ack_sends.append(req)
+
+            granted_out = []
+            for bid, dst, idx in pending_out:
+                req = yield from self.comm.recv(dst, _ACK_TAG + idx, nbytes=8)
+                if req.data:
+                    granted_out.append((bid, dst, idx))
+            yield from self.comm.waitall(ack_sends)
+
+            # Data movement (variant hook: tasks + TAMPI in the data-flow
+            # port, serial pack/send here).
+            yield from self.exchange_data(granted_out, accepted_in, _DATA_TAG)
+
+            pending_out = [m for m in pending_out if m not in granted_out]
+            pending_in = deferred_in
+            remaining = yield from self.comm.allreduce(
+                len(pending_out) + len(pending_in)
+            )
+            if remaining == 0:
+                break
+        return rounds
+
+    def _acceptance(self, pending_in):
+        """Split pending incoming moves into (accepted, deferred)."""
+        cap = self.cfg.max_blocks_per_rank
+        if cap <= 0:
+            return list(pending_in), []
+        room = max(cap - len(self.blocks), 0)
+        accepted = list(pending_in[:room])
+        deferred = list(pending_in[room:])
+        return accepted, deferred
+
+    def exchange_data(self, granted_out, accepted_in, tag_base):
+        """Ship granted blocks (serial baseline; overridden by TAMPI+OSS)."""
+        moves = [
+            (bid, self.rank, dst, idx) for bid, dst, idx in granted_out
+        ] + [(bid, src, self.rank, idx) for bid, src, idx in accepted_in]
+        yield from self.transfer_blocks(moves, tag_base)
+
+    # ------------------------------------------------------------------
+    # Checksums (Section IV-C)
+    # ------------------------------------------------------------------
+    def checksum(self, stage_index):
+        """Strict checksum: local reduce, join, global reduce, validate."""
+        local = yield from self.checksum_local()
+        yield from self.join_all()
+        yield from self.validate_checksum(local)
+
+    def validate_checksum(self, local_total):
+        total = yield from self.comm.allreduce(
+            local_total, nbytes=local_total.nbytes
+        )
+        drift = validate(
+            self.prev_checksum, total, self.cfg.checksum_tolerance
+        )
+        self.prev_checksum = total
+        if self.rank == 0:
+            self.shared.checksum_log.append((self.env.now, total, drift))
+        return total
+
+    # ------------------------------------------------------------------
+    # Variant hooks
+    # ------------------------------------------------------------------
+    def communicate(self, group):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def stencil(self, group):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def checksum_local(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def refine_data_ops(self, plan, split_owner, coarsen_owner):
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def join_all(self):
+        """Wait for all outstanding local parallel work (no-op when the
+        variant has none)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
+    # Shared payload ops used by the variants' data stages
+    # ------------------------------------------------------------------
+    def do_split(self, bid):
+        """Split one owned block into its 8 children (payload op)."""
+        block = self.blocks.pop(bid)
+        self.blocks.update(split_block(block, self.cfg))
+
+    def do_consolidate(self, parent):
+        """Consolidate 8 owned children into their parent (payload op)."""
+        children = {}
+        for cid in parent.children():
+            children[cid] = self.blocks.pop(cid)
+        self.blocks[parent] = consolidate_blocks(parent, children, self.cfg)
+
+    def apply_stencil(self, bid, vslice):
+        """Functional stencil on one block (real mode; no-op otherwise)."""
+        block = self.blocks[bid]
+        if block.is_real:
+            block.fill_boundary_ghosts(
+                vslice, self.shared.structure.open_faces(bid)
+            )
+            block.apply_stencil_kind(vslice, self.cfg.stencil)
+
+    def my_splits(self, split_owner):
+        return sorted(b for b, r in split_owner.items() if r == self.rank)
+
+    def my_consolidations(self, coarsen_owner):
+        return sorted(
+            p for p, info in coarsen_owner.items()
+            if info["rank"] == self.rank
+        )

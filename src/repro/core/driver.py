@@ -1,0 +1,174 @@
+"""Run one simulated miniAMR execution and collect its metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..amr.balance import max_imbalance
+from ..machine.presets import MachineSpec
+from ..mpi import World
+from ..simx import Environment
+from ..tasking import RankRuntime
+from ..trace import Tracer
+from .app import SharedState
+from .variants.fork_join import ForkJoinProgram
+from .variants.mpi_only import MpiOnlyProgram
+from .variants.tampi_dataflow import TampiDataflowProgram
+
+VARIANTS = {
+    "mpi_only": MpiOnlyProgram,
+    "fork_join": ForkJoinProgram,
+    "tampi_dataflow": TampiDataflowProgram,
+}
+
+
+@dataclass
+class RunResult:
+    """Metrics of one simulated run (the quantities the paper reports)."""
+
+    variant: str
+    num_nodes: int
+    ranks_per_node: int
+    #: Total simulated execution time (seconds).
+    total_time: float
+    #: Simulated time rank 0 spent in refinement phases.
+    refine_time: float
+    #: Total stencil floating-point operations (all ranks).
+    flops: float
+    #: Final number of mesh blocks.
+    num_blocks: int
+    #: max/mean per-rank block count at the end.
+    imbalance: float
+    #: Global checksum log: (time, totals, drift) tuples.
+    checksums: list = field(default_factory=list)
+    #: Simulated-MPI world statistics.
+    comm_stats: object = None
+    #: Aggregated tasking-runtime statistics per rank.
+    runtime_stats: list = field(default_factory=list)
+    #: Tracer (present when tracing was requested).
+    tracer: object = None
+
+    @property
+    def non_refine_time(self) -> float:
+        return self.total_time - self.refine_time
+
+    @property
+    def gflops(self) -> float:
+        """Throughput as the paper computes it: stencil FLOPs / total time."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.flops / self.total_time / 1e9
+
+
+def run_simulation(
+    config,
+    spec: MachineSpec,
+    *,
+    variant="tampi_dataflow",
+    num_nodes=1,
+    ranks_per_node=None,
+    scheduler="locality",
+    delayed_checksum=None,
+    stage_barrier=False,
+    trace=False,
+    cost_overrides=None,
+) -> RunResult:
+    """Simulate one miniAMR execution.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.amr.config.AmrConfig`; its rank grid
+        (npx·npy·npz) must equal ``num_nodes × ranks_per_node``.
+    spec:
+        Machine preset (node hardware + network + cost model).
+    variant:
+        ``"mpi_only"`` (one rank per core), ``"fork_join"``, or
+        ``"tampi_dataflow"``.
+    ranks_per_node:
+        Defaults to all cores for MPI-only and 4 for the hybrids (the
+        paper's chosen configurations).
+    scheduler:
+        Task scheduler for the data-flow variant ("locality" or "fifo").
+    delayed_checksum:
+        Override the data-flow variant's delayed-checksum optimization.
+    stage_barrier:
+        Ablation: force a local join after every stage (removes the
+        cross-stage overlap the data-flow execution model provides).
+    trace:
+        Collect a :class:`~repro.trace.Tracer` (slower; for Figs 1–3).
+    cost_overrides:
+        Optional dict of :class:`~repro.machine.CostSpec` field overrides
+        (for ablations).
+    """
+    if variant not in VARIANTS:
+        raise ValueError(
+            f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}"
+        )
+    if ranks_per_node is None:
+        ranks_per_node = (
+            spec.node.cores_per_node if variant == "mpi_only" else 4
+        )
+    if cost_overrides:
+        spec = MachineSpec(
+            node=spec.node,
+            network=spec.network,
+            cost=spec.cost.with_overrides(**cost_overrides),
+            name=spec.name,
+        )
+
+    machine = spec.machine(num_nodes=num_nodes, ranks_per_node=ranks_per_node)
+    if config.num_ranks != machine.num_ranks:
+        raise ValueError(
+            f"config rank grid {config.npx}x{config.npy}x{config.npz} = "
+            f"{config.num_ranks} ranks, but the machine has "
+            f"{machine.num_ranks} ({num_nodes} nodes x {ranks_per_node})"
+        )
+
+    env = Environment()
+    tracer = Tracer() if trace else None
+    network = spec.network.scaled_to(num_nodes)
+    world = World(env, machine, network, tracer=tracer)
+    shared = SharedState(config, machine, spec, world, tracer=tracer)
+
+    cores_per_rank = 1 if variant == "mpi_only" else machine.cores_per_rank
+    program_cls = VARIANTS[variant]
+    programs = []
+    for rank in range(machine.num_ranks):
+        runtime = RankRuntime(
+            env,
+            rank=rank,
+            num_cores=cores_per_rank,
+            cost_spec=spec.cost,
+            numa=machine.placement(rank).spans_numa,
+            scheduler=scheduler,
+            tracer=tracer,
+        )
+        program = program_cls(shared, rank, world.comm(rank), runtime)
+        if delayed_checksum is not None and hasattr(
+            program, "delayed_checksum"
+        ):
+            program.delayed_checksum = delayed_checksum
+        program.stage_barrier = stage_barrier
+        programs.append(program)
+
+    procs = [
+        env.process(p.run(), name=f"rank{p.rank}") for p in programs
+    ]
+    for proc in procs:
+        env.run(until=proc)
+
+    return RunResult(
+        variant=variant,
+        num_nodes=num_nodes,
+        ranks_per_node=ranks_per_node,
+        total_time=env.now,
+        refine_time=programs[0].refine_seconds,
+        flops=shared.flops,
+        num_blocks=shared.structure.num_blocks(),
+        imbalance=max_imbalance(shared.structure),
+        checksums=list(shared.checksum_log),
+        comm_stats=world.stats,
+        runtime_stats=[p.rt.stats for p in programs],
+        tracer=tracer,
+    )

@@ -1,0 +1,7 @@
+"""The three miniAMR parallelization variants the paper compares."""
+
+from .fork_join import ForkJoinProgram
+from .mpi_only import MpiOnlyProgram
+from .tampi_dataflow import TampiDataflowProgram
+
+__all__ = ["ForkJoinProgram", "MpiOnlyProgram", "TampiDataflowProgram"]

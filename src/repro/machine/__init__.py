@@ -1,0 +1,27 @@
+"""``repro.machine`` — cluster topology, network, and compute cost models.
+
+This package substitutes for the paper's MareNostrum4 testbed: a parametric
+machine description whose ratios (compute vs copy vs message cost, NUMA
+penalty, locality IPC boost, runtime overheads) reproduce the performance
+effects the paper analyzes.
+"""
+
+from .costmodel import STENCIL_FLOPS_PER_CELL, VAR_BYTES, CostSpec
+from .network import NetworkSpec
+from .presets import MachineSpec, laptop, marenostrum4, marenostrum4_scaled
+from .topology import CoreId, Machine, NodeSpec, RankPlacement
+
+__all__ = [
+    "CoreId",
+    "CostSpec",
+    "Machine",
+    "MachineSpec",
+    "NetworkSpec",
+    "NodeSpec",
+    "RankPlacement",
+    "STENCIL_FLOPS_PER_CELL",
+    "VAR_BYTES",
+    "laptop",
+    "marenostrum4",
+    "marenostrum4_scaled",
+]

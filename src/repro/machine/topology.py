@@ -1,0 +1,153 @@
+"""Cluster topology: nodes, sockets (NUMA domains), cores, rank placement.
+
+Models a MareNostrum4-like machine: ``num_nodes`` identical nodes, each with
+``sockets_per_node`` NUMA domains and ``cores_per_node`` cores in total.
+MPI ranks are placed consecutively, filling adjacent cores, matching the
+paper's "consecutive ranks and threads of the same rank in adjacent cores at
+the same NUMA domain" policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one compute node."""
+
+    #: Total cores per node (MareNostrum4: 48).
+    cores_per_node: int = 48
+    #: NUMA domains (sockets) per node (MareNostrum4: 2).
+    sockets_per_node: int = 2
+    #: Core clock in GHz (Xeon Platinum 8160: 2.10).
+    core_ghz: float = 2.10
+    #: Main memory per node in GiB (for feasibility checks only).
+    memory_gib: float = 96.0
+
+    def __post_init__(self):
+        if self.cores_per_node <= 0:
+            raise ValueError("cores_per_node must be positive")
+        if self.sockets_per_node <= 0:
+            raise ValueError("sockets_per_node must be positive")
+        if self.cores_per_node % self.sockets_per_node:
+            raise ValueError(
+                "cores_per_node must be divisible by sockets_per_node"
+            )
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.cores_per_node // self.sockets_per_node
+
+
+@dataclass(frozen=True)
+class CoreId:
+    """Globally unique identifier of a core: (node, index within node)."""
+
+    node: int
+    local: int
+
+    @property
+    def key(self):
+        return (self.node, self.local)
+
+
+@dataclass
+class RankPlacement:
+    """Placement of one MPI rank: its node and the cores it owns."""
+
+    rank: int
+    node: int
+    cores: tuple  # tuple[CoreId, ...]
+    socket_span: int  # how many NUMA domains the rank's cores cross
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def spans_numa(self) -> bool:
+        """True when the rank's threads straddle more than one NUMA domain."""
+        return self.socket_span > 1
+
+
+@dataclass
+class Machine:
+    """A cluster of identical nodes with a deterministic rank placement.
+
+    Parameters
+    ----------
+    node:
+        Per-node hardware description.
+    num_nodes:
+        Number of compute nodes.
+    ranks_per_node:
+        MPI ranks placed on each node.  Cores are divided evenly; ranks are
+        laid out consecutively so a rank's cores are adjacent.
+    """
+
+    node: NodeSpec
+    num_nodes: int
+    ranks_per_node: int
+    placements: list = field(init=False)
+
+    def __post_init__(self):
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.ranks_per_node <= 0:
+            raise ValueError("ranks_per_node must be positive")
+        if self.node.cores_per_node % self.ranks_per_node:
+            raise ValueError(
+                f"{self.node.cores_per_node} cores/node not divisible by "
+                f"{self.ranks_per_node} ranks/node"
+            )
+        self.placements = self._place()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_ranks(self) -> int:
+        return self.num_nodes * self.ranks_per_node
+
+    @property
+    def cores_per_rank(self) -> int:
+        return self.node.cores_per_node // self.ranks_per_node
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores_per_node
+
+    def _place(self):
+        placements = []
+        cps = self.node.cores_per_socket
+        for rank in range(self.num_ranks):
+            node = rank // self.ranks_per_node
+            local0 = (rank % self.ranks_per_node) * self.cores_per_rank
+            cores = tuple(
+                CoreId(node, local0 + i) for i in range(self.cores_per_rank)
+            )
+            first_socket = local0 // cps
+            last_socket = (local0 + self.cores_per_rank - 1) // cps
+            placements.append(
+                RankPlacement(
+                    rank=rank,
+                    node=node,
+                    cores=cores,
+                    socket_span=last_socket - first_socket + 1,
+                )
+            )
+        return placements
+
+    # ------------------------------------------------------------------
+    def placement(self, rank: int) -> RankPlacement:
+        return self.placements[rank]
+
+    def node_of(self, rank: int) -> int:
+        return self.placements[rank].node
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two ranks share a node (intra-node communication)."""
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def ranks_on_node(self, node: int):
+        lo = node * self.ranks_per_node
+        return range(lo, lo + self.ranks_per_node)

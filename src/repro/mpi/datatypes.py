@@ -1,0 +1,68 @@
+"""Constants, reduction operations, and status objects for simulated MPI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Wildcard source for receives.
+ANY_SOURCE = -1
+#: Wildcard tag for receives.
+ANY_TAG = -1
+
+
+class Op:
+    """A reduction operation usable by Reduce/Allreduce.
+
+    Works on scalars, sequences (element-wise), and numpy arrays.
+    """
+
+    def __init__(self, name, scalar_fn, array_fn):
+        self.name = name
+        self._scalar_fn = scalar_fn
+        self._array_fn = array_fn
+
+    def __call__(self, a, b):
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return self._array_fn(np.asarray(a), np.asarray(b))
+        if isinstance(a, (list, tuple)):
+            if len(a) != len(b):
+                raise ValueError("reduced sequences must have equal length")
+            return type(a)(self._scalar_fn(x, y) for x, y in zip(a, b))
+        return self._scalar_fn(a, b)
+
+    def reduce(self, values):
+        """Fold ``values`` (ordered by rank) into a single result."""
+        it = iter(values)
+        acc = next(it)
+        for v in it:
+            acc = self(acc, v)
+        return acc
+
+    def __repr__(self):
+        return f"<Op {self.name}>"
+
+
+SUM = Op("sum", lambda a, b: a + b, np.add)
+MAX = Op("max", lambda a, b: a if a >= b else b, np.maximum)
+MIN = Op("min", lambda a, b: a if a <= b else b, np.minimum)
+PROD = Op("prod", lambda a, b: a * b, np.multiply)
+
+
+@dataclass
+class Status:
+    """Completion information of a receive."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes: int = 0
+
+    def Get_source(self) -> int:
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag
+
+    def Get_count(self) -> int:
+        return self.nbytes

@@ -1,0 +1,38 @@
+"""Request objects for non-blocking simulated-MPI operations."""
+
+from __future__ import annotations
+
+from .datatypes import Status
+
+
+class Request:
+    """Handle to an in-flight non-blocking operation.
+
+    Completion is represented by an underlying simulation event.  For
+    receives, ``data`` carries the delivered payload and ``status`` the
+    envelope.
+    """
+
+    __slots__ = ("event", "kind", "status", "data", "_seq")
+
+    _counter = 0
+
+    def __init__(self, env, kind):
+        self.event = env.event()
+        self.kind = kind  # "send" | "recv"
+        self.status = Status()
+        self.data = None
+        Request._counter += 1
+        self._seq = Request._counter
+
+    @property
+    def completed(self) -> bool:
+        return self.event.triggered
+
+    def _complete(self, data=None):
+        self.data = data
+        self.event.succeed(self)
+
+    def __repr__(self):
+        state = "done" if self.completed else "pending"
+        return f"<Request {self.kind} {state} #{self._seq}>"

@@ -1,0 +1,49 @@
+"""``repro.simx`` — a minimal, deterministic discrete-event simulation kernel.
+
+This package is the foundation of the whole reproduction: the simulated
+cluster, MPI library, tasking runtime, and the miniAMR application itself
+all execute as :class:`Process` generators inside an :class:`Environment`.
+
+Public API::
+
+    env = Environment()
+    def proc(env):
+        yield env.timeout(1.0)
+        return "done"
+    p = env.process(proc(env))
+    env.run()
+"""
+
+from .errors import (
+    EmptySchedule,
+    EventAlreadyTriggered,
+    Interrupt,
+    NotTriggeredError,
+    SimxError,
+    StaleProcessError,
+)
+from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .kernel import NORMAL, URGENT, Environment
+from .process import Process
+from .resources import Gate, Semaphore, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "EventAlreadyTriggered",
+    "Gate",
+    "Interrupt",
+    "NORMAL",
+    "NotTriggeredError",
+    "Process",
+    "Semaphore",
+    "SimxError",
+    "StaleProcessError",
+    "Store",
+    "Timeout",
+    "URGENT",
+]

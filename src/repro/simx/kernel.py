@@ -1,0 +1,137 @@
+"""The discrete-event simulation environment.
+
+The :class:`Environment` owns the virtual clock and the event heap.  It is
+intentionally SimPy-like so the rest of the stack (simulated MPI, the
+tasking runtime, the miniAMR port) reads like ordinary process-oriented
+simulation code, while remaining dependency-free and fully deterministic:
+simultaneous events are processed in (priority, schedule-order).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from .errors import EmptySchedule
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+#: Priority for urgent events (process initialization, interrupts).
+URGENT = 0
+#: Default priority for ordinary events.
+NORMAL = 1
+
+
+class Environment:
+    """A deterministic discrete-event simulation environment."""
+
+    def __init__(self, initial_time=0.0):
+        self._now = float(initial_time)
+        self._queue = []  # heap of (time, priority, seq, event)
+        self._seq = 0
+        self._active_proc = None
+
+    # ------------------------------------------------------------------
+    # Clock & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self):
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    def _schedule_event(self, event, delay=0.0, priority=NORMAL):
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self):
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator, name=None):
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events):
+        """Event that triggers when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """Event that triggers when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self):
+        """Process the single next event.
+
+        Raises :class:`EmptySchedule` when no events remain.  Re-raises the
+        exception of any failed event whose failure no process handled.
+        """
+        try:
+            when, _prio, _seq, event = heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+
+        self._now = when
+        event._process_callbacks()
+
+        if not event._ok and not event.defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until=None):
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until that simulated time), or an :class:`Event` (run until it
+        triggers, returning its value).
+        """
+        if until is None:
+            stop_time, stop_event = None, None
+        elif isinstance(until, Event):
+            stop_time, stop_event = None, until
+            if until.processed:
+                if not until._ok:
+                    raise until._value
+                return until._value
+        else:
+            stop_time, stop_event = float(until), None
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until ({stop_time}) is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_time is not None and self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if not stop_event._ok:
+                    stop_event.defused = True
+                    raise stop_event._value
+                return stop_event._value
+
+        if stop_event is not None:
+            raise RuntimeError(
+                f"simulation ended before {stop_event!r} triggered"
+            )
+        if stop_time is not None:
+            self._now = stop_time
+        return None

@@ -1,0 +1,128 @@
+"""Process-synchronization resources built on the event kernel.
+
+Only the pieces the upper layers need: a FIFO :class:`Store` (used for
+worker ready-queues and mailboxes), a counting :class:`Semaphore`, and a
+reusable :class:`Gate` (a resettable broadcast event).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .events import Event
+
+
+class Store:
+    """An unbounded FIFO channel between processes.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the next
+    item; pending getters are served in FIFO order.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._items = deque()
+        self._getters = deque()
+
+    def __len__(self):
+        return len(self._items)
+
+    @property
+    def items(self):
+        """A snapshot tuple of queued items (for introspection/tests)."""
+        return tuple(self._items)
+
+    def put(self, item):
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self):
+        """Return an event that fires with the next available item."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def get_nowait(self, default=None):
+        """Pop an item immediately, or return ``default`` if empty."""
+        if self._items:
+            return self._items.popleft()
+        return default
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup order."""
+
+    def __init__(self, env, value=1):
+        if value < 0:
+            raise ValueError("semaphore value must be >= 0")
+        self.env = env
+        self._value = value
+        self._waiters = deque()
+
+    @property
+    def value(self):
+        return self._value
+
+    def acquire(self):
+        """Return an event that fires once a unit has been acquired."""
+        event = Event(self.env)
+        if self._value > 0:
+            self._value -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self):
+        """Release one unit, waking the oldest waiter if any."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+                return
+        self._value += 1
+
+
+class Gate:
+    """A resettable broadcast event.
+
+    Processes wait on :meth:`wait`; :meth:`open` wakes all current waiters.
+    After :meth:`reset` the gate can be waited on and opened again.
+    """
+
+    def __init__(self, env):
+        self.env = env
+        self._event = Event(env)
+        self._open = False
+
+    @property
+    def is_open(self):
+        return self._open
+
+    def wait(self):
+        """Return an event that fires when the gate opens."""
+        if self._open:
+            ev = Event(self.env)
+            ev.succeed()
+            return ev
+        return self._event
+
+    def open(self, value=None):
+        """Open the gate, waking every waiter."""
+        if not self._open:
+            self._open = True
+            self._event.succeed(value)
+
+    def reset(self):
+        """Close the gate again so it can be reused."""
+        if self._open:
+            self._open = False
+            self._event = Event(self.env)

@@ -1,0 +1,98 @@
+"""Data-dependency tracking for tasks.
+
+Implements the standard last-writer/readers algorithm used by OmpSs-2 and
+OpenMP ``depend`` clauses, over two kinds of handles:
+
+* arbitrary hashables (whole-object dependencies, e.g. a mesh block's
+  variable-group key) — the common case;
+* :class:`~repro.tasking.regions.Region` byte ranges, resolved through a
+  :class:`~repro.tasking.regions.RegionSpace` so accesses conflict exactly
+  when they overlap.
+
+Registration happens in task-creation order (program order), exactly as a
+sequential thread creating tasks would register them.
+"""
+
+from __future__ import annotations
+
+from .regions import Region, RegionSpace
+from .task import AccessMode, Task
+
+
+class _HandleState:
+    """Dependency history of one handle (or region segment)."""
+
+    __slots__ = ("last_writer", "readers", "commuters")
+
+    def __init__(self):
+        self.last_writer = None
+        self.readers = []
+        self.commuters = []
+
+
+class DependencyTracker:
+    """Computes predecessor sets and wires successor edges."""
+
+    def __init__(self):
+        self._scalar = {}
+        self._region_spaces = {}
+
+    # ------------------------------------------------------------------
+    def _states_for(self, handle):
+        if isinstance(handle, Region):
+            space = self._region_spaces.get(handle.base)
+            if space is None:
+                space = self._region_spaces[handle.base] = RegionSpace()
+            return space.segments_for(handle.start, handle.stop, _HandleState)
+        state = self._scalar.get(handle)
+        if state is None:
+            state = self._scalar[handle] = _HandleState()
+        return [state]
+
+    # ------------------------------------------------------------------
+    def register(self, task: Task) -> int:
+        """Register ``task``'s accesses; returns its predecessor count.
+
+        Side effects: wires ``pred.successors`` edges and sets
+        ``task.npred``.
+        """
+        preds = set()
+        for mode, handle in task.accesses:
+            for state in self._states_for(handle):
+                if mode is AccessMode.IN:
+                    writer = state.last_writer
+                    if writer is not None and not writer.completed:
+                        preds.add(writer)
+                    for c in state.commuters:
+                        if not c.completed:
+                            preds.add(c)
+                    state.readers.append(task)
+                elif mode is AccessMode.COMMUTATIVE:
+                    # Ordered against writers and earlier readers, but NOT
+                    # against the other members of the commutative group —
+                    # those are mutually excluded by the runtime lock.
+                    writer = state.last_writer
+                    if writer is not None and not writer.completed:
+                        preds.add(writer)
+                    for reader in state.readers:
+                        if not reader.completed:
+                            preds.add(reader)
+                    state.commuters.append(task)
+                else:  # OUT and INOUT are both treated as writes
+                    writer = state.last_writer
+                    if writer is not None and not writer.completed:
+                        preds.add(writer)
+                    for reader in state.readers:
+                        if not reader.completed:
+                            preds.add(reader)
+                    for c in state.commuters:
+                        if not c.completed:
+                            preds.add(c)
+                    state.last_writer = task
+                    state.readers = []
+                    state.commuters = []
+        preds.discard(task)
+        for pred in preds:
+            pred.successors.append(task)
+        task.npred = len(preds)
+        return task.npred

@@ -1,0 +1,131 @@
+"""Byte-range region handles with OmpSs-2-style overlap semantics.
+
+A :class:`Region` names a half-open range ``[start, stop)`` of some base
+object (identified by any hashable).  The :class:`RegionSpace` used by the
+dependency tracker fragments each base into disjoint segments on demand, so
+two accesses conflict exactly when their ranges overlap — the feature the
+paper highlights as OmpSs-2's "region dependencies" (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Region:
+    """A half-open byte range ``[start, stop)`` of a base object."""
+
+    base: object
+    start: int
+    stop: int
+
+    def __post_init__(self):
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(f"invalid region [{self.start}, {self.stop})")
+
+    def overlaps(self, other: "Region") -> bool:
+        """Whether two regions share at least one byte of the same base."""
+        return (
+            self.base == other.base
+            and self.start < other.stop
+            and other.start < self.stop
+        )
+
+    def __repr__(self):
+        return f"Region({self.base!r}, {self.start}, {self.stop})"
+
+
+class _Segment:
+    """One disjoint fragment of a base, carrying dependency state."""
+
+    __slots__ = ("start", "stop", "state")
+
+    def __init__(self, start, stop, state=None):
+        self.start = start
+        self.stop = stop
+        self.state = state
+
+    def split(self, at):
+        """Split at offset ``at`` (strictly inside); returns the right part.
+
+        The right part *shares* the dependency state object with the left so
+        both fragments keep the same history.
+        """
+        if not self.start < at < self.stop:
+            raise ValueError(f"split point {at} outside ({self.start}, {self.stop})")
+        right = _Segment(at, self.stop, self.state)
+        self.stop = at
+        return right
+
+
+class RegionSpace:
+    """Disjoint-segment index for all region accesses of one base object.
+
+    ``segments_for(start, stop, make_state)`` returns the state objects of
+    every segment overlapping the range, fragmenting segments at the range
+    boundaries and materializing fresh segments (with ``make_state()``) for
+    uncovered gaps.
+    """
+
+    def __init__(self):
+        self._starts = []  # sorted segment start offsets
+        self._segments = []  # parallel list of _Segment
+
+    def __len__(self):
+        return len(self._segments)
+
+    def _insert(self, index, segment):
+        self._starts.insert(index, segment.start)
+        self._segments.insert(index, segment)
+
+    def segments_for(self, start, stop, make_state):
+        """Return dependency-state objects covering ``[start, stop)``."""
+        if stop <= start:
+            raise ValueError("empty range")
+        states = []
+        # First segment that could overlap: the one whose start precedes
+        # `start`, plus everything after until `stop`.
+        i = bisect_right(self._starts, start) - 1
+        if i >= 0:
+            seg = self._segments[i]
+            if seg.stop > start:
+                if seg.start < start:
+                    right = seg.split(start)
+                    self._insert(i + 1, right)
+                    i += 1
+            else:
+                i += 1
+        else:
+            i = 0
+
+        cursor = start
+        while cursor < stop:
+            if i < len(self._segments):
+                seg = self._segments[i]
+            else:
+                seg = None
+            if seg is None or seg.start >= stop:
+                # Gap until `stop`: one fresh segment covers it.
+                fresh = _Segment(cursor, stop, make_state())
+                self._insert(i, fresh)
+                states.append(fresh.state)
+                cursor = stop
+                break
+            if seg.start > cursor:
+                # Gap before the next existing segment.
+                fresh = _Segment(cursor, seg.start, make_state())
+                self._insert(i, fresh)
+                states.append(fresh.state)
+                cursor = seg.start
+                i += 1
+                continue
+            # seg.start == cursor here by construction.
+            if seg.stop > stop:
+                right = seg.split(stop)
+                self._insert(i + 1, right)
+            states.append(seg.state)
+            cursor = seg.stop
+            i += 1
+        return states

@@ -1,0 +1,412 @@
+"""The per-rank tasking runtime (OmpSs-2 / Nanos6-like).
+
+One :class:`RankRuntime` manages the cores of one MPI rank:
+
+* the **main thread** (the rank's program coroutine) conceptually occupies
+  core 0; it creates tasks with :meth:`spawn` and joins them with
+  :meth:`taskwait` — during which it executes ready tasks inline, exactly
+  like an OmpSs-2 implicit task;
+* cores 1..N-1 run **worker** processes that pull ready tasks;
+* released successors are pushed to the *front* of the completing core's
+  queue under the default ``"locality"`` scheduler (Nanos6's
+  immediate-successor policy, which the paper credits for the IPC gain);
+  the ``"fifo"`` scheduler ablates this;
+* tasks may bind simulated-MPI requests (via :mod:`repro.tampi`); their
+  dependencies are released only when the body finished *and* every bound
+  request completed.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..machine.costmodel import CostSpec, NoiseModel
+from .deps import DependencyTracker
+from .task import Task, TaskState, normalize_accesses
+
+SCHEDULERS = ("locality", "fifo")
+
+
+@dataclass
+class RuntimeStats:
+    """Counters exposed for analysis and tests."""
+
+    tasks_spawned: int = 0
+    tasks_executed: int = 0
+    locality_hits: int = 0
+    steals: int = 0
+    taskwaits: int = 0
+    per_phase_time: dict = field(default_factory=dict)
+    hits_by_phase: dict = field(default_factory=dict)
+    tasks_by_phase: dict = field(default_factory=dict)
+
+
+class TaskContext:
+    """Execution context handed to generator task bodies."""
+
+    __slots__ = ("runtime", "task", "core")
+
+    def __init__(self, runtime, task, core):
+        self.runtime = runtime
+        self.task = task
+        self.core = core
+
+    @property
+    def env(self):
+        return self.runtime.env
+
+
+class RankRuntime:
+    """Task scheduler and worker pool for one rank."""
+
+    def __init__(
+        self,
+        env,
+        *,
+        rank=0,
+        num_cores=1,
+        cost_spec=None,
+        numa=False,
+        scheduler="locality",
+        tracer=None,
+    ):
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        self.env = env
+        self.rank = rank
+        self.num_cores = num_cores
+        self.cost_spec = cost_spec or CostSpec()
+        #: Whether this rank's threads span NUMA domains (cost penalty is
+        #: applied by the application when computing task costs).
+        self.numa = numa
+        self.scheduler = scheduler
+        self.tracer = tracer
+        self.stats = RuntimeStats()
+        #: Deterministic per-rank system-noise source (shared with the
+        #: rank's main thread for its inline charges).
+        self.noise = NoiseModel(self.cost_spec, rank)
+
+        self.tracker = DependencyTracker()
+        #: handle -> [holder Task or None, deque of parked tasks]
+        self._comm_locks = {}
+        self._ready = [deque() for _ in range(num_cores)]
+        self._waiters = deque()  # entries [core, event]
+        self._drain_events = []
+        self._last_affinity = [None] * num_cores
+        self._outstanding = 0
+        self._rr = 0
+
+        for core in range(1, num_cores):
+            env.process(self._worker(core), name=f"r{rank}-worker{core}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Number of spawned-but-not-completed (non-sync) tasks."""
+        return self._outstanding
+
+    # ------------------------------------------------------------------
+    # Task creation (generator: ``task = yield from rt.spawn(...)``)
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        label,
+        cost=0.0,
+        body=None,
+        ins=(),
+        outs=(),
+        inouts=(),
+        commutatives=(),
+        affinity=None,
+        locality_factor=1.0,
+        phase=None,
+    ):
+        """Create a task; charges spawn overhead to the calling thread."""
+        overhead = self.cost_spec.task_spawn_overhead
+        if overhead > 0:
+            yield self.env.timeout(overhead)
+        task = Task(
+            self.env,
+            label,
+            cost=cost,
+            body=body,
+            accesses=normalize_accesses(ins, outs, inouts, commutatives),
+            affinity=affinity,
+            locality_factor=locality_factor,
+            phase=phase,
+        )
+        self._register(task)
+        return task
+
+    def _register(self, task):
+        self.stats.tasks_spawned += 1
+        if not task.is_sync:
+            self._outstanding += 1
+        self.tracker.register(task)
+        if task.npred == 0:
+            self._make_ready(task, preferred=None)
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def taskwait(self):
+        """Wait until every spawned task completed (helping execute)."""
+        self.stats.taskwaits += 1
+        while self._outstanding > 0:
+            task = self._pop_task_for(0)
+            if task is not None:
+                yield from self._execute(task, 0)
+                continue
+            event = self.env.event()
+            entry = [0, event]
+            self._waiters.append(entry)
+            self._drain_events.append(event)
+            got = yield event
+            if entry in self._waiters:
+                self._waiters.remove(entry)
+            if event in self._drain_events:
+                self._drain_events.remove(event)
+            if isinstance(got, Task):
+                yield from self._execute(got, 0)
+
+    def taskwait_with_deps(self, ins=(), outs=(), inouts=()):
+        """OmpSs-2 ``taskwait`` with dependencies.
+
+        Blocks only until the tasks that produce the named data completed —
+        *not* until all outstanding tasks do.  This is the feature behind
+        the paper's delayed-checksum optimization (Section IV-C).
+        """
+        task = Task(
+            self.env,
+            "taskwait-deps",
+            accesses=normalize_accesses(ins, outs, inouts),
+        )
+        task.is_sync = True
+        self._register(task)
+        # Like a blocked Nanos6 thread, the caller's core keeps executing
+        # ready tasks while the marker is pending (the resume may therefore
+        # lag the dependency satisfaction by up to one task length).  When
+        # no task is ready the thread registers as an idle worker so that
+        # newly released tasks wake it — otherwise core 0 would sit idle
+        # for the whole wait.
+        while not task.completed:
+            ready = self._pop_task_for(0)
+            if ready is not None:
+                yield from self._execute(ready, 0)
+                continue
+            event = self.env.event()
+            entry = [0, event]
+            self._waiters.append(entry)
+            task.done_event.callbacks.append(
+                lambda _ev, e=event: None if e.triggered else e.succeed(None)
+            )
+            got = yield event
+            if entry in self._waiters:
+                self._waiters.remove(entry)
+            if isinstance(got, Task):
+                yield from self._execute(got, 0)
+        return task
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+    def _make_ready(self, task, preferred, front=False):
+        if task.is_sync:
+            self._complete(task, core=preferred)
+            return
+        if task.commutative_handles and not self._acquire_commutative(task):
+            return  # parked; re-released when the lock holder completes
+        task.state = TaskState.READY
+        waiter = self._pick_waiter(preferred)
+        if waiter is not None:
+            waiter[1].succeed(task)
+            return
+        if preferred is None:
+            core = self._rr
+            self._rr = (self._rr + 1) % self.num_cores
+        else:
+            core = preferred
+        if front:
+            self._ready[core].appendleft(task)
+        else:
+            self._ready[core].append(task)
+
+    def _lock_entry(self, handle):
+        entry = self._comm_locks.get(handle)
+        if entry is None:
+            entry = self._comm_locks[handle] = [None, deque()]
+        return entry
+
+    def _acquire_commutative(self, task) -> bool:
+        """All-or-nothing acquisition of the task's commutative locks.
+
+        On failure the task parks on the first busy lock; it is retried
+        when that lock's holder completes.  All-or-nothing acquisition
+        (with no partial holds) cannot deadlock.
+        """
+        entries = [self._lock_entry(h) for h in task.commutative_handles]
+        for entry in entries:
+            if entry[0] is not None and entry[0] is not task:
+                entry[1].append(task)
+                return False
+        for entry in entries:
+            entry[0] = task
+        return True
+
+    def _release_commutative(self, task, core):
+        retry = []
+        for handle in task.commutative_handles:
+            entry = self._comm_locks[handle]
+            if entry[0] is task:
+                entry[0] = None
+            while entry[1]:
+                waiting = entry[1].popleft()
+                # Only retry tasks still parked (CREATED); anything else
+                # already acquired its locks through another release.
+                if waiting.state is TaskState.CREATED:
+                    retry.append(waiting)
+                    break
+        for waiting in retry:
+            self._make_ready(waiting, preferred=core, front=False)
+
+    def _pick_waiter(self, preferred):
+        """Pop an idle-worker entry, preferring one on ``preferred``."""
+        chosen = None
+        for entry in self._waiters:
+            if entry[1].triggered:
+                continue
+            if chosen is None:
+                chosen = entry
+            if preferred is not None and entry[0] == preferred:
+                chosen = entry
+                break
+        if chosen is not None:
+            self._waiters.remove(chosen)
+        return chosen
+
+    def _pop_task_for(self, core):
+        dq = self._ready[core]
+        if dq:
+            return dq.popleft()
+        for i in range(1, self.num_cores):
+            victim = (core + i) % self.num_cores
+            if self._ready[victim]:
+                self.stats.steals += 1
+                return self._ready[victim].pop()
+        return None
+
+    def _worker(self, core):
+        env = self.env
+        while True:
+            task = self._pop_task_for(core)
+            if task is None:
+                event = env.event()
+                self._waiters.append(event_entry := [core, event])
+                task = yield event
+                if event_entry in self._waiters:  # pragma: no cover
+                    self._waiters.remove(event_entry)
+            if task is not None:
+                yield from self._execute(task, core)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(self, task, core):
+        env = self.env
+        task.state = TaskState.RUNNING
+        t0 = env.now
+
+        locality = (
+            task.affinity is not None
+            and self._last_affinity[core] == task.affinity
+        )
+        cost = task.cost
+        stats = self.stats
+        stats.tasks_by_phase[task.phase] = (
+            stats.tasks_by_phase.get(task.phase, 0) + 1
+        )
+        if locality:
+            stats.locality_hits += 1
+            stats.hits_by_phase[task.phase] = (
+                stats.hits_by_phase.get(task.phase, 0) + 1
+            )
+            cost = cost / task.locality_factor
+        total = self.noise.stretch(
+            cost + self.cost_spec.task_dispatch_overhead
+        )
+        if total > 0:
+            yield env.timeout(total)
+
+        if task.body is not None:
+            if inspect.isgeneratorfunction(task.body):
+                yield from task.body(TaskContext(self, task, core))
+            else:
+                task.body()
+
+        self._last_affinity[core] = task.affinity
+        self.stats.tasks_executed += 1
+        t1 = env.now
+        phase_times = self.stats.per_phase_time
+        phase_times[task.phase] = phase_times.get(task.phase, 0.0) + (t1 - t0)
+        if self.tracer is not None:
+            self.tracer.task_event(
+                self.rank, core, task.label, task.phase, t0, t1
+            )
+
+        task.state = TaskState.EXECUTED
+        if task.pending_requests == 0:
+            self._complete(task, core)
+
+    # ------------------------------------------------------------------
+    # Completion & TAMPI integration
+    # ------------------------------------------------------------------
+    def bind_request(self, task, request):
+        """Defer ``task``'s completion until ``request`` completes."""
+        if task.completed:
+            raise ValueError("cannot bind a request to a completed task")
+        task.pending_requests += 1
+        request.event.callbacks.append(
+            lambda _ev, t=task: self._request_done(t)
+        )
+
+    def _request_done(self, task):
+        task.pending_requests -= 1
+        if task.pending_requests == 0 and task.state is TaskState.EXECUTED:
+            self._complete(task, core=None)
+
+    def _complete(self, task, core):
+        task.state = TaskState.COMPLETED
+        if not task.is_sync:
+            self._outstanding -= 1
+        if task.commutative_handles:
+            self._release_commutative(task, core)
+
+        released = []
+        for succ in task.successors:
+            succ.npred -= 1
+            if succ.npred == 0 and succ.state is TaskState.CREATED:
+                released.append(succ)
+
+        if self.scheduler == "locality" and core is not None:
+            # Immediate-successor policy: released tasks stay on the
+            # completing core, in release order (depth-first execution
+            # that reuses the block still in cache; idle cores steal).
+            for succ in reversed(released):
+                self._make_ready(succ, preferred=core, front=True)
+        else:
+            for succ in released:
+                self._make_ready(succ, preferred=None)
+
+        task.done_event.succeed(task)
+
+        if self._outstanding == 0 and self._drain_events:
+            events, self._drain_events = self._drain_events, []
+            for event in events:
+                if not event.triggered:
+                    event.succeed(None)

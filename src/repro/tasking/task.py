@@ -1,0 +1,129 @@
+"""Task objects for the OmpSs-2-like tasking runtime."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class AccessMode(Enum):
+    """Dependency access modes (OmpSs-2 / OpenMP ``depend`` clauses)."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+    #: OmpSs-2 ``commutative``: accesses may run in any order but not
+    #: concurrently (mutual exclusion arbitrated at runtime).
+    COMMUTATIVE = "commutative"
+
+
+class TaskState(Enum):
+    CREATED = "created"  # registered, waiting on predecessors
+    READY = "ready"  # all predecessors satisfied, queued
+    RUNNING = "running"  # body executing on a core
+    EXECUTED = "executed"  # body done, waiting on bound MPI requests
+    COMPLETED = "completed"  # dependencies released
+
+
+class Task:
+    """One schedulable unit of work.
+
+    Parameters
+    ----------
+    label:
+        Human-readable name (also the trace event name).
+    cost:
+        Base simulated CPU seconds of the task body.
+    body:
+        Optional functional payload.  Either a plain callable (runs
+        atomically) or a generator *factory* ``body(ctx)`` that may yield
+        simulation events (used by communication tasks calling TAMPI).
+    accesses:
+        Sequence of ``(AccessMode, handle)`` pairs declaring the data the
+        task touches.  Handles are arbitrary hashables or
+        :class:`~repro.tasking.regions.Region` byte ranges.
+    affinity:
+        Cache-locality key; when a core runs two consecutive tasks with the
+        same affinity the second enjoys the model's IPC boost.
+    locality_factor:
+        Speedup divisor applied on an affinity hit (≥ 1.0).
+    phase:
+        Phase tag for tracing/analysis (e.g. ``"stencil"``).
+    """
+
+    __slots__ = (
+        "tid",
+        "label",
+        "cost",
+        "body",
+        "accesses",
+        "affinity",
+        "locality_factor",
+        "phase",
+        "state",
+        "npred",
+        "successors",
+        "pending_requests",
+        "done_event",
+        "is_sync",
+        "commutative_handles",
+    )
+
+    _counter = 0
+
+    def __init__(
+        self,
+        env,
+        label,
+        cost=0.0,
+        body=None,
+        accesses=(),
+        affinity=None,
+        locality_factor=1.0,
+        phase=None,
+    ):
+        if cost < 0:
+            raise ValueError("task cost must be >= 0")
+        if locality_factor < 1.0:
+            raise ValueError("locality_factor must be >= 1.0")
+        Task._counter += 1
+        self.tid = Task._counter
+        self.label = label
+        self.cost = cost
+        self.body = body
+        self.accesses = tuple(accesses)
+        self.affinity = affinity
+        self.locality_factor = locality_factor
+        self.phase = phase or label
+        self.state = TaskState.CREATED
+        self.npred = 0
+        self.successors = []
+        self.pending_requests = 0
+        self.done_event = env.event()
+        #: True for the zero-cost marker tasks used by taskwait-with-deps.
+        self.is_sync = False
+        #: Handles this task accesses commutatively (runtime mutual
+        #: exclusion; populated from ``accesses``).
+        self.commutative_handles = tuple(
+            h for mode, h in self.accesses if mode is AccessMode.COMMUTATIVE
+        )
+
+    @property
+    def completed(self) -> bool:
+        return self.state is TaskState.COMPLETED
+
+    def __repr__(self):
+        return f"<Task #{self.tid} {self.label!r} {self.state.value}>"
+
+
+def normalize_accesses(ins=(), outs=(), inouts=(), commutatives=()):
+    """Build an access list from in/out/inout/commutative iterables."""
+    accesses = []
+    for handle in ins:
+        accesses.append((AccessMode.IN, handle))
+    for handle in outs:
+        accesses.append((AccessMode.OUT, handle))
+    for handle in inouts:
+        accesses.append((AccessMode.INOUT, handle))
+    for handle in commutatives:
+        accesses.append((AccessMode.COMMUTATIVE, handle))
+    return accesses

@@ -1,0 +1,105 @@
+"""Trace event model and the tracer (Extrae-like event collection)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced interval on a rank (and optionally a core)."""
+
+    rank: int
+    core: int  # -1 = the rank's main thread
+    kind: str  # "task" | "mpi" | "phase"
+    name: str
+    phase: str
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class Tracer:
+    """Collects task/MPI/phase events during a simulated run.
+
+    Mirrors what Extrae gives the paper's authors: per-thread timelines of
+    task executions and MPI calls, which Paraver then renders (Figs 1–3).
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self.events = []
+        self._phase_stack = {}
+
+    # ------------------------------------------------------------------
+    def task_event(self, rank, core, label, phase, t0, t1):
+        """Called by the tasking runtime for every executed task."""
+        if self.enabled:
+            self.events.append(
+                TraceEvent(rank, core, "task", label, phase, t0, t1)
+            )
+
+    def mpi_event(self, rank, name, t0, t1, **_meta):
+        """Called by the simulated MPI for every call interval."""
+        if self.enabled:
+            self.events.append(
+                TraceEvent(rank, -1, "mpi", name, "mpi", t0, t1)
+            )
+
+    def phase_begin(self, rank, phase, now):
+        if self.enabled:
+            self._phase_stack[(rank, phase)] = now
+
+    def phase_end(self, rank, phase, now):
+        if not self.enabled:
+            return
+        t0 = self._phase_stack.pop((rank, phase), None)
+        if t0 is not None:
+            self.events.append(
+                TraceEvent(rank, -1, "phase", phase, phase, t0, now)
+            )
+
+    # ------------------------------------------------------------------
+    def by_kind(self, kind):
+        return [e for e in self.events if e.kind == kind]
+
+    def for_rank(self, rank):
+        return [e for e in self.events if e.rank == rank]
+
+    def phases(self, phase):
+        return [e for e in self.events if e.kind == "phase" and e.name == phase]
+
+    def to_records(self):
+        """Events as plain dicts (for DataFrame-style analysis or JSON)."""
+        return [
+            {
+                "rank": e.rank,
+                "core": e.core,
+                "kind": e.kind,
+                "name": e.name,
+                "phase": e.phase,
+                "t0": e.t0,
+                "t1": e.t1,
+                "duration": e.duration,
+            }
+            for e in self.events
+        ]
+
+    def summarize(self) -> str:
+        """One-paragraph text summary of the trace contents."""
+        if not self.events:
+            return "empty trace"
+        kinds = {}
+        for e in self.events:
+            kinds[e.kind] = kinds.get(e.kind, 0) + 1
+        t0 = min(e.t0 for e in self.events)
+        t1 = max(e.t1 for e in self.events)
+        ranks = len({e.rank for e in self.events})
+        parts = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+        return (
+            f"{len(self.events)} events ({parts}) across {ranks} ranks, "
+            f"window [{t0:.6f}, {t1:.6f}] s"
+        )

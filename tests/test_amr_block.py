@@ -1,0 +1,243 @@
+"""Tests for block payloads: stencil, faces, split/consolidate, checksum."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr import AmrConfig, BlockId
+from repro.amr.block import (
+    Block,
+    consolidate_blocks,
+    prolong_plane,
+    restrict_plane,
+    split_block,
+)
+from repro.amr.ids import FACES, HI, LO
+
+
+def small_config(payload="real", nx=4, num_vars=3):
+    return AmrConfig(
+        npx=1, npy=1, npz=1, init_x=2, init_y=2, init_z=2,
+        nx=nx, ny=nx, nz=nx, num_vars=num_vars, payload=payload,
+    )
+
+
+def make_block(cfg, level=0, coords=(0, 0, 0)):
+    return Block.initial(BlockId(level, *coords), cfg)
+
+
+ALL_VARS = slice(0, 3)
+
+
+# ----------------------------------------------------------------------
+# Initialization & checksum
+# ----------------------------------------------------------------------
+def test_initial_real_block_shape():
+    cfg = small_config()
+    b = make_block(cfg)
+    assert b.is_real
+    assert b.data.shape == (3, 6, 6, 6)
+    # Ghosts start at zero.
+    assert b.data[:, 0, :, :].sum() == 0.0
+
+
+def test_initial_synthetic_block_has_surrogate():
+    cfg = small_config(payload="synthetic")
+    b = make_block(cfg)
+    assert not b.is_real
+    assert b.surrogate.shape == (3,)
+
+
+def test_checksum_matches_interior_sum():
+    cfg = small_config()
+    b = make_block(cfg)
+    expected = b.data[:, 1:-1, 1:-1, 1:-1].sum(axis=(1, 2, 3))
+    assert np.allclose(b.checksum(ALL_VARS), expected)
+
+
+def test_synthetic_checksum_equals_real_checksum_initially():
+    """The surrogate is constructed to match the real interior sums."""
+    real = make_block(small_config("real"))
+    synth = make_block(small_config("synthetic"))
+    assert np.allclose(real.checksum(ALL_VARS), synth.checksum(ALL_VARS))
+
+
+# ----------------------------------------------------------------------
+# Stencil
+# ----------------------------------------------------------------------
+def test_stencil_uniform_field_is_fixed_point():
+    cfg = small_config()
+    b = make_block(cfg)
+    b.data[:, 1:-1, 1:-1, 1:-1] = 5.0
+    b.fill_boundary_ghosts(ALL_VARS, FACES)  # all faces open
+    b.stencil7(ALL_VARS)
+    assert np.allclose(b.data[:, 1:-1, 1:-1, 1:-1], 5.0)
+
+
+def test_stencil_averages_neighbors():
+    cfg = small_config(num_vars=1)
+    b = make_block(cfg)
+    vs = slice(0, 1)
+    b.data[...] = 0.0
+    # Put a spike in the center; after one stencil it spreads by 1/7.
+    b.data[0, 3, 3, 3] = 7.0
+    b.stencil7(vs)
+    assert b.data[0, 3, 3, 3] == pytest.approx(1.0)
+    assert b.data[0, 2, 3, 3] == pytest.approx(1.0)
+    assert b.data[0, 2, 2, 3] == pytest.approx(0.0)
+
+
+def test_stencil_noop_on_synthetic():
+    cfg = small_config(payload="synthetic")
+    b = make_block(cfg)
+    before = b.surrogate.copy()
+    b.stencil7(ALL_VARS)
+    assert np.array_equal(b.surrogate, before)
+
+
+def test_boundary_ghost_reflection():
+    cfg = small_config(num_vars=1)
+    b = make_block(cfg)
+    vs = slice(0, 1)
+    b.data[0, 1, :, :] = 9.0
+    b.fill_boundary_ghosts(vs, [(0, LO)])
+    assert np.all(b.data[0, 0, :, :] == 9.0)
+
+
+# ----------------------------------------------------------------------
+# Faces
+# ----------------------------------------------------------------------
+def test_extract_insert_face_roundtrip():
+    cfg = small_config(num_vars=2)
+    vs = slice(0, 2)
+    src = make_block(cfg)
+    dst = make_block(cfg, coords=(1, 0, 0))
+    plane = src.extract_face(0, HI, vs)
+    assert plane.shape == (2, 4, 4)
+    dst.insert_ghost(0, LO, vs, plane)
+    assert np.allclose(dst.data[vs, 0, 1:-1, 1:-1], plane)
+
+
+def test_extract_face_sides_differ():
+    cfg = small_config(num_vars=1)
+    b = make_block(cfg)
+    vs = slice(0, 1)
+    b.data[0, 1, 1:-1, 1:-1] = 1.0
+    b.data[0, -2, 1:-1, 1:-1] = 2.0
+    assert np.all(b.extract_face(0, LO, vs) == 1.0)
+    assert np.all(b.extract_face(0, HI, vs) == 2.0)
+
+
+def test_restrict_plane_averages_2x2():
+    plane = np.arange(16, dtype=float).reshape(1, 4, 4)
+    r = restrict_plane(plane)
+    assert r.shape == (1, 2, 2)
+    assert r[0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+
+def test_prolong_plane_replicates():
+    quarter = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+    p = prolong_plane(quarter)
+    assert p.shape == (1, 4, 4)
+    assert p[0, 0, 0] == p[0, 1, 1] == 1.0
+    assert p[0, 2, 3] == 4.0
+
+
+def test_restrict_then_prolong_preserves_mean():
+    rng = np.random.default_rng(42)
+    plane = rng.random((3, 8, 8))
+    rp = prolong_plane(restrict_plane(plane))
+    assert rp.mean() == pytest.approx(plane.mean())
+
+
+def test_face_quadrant_insert():
+    cfg = small_config(num_vars=1)
+    vs = slice(0, 1)
+    b = make_block(cfg)
+    quarter = np.full((1, 2, 2), 3.5)
+    b.insert_ghost_quadrant(0, LO, vs, (1, 0), quarter)
+    ghost = b.data[vs, 0, 1:-1, 1:-1]
+    assert np.all(ghost[0, 2:, :2] == 3.5)
+    assert np.all(ghost[0, :2, :] == 0.0)
+
+
+def test_extract_face_quadrant():
+    cfg = small_config(num_vars=1)
+    vs = slice(0, 1)
+    b = make_block(cfg)
+    b.data[0, -2, 1:-1, 1:-1] = np.arange(16).reshape(4, 4)
+    q = b.extract_face_quadrant(0, HI, vs, (0, 1))
+    assert q.shape == (1, 2, 2)
+    assert q[0, 0, 0] == 2  # rows 0-1, cols 2-3
+
+
+# ----------------------------------------------------------------------
+# Split / consolidate
+# ----------------------------------------------------------------------
+def test_split_conserves_totals():
+    cfg = small_config()
+    b = make_block(cfg)
+    total = b.checksum(ALL_VARS)
+    children = split_block(b, cfg)
+    assert len(children) == 8
+    child_total = sum(c.checksum(ALL_VARS) for c in children.values())
+    assert np.allclose(child_total, total)
+
+
+def test_split_consolidate_roundtrip():
+    cfg = small_config()
+    b = make_block(cfg)
+    original = b.data.copy()
+    children = split_block(b, cfg)
+    merged = consolidate_blocks(b.bid, children, cfg)
+    assert np.allclose(
+        merged.data[:, 1:-1, 1:-1, 1:-1], original[:, 1:-1, 1:-1, 1:-1]
+    )
+
+
+def test_split_conserves_totals_synthetic():
+    cfg = small_config(payload="synthetic")
+    b = make_block(cfg)
+    total = b.checksum(ALL_VARS)
+    children = split_block(b, cfg)
+    child_total = sum(c.checksum(ALL_VARS) for c in children.values())
+    assert np.allclose(child_total, total)
+    merged = consolidate_blocks(b.bid, children, cfg)
+    assert np.allclose(merged.checksum(ALL_VARS), total)
+
+
+def test_consolidate_missing_child_rejected():
+    cfg = small_config()
+    b = make_block(cfg)
+    children = split_block(b, cfg)
+    children.popitem()
+    with pytest.raises(ValueError, match="missing children"):
+        consolidate_blocks(b.bid, children, cfg)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_split_consolidate_identity(seed):
+    """split → consolidate is the identity on interiors, for random data."""
+    cfg = small_config(num_vars=2)
+    b = make_block(cfg)
+    rng = np.random.default_rng(seed)
+    b.data[:, 1:-1, 1:-1, 1:-1] = rng.random((2, 4, 4, 4))
+    interior = b.data[:, 1:-1, 1:-1, 1:-1].copy()
+    merged = consolidate_blocks(b.bid, split_block(b, cfg), cfg)
+    assert np.allclose(merged.data[:, 1:-1, 1:-1, 1:-1], interior)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_split_conserves_random_totals(seed):
+    cfg = small_config(num_vars=2)
+    b = make_block(cfg)
+    rng = np.random.default_rng(seed)
+    b.data[:, 1:-1, 1:-1, 1:-1] = rng.random((2, 4, 4, 4)) * 100
+    vs = slice(0, 2)
+    total = b.checksum(vs)
+    children = split_block(b, cfg)
+    child_total = sum(c.checksum(vs) for c in children.values())
+    assert np.allclose(child_total, total)

@@ -1,0 +1,73 @@
+"""Tests for checksum computation and validation."""
+
+import numpy as np
+import pytest
+
+from repro.amr import AmrConfig, BlockId, ChecksumError, local_checksum, validate
+from repro.amr.block import Block
+
+
+def blocks(payload="real", n=3):
+    cfg = AmrConfig(
+        npx=1, npy=1, npz=1, init_x=2, init_y=2, init_z=1,
+        nx=4, ny=4, nz=4, num_vars=2, payload=payload,
+    )
+    return [
+        Block.initial(BlockId(0, i, 0, 0), cfg) for i in range(min(n, 2))
+    ] + [Block.initial(BlockId(0, i, 1, 0), cfg) for i in range(max(n - 2, 0))]
+
+
+def test_local_checksum_sums_blocks():
+    bs = blocks(n=3)
+    vs = slice(0, 2)
+    total = local_checksum(bs, vs)
+    expected = sum(b.checksum(vs) for b in bs)
+    assert np.allclose(total, expected)
+
+
+def test_local_checksum_empty_blocks():
+    total = local_checksum([], slice(0, 3))
+    assert total.shape == (3,)
+    assert np.all(total == 0)
+
+
+def test_local_checksum_synthetic():
+    bs = blocks(payload="synthetic", n=2)
+    total = local_checksum(bs, slice(0, 2))
+    assert total.shape == (2,)
+    assert np.all(total > 0)
+
+
+def test_validate_first_checksum_accepts_anything_finite():
+    assert validate(None, np.array([1.0, 2.0]), tolerance=0.01) == 0.0
+
+
+def test_validate_small_drift_ok():
+    prev = np.array([100.0, 200.0])
+    cur = np.array([101.0, 199.0])
+    drift = validate(prev, cur, tolerance=0.05)
+    assert drift == pytest.approx(0.01)
+
+
+def test_validate_large_drift_raises():
+    prev = np.array([100.0])
+    cur = np.array([200.0])
+    with pytest.raises(ChecksumError, match="drift"):
+        validate(prev, cur, tolerance=0.5)
+
+
+def test_validate_nan_raises():
+    with pytest.raises(ChecksumError, match="finite"):
+        validate(np.array([1.0]), np.array([np.nan]), tolerance=1.0)
+
+
+def test_validate_inf_raises():
+    with pytest.raises(ChecksumError, match="finite"):
+        validate(None, np.array([np.inf]), tolerance=1.0)
+
+
+def test_validate_reports_worst_variable():
+    prev = np.array([100.0, 100.0, 100.0])
+    cur = np.array([100.0, 100.0, 300.0])
+    with pytest.raises(ChecksumError, match="variable 2"):
+        validate(prev, cur, tolerance=0.5)

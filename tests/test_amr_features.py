@@ -1,0 +1,218 @@
+"""Tests for the extended miniAMR features: RCB balancing, the 27-point
+stencil, uniform refinement, comm-variable groups, and mesh metrics."""
+
+import numpy as np
+import pytest
+
+from repro import AmrConfig, laptop, run_simulation, sphere
+from repro.amr import (
+    BlockId,
+    MeshStructure,
+    MovingObject,
+    amr_savings,
+    apply_plan,
+    cross_level_face_fraction,
+    level_histogram,
+    mesh_report,
+    plan_partition,
+    plan_partition_rcb,
+    plan_refinement,
+    uniform_equivalent_blocks,
+)
+from repro.amr.block import Block
+
+BASE = dict(
+    nx=4, ny=4, nz=4, num_vars=4,
+    num_tsteps=2, stages_per_ts=4, refine_freq=1, checksum_freq=4,
+    max_refine_level=1,
+    objects=(sphere(center=(0.3, 0.3, 0.3), radius=0.25),),
+)
+
+
+def hybrid_cfg(**kw):
+    d = dict(BASE, npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2)
+    d.update(kw)
+    return AmrConfig(**d)
+
+
+def run(cfg, variant="tampi_dataflow"):
+    return run_simulation(
+        cfg, laptop(), variant=variant, num_nodes=1, ranks_per_node=2
+    )
+
+
+# ----------------------------------------------------------------------
+# RCB load balancing
+# ----------------------------------------------------------------------
+def refined_structure():
+    cfg = hybrid_cfg(max_refine_level=2)
+    s = MeshStructure(cfg)
+    obj = [MovingObject(sphere(center=(0.25, 0.25, 0.25), radius=0.3))]
+    apply_plan(s, plan_refinement(s, obj))
+    return s
+
+
+def test_rcb_partition_counts_within_one():
+    s = refined_structure()
+    target = plan_partition_rcb(s, 8)
+    counts = {}
+    for rank in target.values():
+        counts[rank] = counts.get(rank, 0) + 1
+    assert sum(counts.values()) == s.num_blocks()
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+def test_rcb_covers_every_block():
+    s = refined_structure()
+    target = plan_partition_rcb(s, 4)
+    assert set(target) == s.active
+    assert set(target.values()) == {0, 1, 2, 3}
+
+
+def test_rcb_is_deterministic():
+    s = refined_structure()
+    assert plan_partition_rcb(s, 8) == plan_partition_rcb(s, 8)
+
+
+def test_rcb_is_spatially_coherent():
+    """RCB assigns geometrically close blocks to the same rank: with two
+    ranks the cut is a plane, so each rank's centers separate cleanly."""
+    s = refined_structure()
+    target = plan_partition_rcb(s, 2)
+    grid = s.grid
+    for axis in range(3):
+        lo = [grid.bounds(b)[axis][0] for b, r in target.items() if r == 0]
+        hi = [grid.bounds(b)[axis][0] for b, r in target.items() if r == 1]
+        if max(lo) <= min(hi):
+            return  # found the cut axis
+    pytest.fail("no clean bisection plane found")
+
+
+def test_rcb_variant_run_matches_sfc_checksums():
+    sfc = run(hybrid_cfg(lb_method="sfc"))
+    rcb = run(hybrid_cfg(lb_method="rcb"))
+    assert sfc.num_blocks == rcb.num_blocks
+    for (_, a, _), (_, b, _) in zip(sfc.checksums, rcb.checksums):
+        assert np.max(np.abs(a - b) / np.abs(a)) < 1e-12
+
+
+# ----------------------------------------------------------------------
+# 27-point stencil
+# ----------------------------------------------------------------------
+def test_stencil27_uniform_fixed_point():
+    cfg = AmrConfig(
+        npx=1, npy=1, npz=1, init_x=2, init_y=2, init_z=2,
+        nx=4, ny=4, nz=4, num_vars=1, stencil=27,
+    )
+    b = Block.initial(BlockId(0, 0, 0, 0), cfg)
+    vs = slice(0, 1)
+    b.data[...] = 3.0
+    b.stencil27(vs)
+    assert np.allclose(b.data[0, 1:-1, 1:-1, 1:-1], 3.0)
+
+
+def test_stencil27_spreads_wider_than_7():
+    cfg = AmrConfig(
+        npx=1, npy=1, npz=1, init_x=2, init_y=2, init_z=2,
+        nx=4, ny=4, nz=4, num_vars=1,
+    )
+    b7 = Block.initial(BlockId(0, 0, 0, 0), cfg)
+    b27 = Block.initial(BlockId(0, 0, 0, 0), cfg)
+    vs = slice(0, 1)
+    for b in (b7, b27):
+        b.data[...] = 0.0
+        b.data[0, 3, 3, 3] = 1.0
+    b7.stencil7(vs)
+    b27.stencil27(vs)
+    # The diagonal neighbor is reached only by the 27-point stencil.
+    assert b7.data[0, 2, 2, 2] == 0.0
+    assert b27.data[0, 2, 2, 2] > 0.0
+
+
+def test_stencil_27_run_counts_more_flops():
+    seven = run(hybrid_cfg())
+    twenty7 = run(hybrid_cfg(stencil=27))
+    assert twenty7.flops == pytest.approx(seven.flops * 27 / 7)
+    assert twenty7.total_time > seven.total_time
+
+
+def test_invalid_stencil_rejected():
+    with pytest.raises(ValueError, match="stencil"):
+        hybrid_cfg(stencil=9)
+
+
+# ----------------------------------------------------------------------
+# Uniform refinement
+# ----------------------------------------------------------------------
+def test_uniform_refine_refines_everything():
+    cfg = hybrid_cfg(uniform_refine=True, objects=())
+    s = MeshStructure(cfg)
+    plan = plan_refinement(s, [], uniform=True)
+    assert len(plan.refine) == s.num_blocks()
+
+
+def test_uniform_refine_run_grows_mesh():
+    res = run(hybrid_cfg(uniform_refine=True, objects=()))
+    assert res.num_blocks == 8 * 8  # every root block refined once
+
+
+def test_invalid_lb_method_rejected():
+    with pytest.raises(ValueError, match="lb_method"):
+        hybrid_cfg(lb_method="magic")
+
+
+# ----------------------------------------------------------------------
+# Communication variable groups (--comm_vars)
+# ----------------------------------------------------------------------
+def test_multiple_groups_same_checksums():
+    one = run(hybrid_cfg())
+    grouped = run(hybrid_cfg(comm_vars=2))  # 4 vars -> 2 groups
+    assert grouped.num_blocks == one.num_blocks
+    for (_, a, _), (_, b, _) in zip(one.checksums, grouped.checksums):
+        assert np.max(np.abs(a - b) / np.abs(a)) < 1e-12
+
+
+def test_group_slices_partition_variables():
+    cfg = hybrid_cfg(num_vars=4, comm_vars=3)
+    assert cfg.num_groups == 2
+    assert cfg.group_slice(0) == slice(0, 3)
+    assert cfg.group_slice(1) == slice(3, 4)
+    assert cfg.group_size(1) == 1
+    with pytest.raises(ValueError):
+        cfg.group_slice(2)
+
+
+# ----------------------------------------------------------------------
+# Mesh metrics
+# ----------------------------------------------------------------------
+def test_level_histogram_and_savings():
+    s = refined_structure()
+    hist = level_histogram(s)
+    assert set(hist) == {0, 1}
+    assert sum(hist.values()) == s.num_blocks()
+    assert uniform_equivalent_blocks(s) == 8 * 8
+    expected = 1.0 - s.num_blocks() / 64
+    assert amr_savings(s) == pytest.approx(expected)
+    assert amr_savings(s) > 0.0  # AMR actually saves something
+
+
+def test_cross_level_face_fraction_bounds():
+    s = refined_structure()
+    frac = cross_level_face_fraction(s)
+    assert 0.0 < frac < 1.0
+
+
+def test_uniform_mesh_has_no_cross_level_faces():
+    cfg = hybrid_cfg()
+    s = MeshStructure(cfg)
+    assert cross_level_face_fraction(s) == 0.0
+    assert amr_savings(s) == 0.0
+
+
+def test_mesh_report_renders():
+    s = refined_structure()
+    report = mesh_report(s)
+    text = report.render()
+    assert "blocks:" in text
+    assert "savings vs uniform" in text
+    assert f"{s.num_blocks()}" in text

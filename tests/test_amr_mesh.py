@@ -1,0 +1,233 @@
+"""Tests for the mesh structure, refinement planning, and 2:1 balance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr import (
+    AmrConfig,
+    BlockId,
+    MeshStructure,
+    MovingObject,
+    PlanBoard,
+    apply_plan,
+    plan_refinement,
+    sphere,
+)
+
+
+def config(**kw):
+    defaults = dict(
+        npx=2, npy=2, npz=2, init_x=1, init_y=1, init_z=1,
+        nx=4, ny=4, nz=4, num_vars=2, max_refine_level=3,
+    )
+    defaults.update(kw)
+    return AmrConfig(**defaults)
+
+
+def corner_sphere(radius=0.3):
+    return [MovingObject(sphere(center=(0.2, 0.2, 0.2), radius=radius))]
+
+
+# ----------------------------------------------------------------------
+# Structure basics
+# ----------------------------------------------------------------------
+def test_initial_mesh_one_block_per_rank():
+    s = MeshStructure(config())
+    assert s.num_blocks() == 8
+    assert s.rank_block_counts() == {r: 1 for r in range(8)}
+
+
+def test_initial_owner_layout_is_cartesian():
+    cfg = config(npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2)
+    s = MeshStructure(cfg)
+    assert s.num_blocks() == 8
+    # Blocks with i=0 belong to rank 0, i=1 to rank 1.
+    for bid in s.active:
+        assert s.owner[bid] == (0 if bid.i == 0 else 1)
+
+
+def test_set_owner_moves_block():
+    s = MeshStructure(config())
+    bid = next(iter(s.active))
+    old = s.owner[bid]
+    new = (old + 1) % 8
+    s.set_owner(bid, new)
+    assert s.owner[bid] == new
+    assert bid in set(s.blocks_of_rank(new))
+    assert bid not in set(s.blocks_of_rank(old))
+
+
+def test_set_owner_inactive_rejected():
+    s = MeshStructure(config())
+    with pytest.raises(KeyError):
+        s.set_owner(BlockId(3, 0, 0, 0), 0)
+
+
+def test_face_neighbors_same_level():
+    s = MeshStructure(config())
+    nbrs = s.face_neighbors(BlockId(0, 0, 0, 0), 0, 1)
+    assert nbrs == [(BlockId(0, 1, 0, 0), "same")]
+
+
+def test_face_neighbors_domain_boundary():
+    s = MeshStructure(config())
+    assert s.face_neighbors(BlockId(0, 0, 0, 0), 0, 0) == []
+
+
+def test_open_faces_at_corner():
+    s = MeshStructure(config())
+    open_faces = s.open_faces(BlockId(0, 0, 0, 0))
+    assert (0, 0) in open_faces and (1, 0) in open_faces and (2, 0) in open_faces
+    assert len(open_faces) == 3
+
+
+def test_invariants_on_initial_mesh():
+    s = MeshStructure(config())
+    assert s.check_cover()
+    assert s.check_two_to_one()
+
+
+# ----------------------------------------------------------------------
+# Refinement planning
+# ----------------------------------------------------------------------
+def test_plan_refines_blocks_touching_surface():
+    s = MeshStructure(config())
+    plan = plan_refinement(s, corner_sphere())
+    assert BlockId(0, 0, 0, 0) in plan.refine
+    assert not plan.coarsen_parents
+
+
+def test_plan_empty_with_no_objects():
+    s = MeshStructure(config())
+    plan = plan_refinement(s, [])
+    assert plan.is_empty
+
+
+def test_max_level_caps_refinement():
+    cfg = config(max_refine_level=0)
+    s = MeshStructure(cfg)
+    plan = plan_refinement(s, corner_sphere())
+    assert plan.is_empty
+
+
+def test_apply_plan_replaces_block_with_children():
+    s = MeshStructure(config())
+    plan = plan_refinement(s, corner_sphere())
+    n_before = s.num_blocks()
+    split_owner, coarsen_owner = apply_plan(s, plan)
+    assert s.num_blocks() == n_before + 7 * len(plan.refine)
+    for bid, rank in split_owner.items():
+        assert bid not in s.active
+        for child in bid.children():
+            assert child in s.active
+            assert s.owner[child] == rank
+    assert s.check_cover()
+    assert s.check_two_to_one()
+
+
+def test_refine_then_coarsen_when_object_leaves():
+    cfg = config(max_refine_level=1)
+    s = MeshStructure(cfg)
+    obj = corner_sphere()
+    plan = plan_refinement(s, obj)
+    apply_plan(s, plan)
+    refined_count = s.num_blocks()
+    assert refined_count > 8
+    # Object disappears -> children coarsen back to roots.
+    plan2 = plan_refinement(s, [])
+    assert plan2.coarsen_parents
+    apply_plan(s, plan2)
+    assert s.num_blocks() == 8
+    assert s.check_cover() and s.check_two_to_one()
+
+
+def test_block_delta_accounting():
+    s = MeshStructure(config())
+    plan = plan_refinement(s, corner_sphere())
+    n_before = s.num_blocks()
+    apply_plan(s, plan)
+    assert s.num_blocks() - n_before == plan.block_delta()
+
+
+def test_two_to_one_enforced_across_levels():
+    """Refining twice in a corner forces neighbors to refine too."""
+    cfg = config(max_refine_level=2)
+    s = MeshStructure(cfg)
+    objects = [MovingObject(sphere(center=(0.05, 0.05, 0.05), radius=0.08))]
+    for _ in range(2):
+        plan = plan_refinement(s, objects)
+        if plan.is_empty:
+            break
+        apply_plan(s, plan)
+        assert s.check_two_to_one()
+        assert s.check_cover()
+    levels = {b.level for b in s.active}
+    assert 2 in levels  # the corner reached level 2
+    assert s.check_two_to_one()
+
+
+def test_coarsen_requires_all_siblings():
+    """A sibling group with one member still triggered must not coarsen."""
+    cfg = config(max_refine_level=1)
+    s = MeshStructure(cfg)
+    apply_plan(s, plan_refinement(s, corner_sphere()))
+    # Shrink the sphere so that only part of the previously refined
+    # region is still triggered: either whole groups stay or whole
+    # groups coarsen, never partial ones.
+    objects = [MovingObject(sphere(center=(0.2, 0.2, 0.2), radius=0.1))]
+    plan = plan_refinement(s, objects)
+    apply_plan(s, plan)
+    assert s.check_cover() and s.check_two_to_one()
+    # Every remaining refined block has its full sibling group active.
+    for bid in [b for b in s.active if b.level == 1]:
+        assert all(sib in s.active for sib in bid.sibling_group())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    cx=st.floats(min_value=0.05, max_value=0.95),
+    cy=st.floats(min_value=0.05, max_value=0.95),
+    cz=st.floats(min_value=0.05, max_value=0.95),
+    r=st.floats(min_value=0.05, max_value=0.3),
+    steps=st.integers(min_value=1, max_value=3),
+)
+def test_property_refinement_preserves_invariants(cx, cy, cz, r, steps):
+    """Any sequence of refinements keeps cover + 2:1 + ownership sanity."""
+    cfg = config(max_refine_level=2)
+    s = MeshStructure(cfg)
+    objects = [MovingObject(sphere(center=(cx, cy, cz), radius=r,
+                                   move=(0.07, 0.0, 0.0)))]
+    for _ in range(steps):
+        plan = plan_refinement(s, objects)
+        apply_plan(s, plan)
+        assert s.check_cover()
+        assert s.check_two_to_one()
+        total = sum(len(s.blocks_of_rank(rk)) for rk in range(8))
+        assert total == s.num_blocks()
+        objects[0].advance(1)
+
+
+# ----------------------------------------------------------------------
+# PlanBoard
+# ----------------------------------------------------------------------
+def test_planboard_computes_once():
+    board = PlanBoard(num_ranks=3)
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "plan"
+
+    for _ in range(3):
+        assert board.get("k", compute) == "plan"
+    assert len(calls) == 1
+    # Entry dropped after all ranks consumed: next epoch recomputes.
+    assert board.get("k", compute) == "plan"
+    assert len(calls) == 2
+
+
+def test_planboard_distinct_keys():
+    board = PlanBoard(num_ranks=1)
+    assert board.get(("a", 1), lambda: 1) == 1
+    assert board.get(("a", 2), lambda: 2) == 2

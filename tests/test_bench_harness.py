@@ -1,0 +1,124 @@
+"""Tests for the experiment harness: inputs, grid fitting, quick runs."""
+
+import pytest
+
+from repro.bench import (
+    build_config,
+    factor3,
+    fit_grid,
+    format_table,
+    four_spheres,
+    single_sphere,
+    weak_root_dims,
+)
+from repro.bench.experiments import SCALED_RPN, TAMPI_OPTS
+
+
+# ----------------------------------------------------------------------
+# Inputs
+# ----------------------------------------------------------------------
+def test_single_sphere_enters_from_corner():
+    (spec,) = single_sphere(num_tsteps=10)
+    assert all(c < 0 for c in spec.center)  # starts outside the mesh
+    assert all(m > 0 for m in spec.move)  # moves toward the interior
+
+
+def test_single_sphere_reaches_interior():
+    (spec,) = single_sphere(num_tsteps=10)
+    end = [c + 10 * m for c, m in zip(spec.center, spec.move)]
+    assert all(0.2 < e < 0.8 for e in end)
+
+
+def test_four_spheres_cross_without_leaving():
+    specs = four_spheres(num_tsteps=20)
+    assert len(specs) == 4
+    moves_x = sorted(s.move[0] for s in specs)
+    assert moves_x[0] < 0 < moves_x[-1]  # two each way
+    for s in specs:
+        end_x = s.center[0] + 20 * s.move[0]
+        assert 0.0 < end_x - s.size[0] and end_x + s.size[0] < 1.0
+
+
+def test_four_spheres_do_not_collide_midway():
+    specs = four_spheres(num_tsteps=20)
+    for step in range(21):
+        centers = [
+            tuple(c + step * m for c, m in zip(s.center, s.move))
+            for s in specs
+        ]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                d2 = sum(
+                    (a - b) ** 2 for a, b in zip(centers[i], centers[j])
+                )
+                min_d = specs[i].size[0] + specs[j].size[0]
+                assert d2 > min_d**2 * 0.9, f"collision at step {step}"
+
+
+# ----------------------------------------------------------------------
+# Grid fitting
+# ----------------------------------------------------------------------
+def test_factor3_near_cubic():
+    assert sorted(factor3(8)) == [2, 2, 2]
+    assert sorted(factor3(12)) == [2, 2, 3]
+    assert sorted(factor3(7)) == [1, 1, 7]
+
+
+def test_fit_grid_divides_root():
+    grid = fit_grid(16, (8, 4, 4))
+    assert grid[0] * grid[1] * grid[2] == 16
+    for g, r in zip(grid, (8, 4, 4)):
+        assert r % g == 0
+
+
+def test_fit_grid_prefers_uniform():
+    assert sorted(fit_grid(8, (4, 4, 4))) == [2, 2, 2]
+
+
+def test_fit_grid_impossible_raises():
+    with pytest.raises(ValueError):
+        fit_grid(5, (4, 4, 4))
+
+
+def test_weak_root_dims_round_robin():
+    assert weak_root_dims((2, 2, 2), 0) == (2, 2, 2)
+    assert weak_root_dims((2, 2, 2), 1) == (4, 2, 2)
+    assert weak_root_dims((2, 2, 2), 3) == (4, 4, 4)
+    assert weak_root_dims((2, 2, 2), 4) == (8, 4, 4)
+
+
+# ----------------------------------------------------------------------
+# build_config
+# ----------------------------------------------------------------------
+def test_build_config_matches_rank_count():
+    cfg = build_config(16, (8, 4, 4), four_spheres(2))
+    assert cfg.num_ranks == 16
+    assert cfg.root_dims == (8, 4, 4)
+
+
+def test_build_config_passes_options():
+    cfg = build_config(8, (4, 4, 2), (), **TAMPI_OPTS)
+    assert cfg.send_faces and cfg.separate_buffers
+    assert cfg.max_comm_tasks == 8
+
+
+def test_scaled_rpn_covers_all_variants():
+    assert set(SCALED_RPN) == {"mpi_only", "fork_join", "tampi_dataflow"}
+
+
+# ----------------------------------------------------------------------
+# format_table
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    text = format_table(
+        ["a", "bb"], [(1, "x"), (22, "yy")], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_empty_rows():
+    text = format_table(["h1", "h2"], [])
+    assert "h1" in text

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_command_prints_metrics(capsys):
+    rc = main([
+        "run", "--variant", "mpi_only", "--preset", "laptop",
+        "--nodes", "1", "--root", "2", "2", "1",
+        "--nx", "4", "--num-vars", "2", "--tsteps", "1", "--stages", "2",
+        "--checksum-freq", "2", "--max-refine-level", "1",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "total time:" in out
+    assert "GFLOPS" in out
+    assert "mpi_only" in out
+
+
+def test_run_tampi_with_paper_options(capsys):
+    rc = main([
+        "run", "--variant", "tampi_dataflow", "--preset", "laptop",
+        "--nodes", "1", "--ranks-per-node", "2", "--root", "2", "2", "2",
+        "--nx", "4", "--num-vars", "2", "--tsteps", "1", "--stages", "2",
+        "--max-refine-level", "1", "--send-faces", "--separate-buffers",
+        "--max-comm-tasks", "4",
+    ])
+    assert rc == 0
+    assert "tampi_dataflow" in capsys.readouterr().out
+
+
+def test_bench_table1_quick(capsys):
+    rc = main(["bench", "table1", "--quick"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "tampi_dataflow" in out
+
+
+def test_bench_weak_quick(capsys):
+    rc = main(["bench", "weak", "--quick", "--nodes", "1", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "weak scaling" in out
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--variant", "nope"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

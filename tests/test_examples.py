@@ -1,0 +1,61 @@
+"""Smoke tests for the runnable examples (the fast ones).
+
+The scaling and trace examples run for minutes and are exercised by the
+benchmark suite instead; here we check that the quick examples execute
+end-to-end and print what their docstrings promise.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "mpi_only" in out
+    assert "tampi_dataflow" in out
+    assert "checksum agreement" in out
+    # The agreement lines report tiny relative differences.
+    for line in out.splitlines():
+        if "e-" in line and ("fork_join" in line or "tampi" in line):
+            value = float(line.split()[-1])
+            assert value < 1e-10
+
+
+def test_mesh_anatomy_runs(capsys):
+    run_example("mesh_anatomy.py")
+    out = capsys.readouterr().out
+    assert "epoch 0" in out
+    assert "savings vs uniform" in out
+    assert "imbalance after balancing" in out
+
+
+def test_examples_exist_and_have_docstrings():
+    expected = {
+        "quickstart.py",
+        "single_sphere_study.py",
+        "four_spheres_scaling.py",
+        "trace_visualization.py",
+        "custom_machine.py",
+        "mesh_anatomy.py",
+    }
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        text = (EXAMPLES / name).read_text()
+        assert text.startswith('#!/usr/bin/env python\n"""'), name
+        assert "Run:" in text, name

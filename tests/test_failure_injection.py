@@ -1,0 +1,123 @@
+"""Failure-injection tests: corruption must be detected, not silently
+propagated — the purpose of miniAMR's checksum machinery."""
+
+import numpy as np
+import pytest
+
+from repro import AmrConfig, laptop, run_simulation, sphere
+from repro.amr import ChecksumError
+
+
+def cfg(**kw):
+    """Hybrid-variant config (2 ranks)."""
+    d = dict(
+        npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2,
+        nx=4, ny=4, nz=4, num_vars=2,
+        num_tsteps=2, stages_per_ts=3, refine_freq=0, checksum_freq=3,
+        max_refine_level=0, objects=(),
+    )
+    d.update(kw)
+    return AmrConfig(**d)
+
+
+def mpi_cfg(**kw):
+    """MPI-only config (4 ranks, one per laptop core)."""
+    kw.setdefault("npx", 2)
+    kw.setdefault("npy", 2)
+    kw.setdefault("npz", 1)
+    kw.setdefault("init_x", 1)
+    kw.setdefault("init_y", 1)
+    kw.setdefault("init_z", 2)
+    return cfg(**kw)
+
+
+def test_overtight_tolerance_detected_as_failure():
+    """The stencil's natural drift trips an absurdly tight tolerance —
+    the validation path actually fires.  (A refining mesh makes the
+    drift non-trivial: cross-level ghost averaging is not conservative.)"""
+    with pytest.raises(ChecksumError, match="drift"):
+        run_simulation(
+            mpi_cfg(
+                checksum_tolerance=1e-12,
+                max_refine_level=1,
+                refine_freq=1,
+                objects=(sphere(center=(0.3, 0.3, 0.3), radius=0.25),),
+            ),
+            laptop(),
+            variant="mpi_only", num_nodes=1, ranks_per_node=4,
+        )
+
+
+def test_corrupted_block_data_detected():
+    """Inject NaN into a block mid-run: the next checksum must abort."""
+    from repro.core.variants.mpi_only import MpiOnlyProgram
+
+    original = MpiOnlyProgram.stencil
+    hits = {"n": 0}
+
+    def sabotaged(self, group):
+        yield from original(self, group)
+        hits["n"] += 1
+        if hits["n"] == 4:  # corrupt after 4 stencil calls (any rank)
+            bid = next(iter(self.blocks))
+            self.blocks[bid].data[0, 2, 2, 2] = np.nan
+
+    MpiOnlyProgram.stencil = sabotaged
+    try:
+        with pytest.raises(ChecksumError, match="finite"):
+            run_simulation(
+                mpi_cfg(), laptop(), variant="mpi_only",
+                num_nodes=1, ranks_per_node=4,
+            )
+    finally:
+        MpiOnlyProgram.stencil = original
+
+
+def test_lost_ghost_exchange_changes_checksums():
+    """If intra-rank ghost copies were skipped, the physics would differ —
+    proving the communication path matters to the result."""
+    from repro.core.app import BaseRankProgram
+
+    healthy = run_simulation(
+        mpi_cfg(), laptop(), variant="mpi_only", num_nodes=1,
+        ranks_per_node=4,
+    )
+
+    original = BaseRankProgram.copy_local_face
+    BaseRankProgram.copy_local_face = lambda self, t, vs: None
+    try:
+        broken = run_simulation(
+            mpi_cfg(), laptop(), variant="mpi_only",
+            num_nodes=1, ranks_per_node=4,
+        )
+    finally:
+        BaseRankProgram.copy_local_face = original
+
+    (_, a, _), (_, b, _) = healthy.checksums[-1], broken.checksums[-1]
+    assert not np.allclose(a, b), "dropping ghost copies must change results"
+
+
+def test_delayed_checksum_eventually_detects_corruption():
+    """The paper: with delayed validation, an error aborts 'after executing
+    some more stages' — but it still aborts."""
+    from repro.core.variants.tampi_dataflow import TampiDataflowProgram
+
+    original = TampiDataflowProgram.stencil
+    hits = {"n": 0}
+
+    def sabotaged(self, group):
+        yield from original(self, group)
+        hits["n"] += 1
+        if hits["n"] == 2:  # corrupt after 2 stencil calls (any rank)
+            bid = next(iter(self.blocks))
+            self.blocks[bid].data[0, 2, 2, 2] = np.inf
+
+    TampiDataflowProgram.stencil = sabotaged
+    try:
+        with pytest.raises(ChecksumError):
+            run_simulation(
+                cfg(num_tsteps=3), laptop(), variant="tampi_dataflow",
+                num_nodes=1, ranks_per_node=2, delayed_checksum=True,
+            )
+    finally:
+        TampiDataflowProgram.stencil = original

@@ -1,0 +1,253 @@
+"""Integration tests: full simulated runs of all three variants.
+
+The central functional validation of the reproduction: on the same input,
+the MPI-only reference, the fork-join hybrid, and the TAMPI+OSS data-flow
+port must compute the *same physics* — identical global checksums up to
+floating-point reduction order — while producing different timing/behavior
+characteristics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AmrConfig, laptop, run_simulation, sphere
+from repro.machine import MachineSpec, NetworkSpec, NodeSpec, CostSpec
+
+BASE = dict(
+    nx=4, ny=4, nz=4, num_vars=4,
+    num_tsteps=4, stages_per_ts=4, refine_freq=2, checksum_freq=4,
+    max_refine_level=2,
+    objects=(
+        sphere(center=(0.3, 0.3, 0.3), radius=0.25, move=(0.05, 0.05, 0.0)),
+    ),
+)
+
+
+def mpi_config(**kw):
+    cfg = dict(BASE, npx=2, npy=2, npz=1, init_x=1, init_y=1, init_z=2)
+    cfg.update(kw)
+    return AmrConfig(**cfg)
+
+
+def hybrid_config(**kw):
+    cfg = dict(BASE, npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2)
+    cfg.update(kw)
+    return AmrConfig(**cfg)
+
+
+def run(variant, cfg=None, **kw):
+    rpn = kw.pop("ranks_per_node", 4 if variant == "mpi_only" else 2)
+    cfg = cfg or (mpi_config() if variant == "mpi_only" else hybrid_config())
+    return run_simulation(
+        cfg, laptop(), variant=variant, num_nodes=1, ranks_per_node=rpn, **kw
+    )
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "mpi_only": run("mpi_only"),
+        "fork_join": run("fork_join"),
+        "tampi_dataflow": run("tampi_dataflow"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Functional equivalence
+# ----------------------------------------------------------------------
+def test_all_variants_complete(results):
+    for res in results.values():
+        assert res.total_time > 0
+
+
+def test_same_final_block_count(results):
+    counts = {v: r.num_blocks for v, r in results.items()}
+    assert len(set(counts.values())) == 1, counts
+
+
+def test_same_number_of_checksums(results):
+    lens = {v: len(r.checksums) for v, r in results.items()}
+    assert len(set(lens.values())) == 1, lens
+    assert lens["mpi_only"] == 4  # 16 stages / checksum_freq 4
+
+
+def test_checksums_match_across_variants(results):
+    """THE functional test: identical physics across parallelizations."""
+    ref = results["mpi_only"].checksums
+    for variant in ("fork_join", "tampi_dataflow"):
+        other = results[variant].checksums
+        for (_, c_ref, _), (_, c_other, _) in zip(ref, other):
+            rel = np.max(np.abs(c_ref - c_other) / np.abs(c_ref))
+            assert rel < 1e-12, f"{variant} diverged: rel={rel}"
+
+
+def test_checksums_evolve_over_time(results):
+    """The stencil actually changes the field between checkpoints."""
+    cs = results["mpi_only"].checksums
+    first = cs[0][1]
+    last = cs[-1][1]
+    assert not np.allclose(first, last)
+
+
+def test_flops_counted_identically(results):
+    flops = {v: r.flops for v, r in results.items()}
+    assert len(set(flops.values())) == 1, flops
+    assert flops["mpi_only"] > 0
+
+
+def test_refinement_happened(results):
+    res = results["mpi_only"]
+    assert res.num_blocks > 8  # refinement added blocks
+    assert res.refine_time > 0
+
+
+def test_load_is_balanced_after_run(results):
+    for res in results.values():
+        assert res.imbalance < 1.6
+
+
+def test_runs_are_deterministic():
+    a = run("tampi_dataflow")
+    b = run("tampi_dataflow")
+    assert a.total_time == b.total_time
+    assert a.num_blocks == b.num_blocks
+    for (_, ca, _), (_, cb, _) in zip(a.checksums, b.checksums):
+        assert np.array_equal(ca, cb)
+
+
+# ----------------------------------------------------------------------
+# Synthetic payload mode
+# ----------------------------------------------------------------------
+def test_synthetic_mode_matches_structure():
+    real = run("tampi_dataflow")
+    synth = run("tampi_dataflow", cfg=hybrid_config(payload="synthetic"))
+    assert synth.num_blocks == real.num_blocks
+    assert synth.flops == real.flops
+    assert len(synth.checksums) == len(real.checksums)
+
+
+def test_synthetic_mode_same_simulated_time():
+    """Timing must not depend on whether payloads are real or synthetic."""
+    real = run("mpi_only")
+    synth = run("mpi_only", cfg=mpi_config(payload="synthetic"))
+    assert synth.total_time == pytest.approx(real.total_time, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Driver interface
+# ----------------------------------------------------------------------
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError, match="unknown variant"):
+        run_simulation(mpi_config(), laptop(), variant="magic", num_nodes=1)
+
+
+def test_rank_grid_mismatch_rejected():
+    with pytest.raises(ValueError, match="rank grid"):
+        run_simulation(
+            mpi_config(), laptop(), variant="mpi_only",
+            num_nodes=1, ranks_per_node=2,
+        )
+
+
+def test_mpi_only_defaults_to_one_rank_per_core():
+    res = run_simulation(
+        mpi_config(), laptop(), variant="mpi_only", num_nodes=1
+    )
+    assert res.ranks_per_node == 4
+
+
+def test_cost_overrides_change_timing():
+    slow = run_simulation(
+        mpi_config(), laptop(), variant="mpi_only", num_nodes=1,
+        cost_overrides={"stencil_flops_per_sec": 1.0e9},
+    )
+    fast = run("mpi_only")
+    assert slow.total_time > fast.total_time
+
+
+def test_trace_collection():
+    res = run("tampi_dataflow", trace=True)
+    assert res.tracer is not None
+    kinds = {e.kind for e in res.tracer.events}
+    assert "task" in kinds and "mpi" in kinds and "phase" in kinds
+    phases = {e.phase for e in res.tracer.events if e.kind == "task"}
+    assert "stencil" in phases
+    assert "refine" in {e.name for e in res.tracer.events if e.kind == "phase"}
+
+
+# ----------------------------------------------------------------------
+# Paper options
+# ----------------------------------------------------------------------
+def test_send_faces_increases_message_count():
+    agg = run("tampi_dataflow")
+    fine = run(
+        "tampi_dataflow",
+        cfg=hybrid_config(send_faces=True, separate_buffers=True),
+    )
+    assert fine.comm_stats.messages > agg.comm_stats.messages
+    # Same physics regardless of message granularity.
+    for (_, ca, _), (_, cb, _) in zip(agg.checksums, fine.checksums):
+        assert np.max(np.abs(ca - cb) / np.abs(ca)) < 1e-12
+
+
+def test_max_comm_tasks_caps_message_count():
+    capped = run(
+        "tampi_dataflow",
+        cfg=hybrid_config(
+            send_faces=True, separate_buffers=True, max_comm_tasks=2
+        ),
+    )
+    fine = run(
+        "tampi_dataflow",
+        cfg=hybrid_config(send_faces=True, separate_buffers=True),
+    )
+    assert capped.comm_stats.messages < fine.comm_stats.messages
+
+
+def test_delayed_checksum_same_results():
+    delayed = run("tampi_dataflow", delayed_checksum=True)
+    strict = run("tampi_dataflow", delayed_checksum=False)
+    for (_, ca, _), (_, cb, _) in zip(delayed.checksums, strict.checksums):
+        assert np.max(np.abs(ca - cb) / np.abs(ca)) < 1e-12
+
+
+def test_fifo_scheduler_same_results():
+    loc = run("tampi_dataflow", scheduler="locality")
+    fifo = run("tampi_dataflow", scheduler="fifo")
+    assert loc.num_blocks == fifo.num_blocks
+    for (_, ca, _), (_, cb, _) in zip(loc.checksums, fifo.checksums):
+        assert np.max(np.abs(ca - cb) / np.abs(ca)) < 1e-12
+
+
+def test_capacity_limited_exchange_needs_multiple_rounds():
+    """With a tight per-rank block cap the ACK exchange defers moves."""
+    cfg = hybrid_config(max_blocks_per_rank=120)
+    res = run("tampi_dataflow", cfg=cfg)
+    # The run completes and conserves the block count.
+    unlimited = run("tampi_dataflow")
+    assert res.num_blocks == unlimited.num_blocks
+    for (_, ca, _), (_, cb, _) in zip(res.checksums, unlimited.checksums):
+        assert np.max(np.abs(ca - cb) / np.abs(ca)) < 1e-12
+
+
+def test_numa_penalty_slows_numa_spanning_rank():
+    """One rank spanning both sockets pays the NUMA penalty (the effect
+    behind paper Table I row 1)."""
+    spec = MachineSpec(
+        node=NodeSpec(cores_per_node=4, sockets_per_node=2),
+        network=NetworkSpec(),
+        cost=CostSpec(),
+        name="numa-test",
+    )
+    # Blocks big enough that compute dominates runtime overheads.
+    cfg = AmrConfig(**dict(
+        BASE, npx=1, npy=1, npz=1, init_x=2, init_y=2, init_z=2,
+        nx=10, ny=10, nz=10, num_vars=8))
+    penalized = run_simulation(
+        cfg, spec, variant="tampi_dataflow", num_nodes=1, ranks_per_node=1
+    )
+    unpenalized = run_simulation(
+        cfg, spec, variant="tampi_dataflow", num_nodes=1, ranks_per_node=1,
+        cost_overrides={"numa_penalty": 1.0},
+    )
+    assert penalized.total_time > unpenalized.total_time * 1.1

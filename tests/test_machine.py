@@ -1,0 +1,205 @@
+"""Unit tests for cluster topology, network, and cost models."""
+
+import math
+
+import pytest
+
+from repro.machine import (
+    CostSpec,
+    Machine,
+    NetworkSpec,
+    NodeSpec,
+    laptop,
+    marenostrum4,
+    marenostrum4_scaled,
+)
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+def test_nodespec_defaults_match_marenostrum4():
+    spec = NodeSpec()
+    assert spec.cores_per_node == 48
+    assert spec.sockets_per_node == 2
+    assert spec.cores_per_socket == 24
+
+
+def test_nodespec_rejects_indivisible_sockets():
+    with pytest.raises(ValueError):
+        NodeSpec(cores_per_node=10, sockets_per_node=4)
+
+
+def test_nodespec_rejects_nonpositive_cores():
+    with pytest.raises(ValueError):
+        NodeSpec(cores_per_node=0)
+
+
+def test_machine_rank_count():
+    m = Machine(node=NodeSpec(), num_nodes=4, ranks_per_node=4)
+    assert m.num_ranks == 16
+    assert m.cores_per_rank == 12
+    assert m.total_cores == 192
+
+
+def test_machine_rejects_indivisible_ranks():
+    with pytest.raises(ValueError):
+        Machine(node=NodeSpec(), num_nodes=1, ranks_per_node=5)
+
+
+def test_placement_is_consecutive():
+    m = Machine(node=NodeSpec(), num_nodes=2, ranks_per_node=4)
+    p0 = m.placement(0)
+    p1 = m.placement(1)
+    assert p0.node == 0 and p1.node == 0
+    assert [c.local for c in p0.cores] == list(range(12))
+    assert [c.local for c in p1.cores] == list(range(12, 24))
+    p4 = m.placement(4)
+    assert p4.node == 1
+
+
+def test_one_rank_per_node_spans_numa():
+    m = Machine(node=NodeSpec(), num_nodes=1, ranks_per_node=1)
+    assert m.placement(0).spans_numa
+    assert m.placement(0).socket_span == 2
+
+
+def test_two_ranks_per_node_do_not_span_numa():
+    m = Machine(node=NodeSpec(), num_nodes=1, ranks_per_node=2)
+    assert not m.placement(0).spans_numa
+    assert not m.placement(1).spans_numa
+
+
+def test_same_node_predicate():
+    m = Machine(node=NodeSpec(), num_nodes=2, ranks_per_node=48)
+    assert m.same_node(0, 47)
+    assert not m.same_node(0, 48)
+
+
+def test_ranks_on_node():
+    m = Machine(node=NodeSpec(), num_nodes=3, ranks_per_node=4)
+    assert list(m.ranks_on_node(1)) == [4, 5, 6, 7]
+
+
+# ----------------------------------------------------------------------
+# Network
+# ----------------------------------------------------------------------
+def test_transit_intra_faster_than_inter():
+    net = NetworkSpec()
+    nbytes = 64 * 1024
+    assert net.transit_time(nbytes, same_node=True) < net.transit_time(
+        nbytes, same_node=False
+    )
+
+
+def test_transit_grows_with_size():
+    net = NetworkSpec()
+    assert net.transit_time(1 << 20, False) > net.transit_time(1 << 10, False)
+
+
+def test_transit_negative_size_rejected():
+    net = NetworkSpec()
+    with pytest.raises(ValueError):
+        net.transit_time(-1, False)
+
+
+def test_send_cpu_time_has_fixed_component():
+    net = NetworkSpec()
+    assert net.send_cpu_time(0) == pytest.approx(net.send_overhead)
+    assert net.send_cpu_time(1 << 20) > net.send_cpu_time(0)
+
+
+def test_collective_scales_logarithmically():
+    net = NetworkSpec()
+    t2 = net.collective_time(8, 2)
+    t1024 = net.collective_time(8, 1024)
+    assert t1024 == pytest.approx(10 * t2)
+
+
+def test_collective_single_rank_is_cheap():
+    net = NetworkSpec()
+    assert net.collective_time(8, 1) == pytest.approx(net.collective_round)
+
+
+def test_collective_invalid_ranks():
+    net = NetworkSpec()
+    with pytest.raises(ValueError):
+        net.collective_time(8, 0)
+
+
+def test_network_validates_parameters():
+    with pytest.raises(ValueError):
+        NetworkSpec(latency_inter=0)
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+def test_stencil_flops_formula():
+    cost = CostSpec()
+    # 12^3 cells, 20 vars, 7 flops per cell-var.
+    assert cost.stencil_flops(12**3, 20) == 12**3 * 20 * 7.0
+
+
+def test_stencil_locality_boost_speeds_up():
+    cost = CostSpec()
+    base = cost.stencil_time(1000, 10)
+    boosted = cost.stencil_time(1000, 10, locality=True)
+    assert boosted < base
+    assert base / boosted == pytest.approx(cost.locality_ipc_boost)
+
+
+def test_stencil_numa_penalty_slows_down():
+    cost = CostSpec()
+    base = cost.stencil_time(1000, 10)
+    penalized = cost.stencil_time(1000, 10, numa=True)
+    assert penalized / base == pytest.approx(cost.numa_penalty)
+
+
+def test_copy_time_linear():
+    cost = CostSpec()
+    assert cost.copy_time(2 << 20) == pytest.approx(2 * cost.copy_time(1 << 20))
+
+
+def test_forkjoin_overhead_zero_for_one_thread():
+    cost = CostSpec()
+    assert cost.forkjoin_overhead(1) == 0.0
+    assert cost.forkjoin_overhead(2) > 0.0
+    assert cost.forkjoin_overhead(16) == pytest.approx(
+        4 * cost.forkjoin_region_overhead
+    )
+
+
+def test_with_overrides_returns_modified_copy():
+    cost = CostSpec()
+    tweaked = cost.with_overrides(locality_ipc_boost=1.0)
+    assert tweaked.locality_ipc_boost == 1.0
+    assert cost.locality_ipc_boost != 1.0
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+def test_marenostrum4_preset_shape():
+    spec = marenostrum4()
+    assert spec.node.cores_per_node == 48
+    m = spec.machine(num_nodes=4, ranks_per_node=4)
+    assert m.num_ranks == 16
+
+
+def test_scaled_preset_reduces_cores():
+    spec = marenostrum4_scaled(8)
+    assert spec.node.cores_per_node == 8
+    assert spec.node.sockets_per_node == 2
+
+
+def test_scaled_preset_rejects_odd_cores():
+    with pytest.raises(ValueError):
+        marenostrum4_scaled(7)
+
+
+def test_laptop_preset():
+    spec = laptop()
+    m = spec.machine(num_nodes=1, ranks_per_node=1)
+    assert m.total_cores == 4
+    assert not m.placement(0).spans_numa

@@ -1,0 +1,500 @@
+"""Unit tests for the simulated MPI library."""
+
+import numpy as np
+import pytest
+
+from repro.machine import NetworkSpec, NodeSpec, Machine
+from repro.mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    World,
+    payload_nbytes,
+)
+from repro.simx import Environment
+
+
+def make_world(num_nodes=1, ranks_per_node=2, cores_per_node=4):
+    env = Environment()
+    machine = Machine(
+        node=NodeSpec(cores_per_node=cores_per_node, sockets_per_node=1),
+        num_nodes=num_nodes,
+        ranks_per_node=ranks_per_node,
+    )
+    world = World(env, machine, NetworkSpec())
+    return env, world
+
+
+# ----------------------------------------------------------------------
+# Point-to-point
+# ----------------------------------------------------------------------
+def test_send_recv_payload():
+    env, world = make_world()
+    received = []
+
+    def sender(comm):
+        yield from comm.send(dest=1, tag=5, payload={"x": 1})
+
+    def receiver(comm):
+        req = yield from comm.recv(source=0, tag=5)
+        received.append(req.data)
+
+    env.process(sender(world.comm(0)))
+    env.process(receiver(world.comm(1)))
+    env.run()
+    assert received == [{"x": 1}]
+
+
+def test_isend_irecv_numpy_roundtrip():
+    env, world = make_world()
+    out = []
+
+    def sender(comm):
+        data = np.arange(100, dtype=np.float64)
+        req = yield from comm.isend(dest=1, tag=3, payload=data)
+        yield from comm.wait(req)
+
+    def receiver(comm):
+        req = yield from comm.irecv(source=0, tag=3)
+        req = yield from comm.wait(req)
+        out.append(req.data)
+
+    env.process(sender(world.comm(0)))
+    env.process(receiver(world.comm(1)))
+    env.run()
+    assert np.array_equal(out[0], np.arange(100, dtype=np.float64))
+
+
+def test_recv_before_send_matches():
+    env, world = make_world()
+    order = []
+
+    def receiver(comm):
+        req = yield from comm.recv(source=0, tag=9)
+        order.append(("recv-done", req.data))
+
+    def sender(comm):
+        yield comm.env.timeout(1.0)  # receiver posts first
+        yield from comm.send(dest=1, tag=9, payload="late")
+
+    env.process(receiver(world.comm(1)))
+    env.process(sender(world.comm(0)))
+    env.run()
+    assert order == [("recv-done", "late")]
+
+
+def test_unexpected_message_queued_until_recv():
+    env, world = make_world()
+    got = []
+
+    def sender(comm):
+        yield from comm.send(dest=1, tag=1, payload="early")
+
+    def receiver(comm):
+        yield comm.env.timeout(5.0)  # message arrives before post
+        req = yield from comm.recv(source=0, tag=1)
+        got.append(req.data)
+
+    env.process(sender(world.comm(0)))
+    env.process(receiver(world.comm(1)))
+    env.run()
+    assert got == ["early"]
+
+
+def test_tag_matching_selects_correct_message():
+    env, world = make_world()
+    got = {}
+
+    def sender(comm):
+        yield from comm.send(dest=1, tag=10, payload="ten")
+        yield from comm.send(dest=1, tag=20, payload="twenty")
+
+    def receiver(comm):
+        req20 = yield from comm.recv(source=0, tag=20)
+        req10 = yield from comm.recv(source=0, tag=10)
+        got[20] = req20.data
+        got[10] = req10.data
+
+    env.process(sender(world.comm(0)))
+    env.process(receiver(world.comm(1)))
+    env.run()
+    assert got == {20: "twenty", 10: "ten"}
+
+
+def test_any_source_any_tag_wildcards():
+    env, world = make_world(ranks_per_node=3, cores_per_node=3)
+    got = []
+
+    def sender(comm, payload):
+        yield from comm.send(dest=2, tag=7, payload=payload)
+
+    def receiver(comm):
+        for _ in range(2):
+            req = yield from comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            got.append((req.status.source, req.data))
+
+    env.process(sender(world.comm(0), "from0"))
+    env.process(sender(world.comm(1), "from1"))
+    env.process(receiver(world.comm(2)))
+    env.run()
+    assert sorted(got) == [(0, "from0"), (1, "from1")]
+
+
+def test_non_overtaking_same_channel():
+    """A big message sent first must match before a later small one."""
+    env, world = make_world()
+    got = []
+
+    def sender(comm):
+        big = np.zeros(1 << 20)
+        req1 = yield from comm.isend(dest=1, tag=4, payload=big)
+        req2 = yield from comm.isend(dest=1, tag=4, payload="small")
+        yield from comm.waitall([req1, req2])
+
+    def receiver(comm):
+        r1 = yield from comm.recv(source=0, tag=4)
+        r2 = yield from comm.recv(source=0, tag=4)
+        got.append(isinstance(r1.data, np.ndarray))
+        got.append(r2.data)
+
+    env.process(sender(world.comm(0)))
+    env.process(receiver(world.comm(1)))
+    env.run()
+    assert got == [True, "small"]
+
+
+def test_send_to_self():
+    env, world = make_world()
+    got = []
+
+    def proc(comm):
+        sreq = yield from comm.isend(dest=0, tag=2, payload="me")
+        rreq = yield from comm.recv(source=0, tag=2)
+        yield from comm.wait(sreq)
+        got.append(rreq.data)
+
+    env.process(proc(world.comm(0)))
+    env.run()
+    assert got == ["me"]
+
+
+def test_invalid_dest_rejected():
+    env, world = make_world()
+
+    def proc(comm):
+        yield from comm.isend(dest=99, tag=0, payload=None)
+
+    env.process(proc(world.comm(0)))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_status_reports_envelope():
+    env, world = make_world()
+    statuses = []
+
+    def sender(comm):
+        yield from comm.send(dest=1, tag=42, nbytes=4096, payload=None)
+
+    def receiver(comm):
+        req = yield from comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+        statuses.append(req.status)
+
+    env.process(sender(world.comm(0)))
+    env.process(receiver(world.comm(1)))
+    env.run()
+    st = statuses[0]
+    assert st.Get_source() == 0
+    assert st.Get_tag() == 42
+    assert st.Get_count() == 4096
+
+
+# ----------------------------------------------------------------------
+# Waitany / waitall / test
+# ----------------------------------------------------------------------
+def test_waitany_returns_first_completed():
+    env, world = make_world(ranks_per_node=3, cores_per_node=3)
+    indices = []
+
+    def slow_sender(comm):
+        yield comm.env.timeout(10.0)
+        yield from comm.send(dest=2, tag=1, payload="slow")
+
+    def fast_sender(comm):
+        yield from comm.send(dest=2, tag=2, payload="fast")
+
+    def receiver(comm):
+        r_slow = yield from comm.irecv(source=0, tag=1)
+        r_fast = yield from comm.irecv(source=1, tag=2)
+        reqs = [r_slow, r_fast]
+        for _ in range(2):
+            idx, req = yield from comm.waitany(reqs)
+            indices.append((idx, req.data))
+            reqs[idx] = None
+
+    env.process(slow_sender(world.comm(0)))
+    env.process(fast_sender(world.comm(1)))
+    env.process(receiver(world.comm(2)))
+    env.run()
+    assert indices == [(1, "fast"), (0, "slow")]
+
+
+def test_waitany_on_all_none_raises():
+    env, world = make_world()
+
+    def proc(comm):
+        yield from comm.waitany([None, None])
+
+    env.process(proc(world.comm(0)))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_test_is_nonblocking():
+    env, world = make_world()
+    flags = []
+
+    def receiver(comm):
+        req = yield from comm.irecv(source=0, tag=1)
+        flags.append(comm.test(req))
+        yield from comm.wait(req)
+        flags.append(comm.test(req))
+
+    def sender(comm):
+        yield comm.env.timeout(1.0)
+        yield from comm.send(dest=1, tag=1, payload="x")
+
+    env.process(receiver(world.comm(1)))
+    env.process(sender(world.comm(0)))
+    env.run()
+    assert flags == [False, True]
+
+
+# ----------------------------------------------------------------------
+# Timing model
+# ----------------------------------------------------------------------
+def test_intra_node_message_faster_than_inter_node():
+    def elapsed(num_nodes, ranks_per_node, dest):
+        env, world = make_world(
+            num_nodes=num_nodes,
+            ranks_per_node=ranks_per_node,
+            cores_per_node=4,
+        )
+        done = []
+
+        def sender(comm):
+            yield from comm.send(dest=dest, tag=0, nbytes=1 << 20)
+
+        def receiver(comm):
+            yield from comm.recv(source=0, tag=0)
+            done.append(comm.env.now)
+
+        env.process(sender(world.comm(0)))
+        env.process(receiver(world.comm(dest)))
+        env.run()
+        return done[0]
+
+    intra = elapsed(num_nodes=1, ranks_per_node=2, dest=1)
+    inter = elapsed(num_nodes=2, ranks_per_node=1, dest=1)
+    assert intra < inter
+
+
+def test_larger_message_takes_longer():
+    def elapsed(nbytes):
+        env, world = make_world()
+        done = []
+
+        def sender(comm):
+            yield from comm.send(dest=1, tag=0, nbytes=nbytes)
+
+        def receiver(comm):
+            yield from comm.recv(source=0, tag=0)
+            done.append(comm.env.now)
+
+        env.process(sender(world.comm(0)))
+        env.process(receiver(world.comm(1)))
+        env.run()
+        return done[0]
+
+    assert elapsed(1 << 22) > elapsed(1 << 10)
+
+
+def test_stats_count_messages_and_bytes():
+    env, world = make_world(num_nodes=2, ranks_per_node=1, cores_per_node=4)
+
+    def sender(comm):
+        yield from comm.send(dest=1, tag=0, nbytes=1000)
+
+    def receiver(comm):
+        yield from comm.recv(source=0, tag=0)
+
+    env.process(sender(world.comm(0)))
+    env.process(receiver(world.comm(1)))
+    env.run()
+    assert world.stats.messages == 1
+    assert world.stats.bytes_sent == 1000
+    assert world.stats.inter_node_messages == 1
+    assert world.stats.intra_node_messages == 0
+
+
+# ----------------------------------------------------------------------
+# Collectives
+# ----------------------------------------------------------------------
+def run_collective(nranks, body):
+    env, world = make_world(ranks_per_node=nranks, cores_per_node=nranks)
+    results = {}
+
+    def proc(rank):
+        comm = world.comm(rank)
+        results[rank] = yield from body(comm, rank)
+
+    for r in range(nranks):
+        env.process(proc(r))
+    env.run()
+    return results, env
+
+
+def test_allreduce_sum():
+    results, _ = run_collective(
+        4, lambda comm, rank: comm.allreduce(rank + 1, op=SUM)
+    )
+    assert all(v == 10 for v in results.values())
+
+
+def test_allreduce_max_min_prod():
+    results, _ = run_collective(
+        3, lambda comm, rank: comm.allreduce(rank, op=MAX)
+    )
+    assert all(v == 2 for v in results.values())
+    results, _ = run_collective(
+        3, lambda comm, rank: comm.allreduce(rank, op=MIN)
+    )
+    assert all(v == 0 for v in results.values())
+    results, _ = run_collective(
+        3, lambda comm, rank: comm.allreduce(rank + 1, op=PROD)
+    )
+    assert all(v == 6 for v in results.values())
+
+
+def test_allreduce_numpy_arrays():
+    results, _ = run_collective(
+        4,
+        lambda comm, rank: comm.allreduce(
+            np.full(5, float(rank)), op=SUM
+        ),
+    )
+    assert np.array_equal(results[0], np.full(5, 6.0))
+
+
+def test_allreduce_tuple_elementwise():
+    results, _ = run_collective(
+        2, lambda comm, rank: comm.allreduce((rank, 10 * rank), op=SUM)
+    )
+    assert results[0] == (1, 10)
+
+
+def test_reduce_only_root_gets_result():
+    results, _ = run_collective(
+        4, lambda comm, rank: comm.reduce(rank + 1, op=SUM, root=2)
+    )
+    assert results[2] == 10
+    assert results[0] is None and results[1] is None and results[3] is None
+
+
+def test_bcast_distributes_root_value():
+    def body(comm, rank):
+        value = "secret" if rank == 1 else None
+        return (yield from comm.bcast(value, root=1))
+
+    results, _ = run_collective(4, body)
+    assert all(v == "secret" for v in results.values())
+
+
+def test_allgather_collects_in_rank_order():
+    results, _ = run_collective(
+        4, lambda comm, rank: comm.allgather(rank * rank)
+    )
+    assert results[3] == [0, 1, 4, 9]
+
+
+def test_alltoall_personalized_exchange():
+    def body(comm, rank):
+        values = [f"{rank}->{d}" for d in range(comm.Get_size())]
+        return (yield from comm.alltoall(values))
+
+    results, _ = run_collective(3, body)
+    assert results[1] == ["0->1", "1->1", "2->1"]
+
+
+def test_alltoall_wrong_length_rejected():
+    env, world = make_world()
+
+    def proc(comm):
+        yield from comm.alltoall([1])  # size is 2
+
+    env.process(proc(world.comm(0)))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_barrier_synchronizes_ranks():
+    env, world = make_world(ranks_per_node=3, cores_per_node=3)
+    exit_times = {}
+
+    def proc(rank, delay):
+        comm = world.comm(rank)
+        yield env.timeout(delay)
+        yield from comm.barrier()
+        exit_times[rank] = env.now
+
+    env.process(proc(0, 1.0))
+    env.process(proc(1, 5.0))
+    env.process(proc(2, 3.0))
+    env.run()
+    assert len(set(exit_times.values())) == 1
+    assert exit_times[0] > 5.0  # nobody leaves before the last enters
+
+
+def test_collective_kind_mismatch_detected():
+    env, world = make_world()
+
+    def good(comm):
+        yield from comm.barrier()
+
+    def bad(comm):
+        yield from comm.allreduce(1)
+
+    env.process(good(world.comm(0)))
+    env.process(bad(world.comm(1)))
+    with pytest.raises(RuntimeError, match="collective mismatch"):
+        env.run()
+
+
+def test_successive_collectives_keep_order():
+    results, _ = run_collective(
+        2,
+        lambda comm, rank: _two_collectives(comm, rank),
+    )
+    assert results[0] == (1, 2)
+    assert results[1] == (1, 2)
+
+
+def _two_collectives(comm, rank):
+    first = yield from comm.allreduce(rank, op=SUM)
+    second = yield from comm.allreduce(rank + 1, op=PROD)
+    return (first, second)
+
+
+def test_collectives_counted_in_stats():
+    _, env_world = run_collective(2, lambda comm, rank: comm.barrier())
+
+
+def test_payload_nbytes_estimates():
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes(np.zeros(10)) == 80
+    assert payload_nbytes(b"abcd") == 4
+    assert payload_nbytes([1, 2, 3]) == 24
+    assert payload_nbytes(3.14) == 8

@@ -1,0 +1,101 @@
+"""Tests for the OS-noise model and the extended network model."""
+
+import pytest
+
+from repro.machine import CostSpec, NetworkSpec
+from repro.machine.costmodel import NoiseModel
+
+
+# ----------------------------------------------------------------------
+# NoiseModel
+# ----------------------------------------------------------------------
+def test_noise_is_deterministic_per_rank():
+    spec = CostSpec()
+    a = NoiseModel(spec, rank=3)
+    b = NoiseModel(spec, rank=3)
+    seq_a = [a.stretch(1e-4) for _ in range(50)]
+    seq_b = [b.stretch(1e-4) for _ in range(50)]
+    assert seq_a == seq_b
+
+
+def test_noise_differs_across_ranks():
+    spec = CostSpec()
+    a = NoiseModel(spec, rank=0)
+    b = NoiseModel(spec, rank=1)
+    assert [a.stretch(1e-4) for _ in range(10)] != [
+        b.stretch(1e-4) for _ in range(10)
+    ]
+
+
+def test_noise_never_speeds_up():
+    spec = CostSpec()
+    noise = NoiseModel(spec, rank=7)
+    for _ in range(200):
+        assert noise.stretch(1e-4) >= 1e-4
+
+
+def test_noise_amplitude_bound_without_spikes():
+    spec = CostSpec(noise_amplitude=0.1, noise_spike_rate=0.0)
+    noise = NoiseModel(spec, rank=2)
+    for _ in range(200):
+        stretched = noise.stretch(1e-3)
+        assert stretched <= 1e-3 * 1.1 + 1e-12
+
+
+def test_noise_disabled_is_identity():
+    spec = CostSpec(noise_amplitude=0.0, noise_spike_rate=0.0)
+    noise = NoiseModel(spec, rank=0)
+    assert noise.stretch(0.5) == 0.5
+
+
+def test_noise_zero_time_unchanged():
+    noise = NoiseModel(CostSpec(), rank=0)
+    assert noise.stretch(0.0) == 0.0
+
+
+def test_spikes_appear_at_expected_rate():
+    spec = CostSpec(noise_amplitude=0.0, noise_spike_rate=100.0,
+                    noise_spike_time=1.0)
+    noise = NoiseModel(spec, rank=5)
+    # 1000 charges of 1 ms with 100 spikes/s -> ~100 spikes expected.
+    spikes = sum(1 for _ in range(1000) if noise.stretch(1e-3) > 0.5)
+    assert 50 < spikes < 200
+
+
+# ----------------------------------------------------------------------
+# Network extensions
+# ----------------------------------------------------------------------
+def test_scaled_to_adds_hop_latency():
+    net = NetworkSpec()
+    big = net.scaled_to(64)
+    assert big.latency_inter == pytest.approx(
+        net.latency_inter + 6 * net.hop_latency
+    )
+    assert big.latency_intra == net.latency_intra
+
+
+def test_scaled_to_single_node_unchanged():
+    net = NetworkSpec()
+    assert net.scaled_to(1) is net
+
+
+def test_injection_time_components():
+    net = NetworkSpec()
+    t = net.injection_time(1 << 20, same_node=False)
+    assert t == pytest.approx(
+        net.injection_gap + (1 << 20) / net.bandwidth_inter
+    )
+    assert net.injection_time(0, same_node=True) == pytest.approx(
+        net.injection_gap
+    )
+
+
+def test_injection_intra_uses_intra_bandwidth():
+    net = NetworkSpec()
+    assert net.injection_time(1 << 20, True) < net.injection_time(
+        1 << 20, False
+    )
+
+
+def test_match_scan_cost_positive_default():
+    assert NetworkSpec().match_scan_cost > 0

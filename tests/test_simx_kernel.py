@@ -1,0 +1,396 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simx import (
+    AllOf,
+    AnyOf,
+    EmptySchedule,
+    Environment,
+    Event,
+    EventAlreadyTriggered,
+    Interrupt,
+    NotTriggeredError,
+    StaleProcessError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.5)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 2.5
+
+
+def test_timeout_value_passed_to_process():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 42
+
+    p = env.process(proc(env))
+    result = env.run(until=p)
+    assert result == 42
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        for delay in (1.0, 2.0, 3.0):
+            yield env.timeout(delay)
+            times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [1.0, 3.0, 6.0]
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append((name, env.now))
+
+    env.process(proc(env, "a", 2))
+    env.process(proc(env, "b", 1))
+    env.run()
+    assert order == [("b", 1), ("a", 2)]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in "abcd":
+        env.process(proc(env, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_run_until_time_stops_midway():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(10)
+        done.append(True)
+
+    env.process(proc(env))
+    env.run(until=5)
+    assert env.now == 5
+    assert not done
+    env.run()
+    assert done
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=10)
+    with pytest.raises(ValueError):
+        env.run(until=5)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    got = []
+
+    def waiter(env, ev):
+        value = yield ev
+        got.append(value)
+
+    def trigger(env, ev):
+        yield env.timeout(3)
+        ev.succeed("payload")
+
+    ev = env.event()
+    env.process(waiter(env, ev))
+    env.process(trigger(env, ev))
+    env.run()
+    assert got == ["payload"]
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed()
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(NotTriggeredError):
+        _ = ev.value
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    caught = []
+
+    def waiter(env, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    ev = env.event()
+    env.process(waiter(env, ev))
+    env.process(iter_fail(env, ev))
+    env.run()
+    assert caught == ["boom"]
+
+
+def iter_fail(env, ev):
+    yield env.timeout(1)
+    ev.fail(RuntimeError("boom"))
+
+
+def test_unhandled_process_exception_crashes_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("explode")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="explode"):
+        env.run()
+
+
+def test_wait_on_already_processed_event():
+    env = Environment()
+    got = []
+
+    def late_waiter(env, ev):
+        yield env.timeout(5)
+        value = yield ev  # already processed by now
+        got.append((value, env.now))
+
+    ev = env.event()
+    ev.succeed("early")
+    env.process(late_waiter(env, ev))
+    env.run()
+    assert got == [("early", 5)]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        t1 = env.timeout(1, value="x")
+        t2 = env.timeout(4, value="y")
+        result = yield env.all_of([t1, t2])
+        times.append(env.now)
+        assert list(result.values()) == ["x", "y"]
+
+    env.process(proc(env))
+    env.run()
+    assert times == [4]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        t1 = env.timeout(1, value="x")
+        t2 = env.timeout(4, value="y")
+        result = yield env.any_of([t1, t2])
+        times.append(env.now)
+        assert list(result.values()) == ["x"]
+
+    env.process(proc(env))
+    env.run()
+    assert times == [1]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.all_of([])
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [0.0]
+
+
+def test_condition_fails_if_member_fails():
+    env = Environment()
+    caught = []
+
+    def proc(env, ev):
+        try:
+            yield env.all_of([ev, env.timeout(10)])
+        except KeyError:
+            caught.append(env.now)
+
+    def failer(env, ev):
+        yield env.timeout(2)
+        ev.fail(KeyError("nope"))
+
+    ev = env.event()
+    env.process(proc(env, ev))
+    env.process(failer(env, ev))
+    env.run()
+    assert caught == [2]
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    causes = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            causes.append((exc.cause, env.now))
+
+    def attacker(env, victim_proc):
+        yield env.timeout(3)
+        victim_proc.interrupt("stop it")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert causes == [("stop it", 3)]
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(StaleProcessError):
+        p.interrupt()
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_peek_returns_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+
+
+def test_peek_empty_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(TypeError, match="non-event"):
+        env.run()
+
+
+def test_nested_process_wait():
+    env = Environment()
+    results = []
+
+    def child(env):
+        yield env.timeout(2)
+        return "child-done"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        results.append((value, env.now))
+
+    env.process(parent(env))
+    env.run()
+    assert results == [("child-done", 2)]
+
+
+def test_many_processes_scale():
+    env = Environment()
+    count = []
+
+    def proc(env, i):
+        yield env.timeout(i % 10)
+        count.append(i)
+
+    for i in range(500):
+        env.process(proc(env, i))
+    env.run()
+    assert len(count) == 500
+
+
+def test_run_until_untriggered_event_after_exhaustion_raises():
+    env = Environment()
+    ev = env.event()
+
+    def proc(env):
+        yield env.timeout(1)
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="ended before"):
+        env.run(until=ev)

@@ -1,0 +1,231 @@
+"""Tests for simulation resources: Store, Semaphore, Gate."""
+
+import pytest
+
+from repro.simx import Environment, Gate, Semaphore, Store
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    store.put("x")
+    env.process(consumer())
+    env.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, env.now))
+
+    def producer():
+        yield env.timeout(3.0)
+        store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [("late", 3.0)]
+
+
+def test_store_fifo_order_of_items():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    for i in range(3):
+        store.put(i)
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_fifo_order_of_getters():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(name):
+        item = yield store.get()
+        got.append((name, item))
+
+    env.process(consumer("first"))
+    env.process(consumer("second"))
+
+    def producer():
+        yield env.timeout(1)
+        store.put("a")
+        store.put("b")
+
+    env.process(producer())
+    env.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+def test_store_len_and_items():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == (1, 2)
+
+
+def test_store_get_nowait():
+    env = Environment()
+    store = Store(env)
+    assert store.get_nowait() is None
+    assert store.get_nowait(default="empty") == "empty"
+    store.put(5)
+    assert store.get_nowait() == 5
+
+
+# ----------------------------------------------------------------------
+# Semaphore
+# ----------------------------------------------------------------------
+def test_semaphore_limits_concurrency():
+    env = Environment()
+    sem = Semaphore(env, value=1)
+    active = []
+    max_active = []
+
+    def worker(name):
+        yield sem.acquire()
+        active.append(name)
+        max_active.append(len(active))
+        yield env.timeout(1.0)
+        active.remove(name)
+        sem.release()
+
+    for n in range(3):
+        env.process(worker(n))
+    env.run()
+    assert max(max_active) == 1
+    assert env.now == pytest.approx(3.0)
+
+
+def test_semaphore_multiple_units():
+    env = Environment()
+    sem = Semaphore(env, value=2)
+    done = []
+
+    def worker(n):
+        yield sem.acquire()
+        yield env.timeout(1.0)
+        done.append(env.now)
+        sem.release()
+
+    for n in range(4):
+        env.process(worker(n))
+    env.run()
+    assert env.now == pytest.approx(2.0)
+
+
+def test_semaphore_negative_value_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Semaphore(env, value=-1)
+
+
+def test_semaphore_release_without_waiters_increments():
+    env = Environment()
+    sem = Semaphore(env, value=0)
+    sem.release()
+    assert sem.value == 1
+
+
+# ----------------------------------------------------------------------
+# Gate
+# ----------------------------------------------------------------------
+def test_gate_broadcast_wakes_all_waiters():
+    env = Environment()
+    gate = Gate(env)
+    woken = []
+
+    def waiter(name):
+        yield gate.wait()
+        woken.append((name, env.now))
+
+    for n in range(3):
+        env.process(waiter(n))
+
+    def opener():
+        yield env.timeout(2.0)
+        gate.open()
+
+    env.process(opener())
+    env.run()
+    assert len(woken) == 3
+    assert all(t == 2.0 for _n, t in woken)
+
+
+def test_gate_open_is_immediate_for_late_waiters():
+    env = Environment()
+    gate = Gate(env)
+    gate.open()
+    times = []
+
+    def late(env):
+        yield env.timeout(5)
+        yield gate.wait()
+        times.append(env.now)
+
+    env.process(late(env))
+    env.run()
+    assert times == [5]
+
+
+def test_gate_reset_allows_reuse():
+    env = Environment()
+    gate = Gate(env)
+    events = []
+
+    def cycle():
+        yield gate.wait()
+        events.append(("first", env.now))
+        gate.reset()
+        yield gate.wait()
+        events.append(("second", env.now))
+
+    def opener():
+        yield env.timeout(1)
+        gate.open()
+        yield env.timeout(1)
+        gate.open()  # no-op: still open until reset by cycle()
+        yield env.timeout(1)
+        gate.open()
+
+    env.process(cycle())
+    env.process(opener())
+    env.run()
+    assert events[0] == ("first", 1)
+    assert events[1][0] == "second"
+
+
+def test_gate_is_open_flag():
+    env = Environment()
+    gate = Gate(env)
+    assert not gate.is_open
+    gate.open()
+    assert gate.is_open
+    gate.reset()
+    assert not gate.is_open

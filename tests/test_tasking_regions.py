@@ -1,0 +1,158 @@
+"""Unit and property tests for region handles and the segment index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasking.regions import Region, RegionSpace
+
+
+# ----------------------------------------------------------------------
+# Region
+# ----------------------------------------------------------------------
+def test_region_rejects_empty_range():
+    with pytest.raises(ValueError):
+        Region("buf", 5, 5)
+
+
+def test_region_rejects_negative_start():
+    with pytest.raises(ValueError):
+        Region("buf", -1, 5)
+
+
+def test_region_overlap_same_base():
+    a = Region("buf", 0, 10)
+    b = Region("buf", 5, 15)
+    c = Region("buf", 10, 20)
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c)  # half-open ranges touch but do not overlap
+
+
+def test_region_no_overlap_across_bases():
+    a = Region("buf-x", 0, 10)
+    b = Region("buf-y", 0, 10)
+    assert not a.overlaps(b)
+
+
+def test_region_is_hashable_value_object():
+    assert Region("b", 0, 4) == Region("b", 0, 4)
+    assert hash(Region("b", 0, 4)) == hash(Region("b", 0, 4))
+    assert Region("b", 0, 4) != Region("b", 0, 5)
+
+
+# ----------------------------------------------------------------------
+# RegionSpace
+# ----------------------------------------------------------------------
+def test_first_access_creates_one_segment():
+    space = RegionSpace()
+    states = space.segments_for(0, 100, dict)
+    assert len(states) == 1
+    assert len(space) == 1
+
+
+def test_identical_access_reuses_state():
+    space = RegionSpace()
+    first = space.segments_for(0, 100, dict)
+    second = space.segments_for(0, 100, dict)
+    assert first[0] is second[0]
+    assert len(space) == 1
+
+
+def test_contained_access_splits_segment():
+    space = RegionSpace()
+    whole = space.segments_for(0, 100, dict)[0]
+    inner = space.segments_for(25, 75, dict)
+    assert len(inner) == 1
+    assert inner[0] is whole  # split shares the state object
+    assert len(space) == 3  # [0,25) [25,75) [75,100)
+
+
+def test_disjoint_accesses_have_distinct_states():
+    space = RegionSpace()
+    a = space.segments_for(0, 10, dict)[0]
+    b = space.segments_for(10, 20, dict)[0]
+    assert a is not b
+
+
+def test_overlapping_access_collects_all_states():
+    space = RegionSpace()
+    a = space.segments_for(0, 10, dict)[0]
+    b = space.segments_for(10, 20, dict)[0]
+    both = space.segments_for(5, 15, dict)
+    assert a in both and b in both
+
+
+def test_access_spanning_gap_creates_filler():
+    space = RegionSpace()
+    space.segments_for(0, 10, dict)
+    space.segments_for(20, 30, dict)
+    states = space.segments_for(0, 30, dict)
+    # [0,10) existing + [10,20) filler + [20,30) existing
+    assert len(states) == 3
+    assert len(space) == 3
+
+
+def test_empty_range_rejected():
+    space = RegionSpace()
+    with pytest.raises(ValueError):
+        space.segments_for(10, 10, dict)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=200),
+            st.integers(min_value=1, max_value=50),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_property_segments_cover_and_stay_disjoint(ranges):
+    """After arbitrary accesses, segments are disjoint, sorted, and every
+    queried range is exactly covered by the returned segment states."""
+    space = RegionSpace()
+    for start, length in ranges:
+        states = space.segments_for(start, start + length, dict)
+        assert len(states) >= 1
+        # Segments of the space are disjoint and sorted.
+        segs = space._segments
+        for left, right in zip(segs, segs[1:]):
+            assert left.stop <= right.start
+        # The union of segments overlapping [start, start+length) covers it.
+        covered = 0
+        for seg in segs:
+            lo = max(seg.start, start)
+            hi = min(seg.stop, start + length)
+            if hi > lo:
+                covered += hi - lo
+        assert covered == length
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=1, max_value=30),
+        ),
+        min_size=2,
+        max_size=10,
+    )
+)
+def test_property_overlapping_queries_share_state(ranges):
+    """If two accesses overlap, they must share at least one state object;
+    if they are disjoint, they must share none."""
+    space = RegionSpace()
+    results = []
+    for start, length in ranges:
+        states = set(
+            id(s) for s in space.segments_for(start, start + length, dict)
+        )
+        results.append(((start, start + length), states))
+    for (r1, s1) in results:
+        for (r2, s2) in results:
+            overlap = r1[0] < r2[1] and r2[0] < r1[1]
+            if overlap:
+                assert s1 & s2, f"{r1} and {r2} overlap but share no state"

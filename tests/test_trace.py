@@ -1,0 +1,144 @@
+"""Tests for the tracing module: events, analyses, Paraver export."""
+
+import pytest
+
+from repro.trace import (
+    TraceEvent,
+    Tracer,
+    core_utilization,
+    legend,
+    mpi_time_by_call,
+    overlap_fraction,
+    phase_time,
+    render_ascii,
+    task_time_by_phase,
+    unpack_follows_gap_fraction,
+    write_pcf,
+    write_prv,
+)
+
+
+def make_tracer():
+    t = Tracer()
+    # rank 0, core 0: stencil [0,2], pack [2,3], idle [3,5], unpack [5,6]
+    t.task_event(0, 0, "stencil b1", "stencil", 0.0, 2.0)
+    t.task_event(0, 0, "pack b1", "pack", 2.0, 3.0)
+    t.task_event(0, 0, "unpack b1", "unpack", 5.0, 6.0)
+    # rank 0, core 1: intra [1,4]
+    t.task_event(0, 1, "intra b2", "intra", 1.0, 4.0)
+    # MPI calls on rank 0
+    t.mpi_event(0, "Isend", 2.9, 3.0)
+    t.mpi_event(0, "Waitany", 3.0, 5.0)
+    # phases
+    t.phase_begin(0, "refine", 6.0)
+    t.phase_end(0, "refine", 8.0)
+    return t
+
+
+def test_event_duration():
+    e = TraceEvent(0, 0, "task", "x", "stencil", 1.0, 3.5)
+    assert e.duration == 2.5
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    t.task_event(0, 0, "x", "stencil", 0, 1)
+    t.mpi_event(0, "Isend", 0, 1)
+    t.phase_begin(0, "p", 0)
+    t.phase_end(0, "p", 1)
+    assert t.events == []
+
+
+def test_by_kind_and_for_rank():
+    t = make_tracer()
+    assert len(t.by_kind("task")) == 4
+    assert len(t.by_kind("mpi")) == 2
+    assert len(t.for_rank(0)) == 7
+    assert t.for_rank(3) == []
+
+
+def test_phase_time():
+    t = make_tracer()
+    assert phase_time(t, "refine") == pytest.approx(2.0)
+    assert phase_time(t, "absent") == 0.0
+
+
+def test_phase_end_without_begin_ignored():
+    t = Tracer()
+    t.phase_end(0, "never-began", 1.0)
+    assert t.events == []
+
+
+def test_mpi_time_by_call():
+    t = make_tracer()
+    totals = mpi_time_by_call(t)
+    assert totals["Waitany"] == pytest.approx(2.0)
+    assert totals["Isend"] == pytest.approx(0.1)
+
+
+def test_task_time_by_phase():
+    t = make_tracer()
+    totals = task_time_by_phase(t)
+    assert totals["stencil"] == pytest.approx(2.0)
+    assert totals["intra"] == pytest.approx(3.0)
+
+
+def test_core_utilization_busy_and_gaps():
+    t = make_tracer()
+    report = core_utilization(t, 0, 2, 0.0, 6.0)
+    # core 0 busy 4s of 6, core 1 busy 3s of 6 => 7/12.
+    assert report.busy_fraction == pytest.approx(7 / 12)
+    assert report.max_gap == pytest.approx(2.0)  # core 1 idle [4,6]
+
+
+def test_core_utilization_rejects_empty_window():
+    t = make_tracer()
+    with pytest.raises(ValueError):
+        core_utilization(t, 0, 2, 5.0, 5.0)
+
+
+def test_overlap_fraction():
+    t = make_tracer()
+    # intra [1,4] vs stencil [0,2]: overlap [1,2] = 1 of intra's 3.
+    assert overlap_fraction(t, 0, "intra", "stencil") == pytest.approx(1 / 3)
+    assert overlap_fraction(t, 0, "stencil", "intra") == pytest.approx(1 / 2)
+    assert overlap_fraction(t, 0, "absent", "stencil") == 0.0
+
+
+def test_unpack_follows_gap_fraction():
+    t = make_tracer()
+    # core 0 has one gap (3->5) followed by an unpack task.
+    assert unpack_follows_gap_fraction(t, 0, gap_min=0.5) == 1.0
+
+
+def test_write_prv_and_pcf(tmp_path):
+    t = make_tracer()
+    prv = write_prv(t, tmp_path / "trace.prv", num_ranks=1, duration=8.0)
+    pcf = write_pcf(tmp_path / "trace.pcf")
+    lines = (tmp_path / "trace.prv").read_text().strip().splitlines()
+    assert lines[0].startswith("#Paraver")
+    # One record per task/mpi event.
+    assert len(lines) == 1 + 6
+    # Records are colon-separated with 8 fields.
+    assert all(len(line.split(":")) == 8 for line in lines[1:])
+    pcf_text = (tmp_path / "trace.pcf").read_text()
+    assert "STATES" in pcf_text
+    assert "task:stencil" in pcf_text
+
+
+def test_render_ascii_paints_glyphs():
+    t = make_tracer()
+    art = render_ascii(t, [(0, 0), (0, 1)], 0.0, 6.0, width=12)
+    lines = art.splitlines()
+    assert len(lines) == 2
+    assert "s" in lines[0]  # stencil glyph
+    assert "u" in lines[0]  # unpack glyph
+    assert "i" in lines[1]  # intra glyph
+    assert "." in lines[1]  # idle
+    assert "legend" in legend()
+
+
+def test_render_ascii_rejects_empty_window():
+    t = make_tracer()
+    with pytest.raises(ValueError):
+        render_ascii(t, [(0, 0)], 1.0, 1.0)

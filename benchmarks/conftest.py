@@ -43,3 +43,20 @@ def bench_once(benchmark, fn, *args, **kwargs):
 
 #: Smaller geometries when REPRO_BENCH_QUICK=1 (used by CI/smoke runs).
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+#: Worker processes for the sweep engine (REPRO_BENCH_JOBS=N parallelizes
+#: every experiment's runs; results are identical to serial execution).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: Optional content-addressed result cache (REPRO_BENCH_CACHE=<dir>):
+#: rerunning the suite with a warm cache skips the simulations entirely.
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE", "")
+
+
+@pytest.fixture(scope="session")
+def engine():
+    """A shared sweep engine for every experiment in the session."""
+    from repro.exec import ResultCache, SweepEngine
+
+    cache = ResultCache(CACHE_DIR) if CACHE_DIR else None
+    return SweepEngine(jobs=JOBS, cache=cache)

@@ -17,9 +17,9 @@ from repro.bench import weak_scaling
 NODES = (1, 2, 4, 8) if QUICK else (1, 2, 4, 8, 16, 32)
 
 
-def test_fig4_weak_scaling(benchmark, save_result):
+def test_fig4_weak_scaling(benchmark, save_result, engine):
     result = bench_once(benchmark, weak_scaling, node_counts=NODES,
-                        quick=QUICK)
+                        quick=QUICK, engine=engine)
 
     top = NODES[-1]
     lines = [result.text, "", "derived (paper Fig 4 quantities):"]

@@ -16,9 +16,9 @@ from repro.bench import strong_scaling
 NODES = (1, 2, 4, 8) if QUICK else (1, 2, 4, 8, 16, 32)
 
 
-def test_fig5_strong_scaling(benchmark, save_result):
+def test_fig5_strong_scaling(benchmark, save_result, engine):
     result = bench_once(benchmark, strong_scaling, node_counts=NODES,
-                        quick=QUICK)
+                        quick=QUICK, engine=engine)
 
     top = NODES[-1]
     lines = [result.text, "", "derived (paper Fig 5 quantities):"]

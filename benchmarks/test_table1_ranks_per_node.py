@@ -11,8 +11,8 @@ from conftest import QUICK, bench_once
 from repro.bench import table1
 
 
-def test_table1_ranks_per_node(benchmark, save_result):
-    result = bench_once(benchmark, table1, quick=QUICK)
+def test_table1_ranks_per_node(benchmark, save_result, engine):
+    result = bench_once(benchmark, table1, quick=QUICK, engine=engine)
     save_result(result.text, "table1")
 
     by_key = {(v, rpn): (t, r, n) for rpn, v, t, r, n in result.rows}

@@ -11,8 +11,8 @@ from conftest import QUICK, bench_once
 from repro.bench import table2
 
 
-def test_table2_comm_tasks(benchmark, save_result):
-    result = bench_once(benchmark, table2, quick=QUICK)
+def test_table2_comm_tasks(benchmark, save_result, engine):
+    result = bench_once(benchmark, table2, quick=QUICK, engine=engine)
     save_result(result.text, "table2")
 
     times = dict(result.rows)

@@ -24,12 +24,14 @@ Quickstart::
 
 from . import amr, core, machine, mpi, simx, tampi, tasking, trace
 from .amr import AmrConfig, ObjectSpec, Shape, sphere
-from .core import RunResult, run_simulation
+from .core import CommStats, RunResult, RunSpec, RuntimeStats, run_simulation
 from .machine import (
+    PRESETS,
     CostSpec,
     MachineSpec,
     NetworkSpec,
     NodeSpec,
+    get_preset,
     laptop,
     marenostrum4,
     marenostrum4_scaled,
@@ -37,17 +39,29 @@ from .machine import (
 
 __version__ = "1.0.0"
 
+from . import exec as exec_  # noqa: E402  (needs __version__ for fingerprints)
+from .exec import ResultCache, Sweep, SweepEngine, SweepReport
+
 __all__ = [
     "AmrConfig",
+    "CommStats",
     "CostSpec",
     "MachineSpec",
     "NetworkSpec",
     "NodeSpec",
     "ObjectSpec",
+    "PRESETS",
+    "ResultCache",
     "RunResult",
+    "RunSpec",
+    "RuntimeStats",
     "Shape",
+    "Sweep",
+    "SweepEngine",
+    "SweepReport",
     "amr",
     "core",
+    "get_preset",
     "laptop",
     "machine",
     "marenostrum4",

@@ -16,6 +16,7 @@ from .experiments import (
     TraceExperiment,
     build_config,
     format_table,
+    run_specs,
     strong_scaling,
     table1,
     table2,
@@ -43,6 +44,7 @@ __all__ = [
     "fit_grid",
     "format_table",
     "four_spheres",
+    "run_specs",
     "single_sphere",
     "strong_scaling",
     "table1",

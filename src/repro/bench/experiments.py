@@ -16,12 +16,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..amr.config import AmrConfig
-from ..core.driver import run_simulation
-from ..machine.presets import marenostrum4, marenostrum4_scaled
+from ..core import RunSpec
 from .inputs import fit_grid, four_spheres, single_sphere, weak_root_dims
 
 #: TAMPI+OSS options used throughout the evaluation (Section V).
 TAMPI_OPTS = dict(separate_buffers=True, send_faces=True, max_comm_tasks=8)
+
+
+def run_specs(specs, engine=None, labels=None, name="experiment"):
+    """Execute an experiment's :class:`RunSpec`s through a sweep engine.
+
+    ``engine=None`` uses a fresh serial, uncached
+    :class:`~repro.exec.SweepEngine` — byte-identical results to the
+    pre-engine serial harness.  Any failed run aborts the experiment with
+    a :class:`~repro.exec.SweepError`.  Results come back in input order.
+    """
+    from ..exec import Sweep, SweepEngine
+
+    engine = engine or SweepEngine(jobs=1)
+    report = engine.run(Sweep(tuple(specs), name=name, labels=labels))
+    report.raise_failures()
+    return report.results
 
 
 def build_config(
@@ -88,19 +103,19 @@ class Table1Result:
     text: str = ""
 
 
-def table1(ranks_per_node_list=(1, 2, 4, 8, 16), quick=False) -> Table1Result:
+def table1(ranks_per_node_list=(1, 2, 4, 8, 16), quick=False,
+           engine=None) -> Table1Result:
     """Paper Table I: hybrid execution times vs ranks per node on 4 nodes.
 
     Paper workload: single sphere, 20 ts × 60 stages, 18³ cells, 60 vars,
     refine every 5 ts, checksum every 10 stages.  Scaled here to 48-core
     nodes with a reduced step count (see EXPERIMENTS.md).
     """
-    spec = marenostrum4()
     num_nodes = 4
     root = (8, 4, 4)
     tsteps = 1 if quick else 2
     stages = 4 if quick else 10
-    rows = []
+    cases, specs = [], []
     for variant in ("fork_join", "tampi_dataflow"):
         for rpn in ranks_per_node_list:
             opts = TAMPI_OPTS if variant == "tampi_dataflow" else {}
@@ -117,22 +132,23 @@ def table1(ranks_per_node_list=(1, 2, 4, 8, 16), quick=False) -> Table1Result:
                 max_refine_level=2,
                 **opts,
             )
-            res = run_simulation(
-                cfg,
-                spec,
+            cases.append((rpn, variant))
+            specs.append(RunSpec(
+                config=cfg,
+                machine="marenostrum4",
                 variant=variant,
                 num_nodes=num_nodes,
                 ranks_per_node=rpn,
-            )
-            rows.append(
-                (
-                    rpn,
-                    variant,
-                    res.total_time,
-                    res.refine_time,
-                    res.non_refine_time,
-                )
-            )
+            ))
+    results = run_specs(
+        specs, engine,
+        labels=[f"table1:{v}@{rpn}rpn" for rpn, v in cases],
+        name="table1",
+    )
+    rows = [
+        (rpn, variant, res.total_time, res.refine_time, res.non_refine_time)
+        for (rpn, variant), res in zip(cases, results)
+    ]
     result = Table1Result(rows=rows)
     result.text = format_table(
         ["ranks/node", "variant", "total(s)", "refine(s)", "no-refine(s)"],
@@ -154,7 +170,8 @@ class Table2Result:
     text: str = ""
 
 
-def table2(task_counts=(1, 2, 4, 8, 16, 0), num_nodes=4, quick=False):
+def table2(task_counts=(1, 2, 4, 8, 16, 0), num_nodes=4, quick=False,
+           engine=None):
     """Paper Table II: non-refinement time vs ``--max_comm_tasks``.
 
     0 (the paper's *all*) means one communication task per face.  The paper
@@ -164,12 +181,11 @@ def table2(task_counts=(1, 2, 4, 8, 16, 0), num_nodes=4, quick=False):
     runs; our sub-second runs disable the OS-noise model so the comparison
     is not swamped by jitter.
     """
-    spec = marenostrum4_scaled(8)
     root = (8, 4, 4) if not quick else (4, 4, 2)
     tsteps = 1 if quick else 2
     stages = 4 if quick else 10
     rpn = 2
-    rows = []
+    labels, specs = [], []
     for mct in task_counts:
         cfg = build_config(
             num_nodes * rpn,
@@ -183,16 +199,24 @@ def table2(task_counts=(1, 2, 4, 8, 16, 0), num_nodes=4, quick=False):
             send_faces=True,
             max_comm_tasks=mct,
         )
-        res = run_simulation(
-            cfg,
-            spec,
+        labels.append("all" if mct == 0 else str(mct))
+        specs.append(RunSpec(
+            config=cfg,
+            machine="marenostrum4_scaled",
             variant="tampi_dataflow",
             num_nodes=num_nodes,
             ranks_per_node=rpn,
             cost_overrides={"noise_amplitude": 0.0, "noise_spike_rate": 0.0},
-        )
-        label = "all" if mct == 0 else str(mct)
-        rows.append((label, res.non_refine_time))
+        ))
+    results = run_specs(
+        specs, engine,
+        labels=[f"table2:{l}tasks" for l in labels],
+        name="table2",
+    )
+    rows = [
+        (label, res.non_refine_time)
+        for label, res in zip(labels, results)
+    ]
     result = Table2Result(rows=rows)
     result.text = format_table(
         ["comm tasks", "no-refine time(s)"],
@@ -281,8 +305,8 @@ class ScalingResult:
 SCALED_RPN = {"mpi_only": 8, "fork_join": 2, "tampi_dataflow": 2}
 
 
-def _scaling_run(variant, num_nodes, root, tsteps, stages, payload):
-    spec = marenostrum4_scaled(8)
+def _scaling_spec(variant, num_nodes, root, tsteps, stages, payload):
+    """One weak/strong-scaling point as a :class:`RunSpec`."""
     rpn = SCALED_RPN[variant]
     opts = TAMPI_OPTS if variant == "tampi_dataflow" else {}
     cfg = build_config(
@@ -297,38 +321,55 @@ def _scaling_run(variant, num_nodes, root, tsteps, stages, payload):
         payload=payload,
         **opts,
     )
-    res = run_simulation(
-        cfg, spec, variant=variant, num_nodes=num_nodes, ranks_per_node=rpn
-    )
-    return ScalingPoint(
+    return RunSpec(
+        config=cfg,
+        machine="marenostrum4_scaled",
         variant=variant,
         num_nodes=num_nodes,
-        gflops=res.gflops,
-        total_time=res.total_time,
-        refine_time=res.refine_time,
-        flops=res.flops,
+        ranks_per_node=rpn,
     )
+
+
+def _scaling_points(specs, engine, name):
+    results = run_specs(
+        specs, engine,
+        labels=[f"{name}:{s.variant}@{s.num_nodes}n" for s in specs],
+        name=name,
+    )
+    return [
+        ScalingPoint(
+            variant=spec.variant,
+            num_nodes=spec.num_nodes,
+            gflops=res.gflops,
+            total_time=res.total_time,
+            refine_time=res.refine_time,
+            flops=res.flops,
+        )
+        for spec, res in zip(specs, results)
+    ]
 
 
 def weak_scaling(
     node_counts=(1, 2, 4, 8, 16, 32),
     variants=("mpi_only", "fork_join", "tampi_dataflow"),
     quick=False,
+    engine=None,
 ) -> ScalingResult:
     """Paper Fig 4: weak scaling, four spheres, one initial block per
     MPI-only rank; blocks double with nodes (round-robin per direction)."""
     tsteps = 1 if quick else 3
     stages = 4 if quick else 10
-    points = []
+    specs = []
     base_root = (2, 2, 2)  # 8 blocks = 8 MPI-only ranks on 1 node
     for nodes in node_counts:
         doublings = (nodes).bit_length() - 1
         root = weak_root_dims(base_root, doublings)
         for variant in variants:
-            points.append(
-                _scaling_run(variant, nodes, root, tsteps, stages,
-                             "synthetic")
+            specs.append(
+                _scaling_spec(variant, nodes, root, tsteps, stages,
+                              "synthetic")
             )
+    points = _scaling_points(specs, engine, "weak_scaling")
     result = ScalingResult(points=points)
     rows = [
         (
@@ -352,6 +393,7 @@ def strong_scaling(
     node_counts=(1, 2, 4, 8, 16, 32),
     variants=("mpi_only", "fork_join", "tampi_dataflow"),
     quick=False,
+    engine=None,
 ) -> ScalingResult:
     """Paper Fig 5: strong scaling, fixed total mesh.
 
@@ -364,14 +406,15 @@ def strong_scaling(
     stages = 4 if quick else 10
     big_root = (8, 8, 4)  # fixed problem for >= 4 nodes (256 blocks)
     small_root = (4, 4, 2)  # 8x smaller for 1-2 nodes
-    points = []
+    specs = []
     for nodes in node_counts:
         root = small_root if nodes <= 2 else big_root
         for variant in variants:
-            points.append(
-                _scaling_run(variant, nodes, root, tsteps, stages,
-                             "synthetic")
+            specs.append(
+                _scaling_spec(variant, nodes, root, tsteps, stages,
+                              "synthetic")
             )
+    points = _scaling_points(specs, engine, "strong_scaling")
     result = ScalingResult(points=points)
     rows = [
         (
@@ -399,19 +442,21 @@ class TraceExperiment:
     text: str = ""
 
 
-def trace_runs(quick=False) -> TraceExperiment:
+def trace_runs(quick=False, engine=None) -> TraceExperiment:
     """Paper Figs 1–3 setup: four spheres on 2 full nodes, small input.
 
     MPI-only runs 96 ranks (48/node); TAMPI+OSS runs 8 ranks × 12 cores.
     Scaled step counts; traces are collected for analysis/rendering.
+    Trace runs are live-only (the tracer cannot cross a process boundary),
+    so the engine executes them in-process and never caches them.
     """
-    spec = marenostrum4()
     num_nodes = 2
     tsteps = 2 if quick else 3
     stages = 4 if quick else 6
     root = (8, 4, 3)  # 96 blocks: one per MPI-only rank
-    results = {}
-    for variant, rpn in (("mpi_only", 48), ("tampi_dataflow", 4)):
+    cases = (("mpi_only", 48), ("tampi_dataflow", 4))
+    specs = []
+    for variant, rpn in cases:
         opts = TAMPI_OPTS if variant == "tampi_dataflow" else {}
         cfg = build_config(
             num_nodes * rpn,
@@ -424,14 +469,23 @@ def trace_runs(quick=False) -> TraceExperiment:
             max_refine_level=1,
             **opts,
         )
-        results[variant] = run_simulation(
-            cfg,
-            spec,
+        specs.append(RunSpec(
+            config=cfg,
+            machine="marenostrum4",
             variant=variant,
             num_nodes=num_nodes,
             ranks_per_node=rpn,
             trace=True,
-        )
+        ))
+    run_results = run_specs(
+        specs, engine,
+        labels=[f"traces:{v}" for v, _rpn in cases],
+        name="trace_runs",
+    )
+    results = {
+        variant: res
+        for (variant, _rpn), res in zip(cases, run_results)
+    }
     exp = TraceExperiment(results=results)
     lines = ["Figs 1-3 — trace runs on 2 nodes (four spheres)"]
     for variant, res in results.items():

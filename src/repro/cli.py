@@ -1,20 +1,23 @@
-"""Command-line interface: run simulated miniAMR or regenerate experiments.
+"""Command-line interface: run simulated miniAMR, sweeps, or experiments.
 
 Examples::
 
     miniamr-sim run --variant tampi_dataflow --nodes 2 --ranks-per-node 2
     miniamr-sim run --variant mpi_only --nodes 1 --preset laptop
+    miniamr-sim sweep --variants mpi_only tampi_dataflow --nodes 1 2 --jobs 4
     miniamr-sim bench table1
-    miniamr-sim bench weak --nodes 1 2 4 8
+    miniamr-sim bench weak --nodes 1 2 4 8 --jobs 4 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .bench import (
     build_config,
+    format_table,
     four_spheres,
     single_sphere,
     strong_scaling,
@@ -23,23 +26,16 @@ from .bench import (
     trace_runs,
     weak_scaling,
 )
-from .core.driver import VARIANTS, run_simulation
-from .machine.presets import laptop, marenostrum4, marenostrum4_scaled
+from .core import RunSpec, VARIANTS, resolve_ranks_per_node, run_simulation
+from .machine.presets import PRESETS, get_preset
 
-PRESETS = {
-    "laptop": laptop,
-    "marenostrum4": marenostrum4,
-    "marenostrum4_scaled": marenostrum4_scaled,
-}
+#: Default on-disk result cache for ``bench``/``sweep`` (override with
+#: --cache-dir / REPRO_CACHE_DIR; disable with --no-cache).
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 
 
-def _add_run_parser(sub):
-    p = sub.add_parser("run", help="run one simulated miniAMR execution")
-    p.add_argument("--variant", choices=sorted(VARIANTS), required=True)
-    p.add_argument("--preset", choices=sorted(PRESETS),
-                   default="marenostrum4_scaled")
-    p.add_argument("--nodes", type=int, default=1)
-    p.add_argument("--ranks-per-node", type=int, default=None)
+def _add_geometry_options(p):
+    """Workload options shared by ``run`` and ``sweep``."""
     p.add_argument("--root", type=int, nargs=3, default=(4, 2, 2),
                    metavar=("RX", "RY", "RZ"),
                    help="root mesh blocks per dimension")
@@ -64,6 +60,51 @@ def _add_run_parser(sub):
     p.add_argument("--uniform-refine", action="store_true")
     p.add_argument("--scheduler", choices=("locality", "fifo"),
                    default="locality")
+
+
+def _add_engine_options(p):
+    """Sweep-engine options shared by ``sweep`` and ``bench``."""
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = in-process serial)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   help="content-addressed result cache directory "
+                        "(default: %(default)s)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-run timeout in seconds (parallel runs only)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="crash/timeout retries per run before it fails")
+
+
+def _add_run_parser(sub):
+    p = sub.add_parser("run", help="run one simulated miniAMR execution")
+    p.add_argument("--variant", choices=sorted(VARIANTS), required=True)
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="marenostrum4_scaled")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--ranks-per-node", type=int, default=None)
+    _add_geometry_options(p)
+    return p
+
+
+def _add_sweep_parser(sub):
+    p = sub.add_parser(
+        "sweep",
+        help="run a variant x node-count sweep through the parallel, "
+             "cached execution engine",
+    )
+    p.add_argument("--variants", nargs="+", choices=sorted(VARIANTS),
+                   default=sorted(VARIANTS))
+    p.add_argument("--nodes", type=int, nargs="+", default=(1,),
+                   help="node counts to sweep")
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="marenostrum4_scaled")
+    p.add_argument("--ranks-per-node", type=int, default=None,
+                   help="override the per-variant default "
+                        "(all cores for mpi_only, 4 for hybrids)")
+    _add_geometry_options(p)
+    _add_engine_options(p)
     return p
 
 
@@ -79,23 +120,17 @@ def _add_bench_parser(sub):
                    help="node counts (weak/strong scaling only)")
     p.add_argument("--quick", action="store_true",
                    help="smaller geometry for a fast look")
+    _add_engine_options(p)
     return p
 
 
-def cmd_run(args) -> int:
-    spec = PRESETS[args.preset]()
-    ranks_per_node = args.ranks_per_node
-    if ranks_per_node is None:
-        ranks_per_node = (
-            spec.node.cores_per_node if args.variant == "mpi_only" else 2
-        )
-    num_ranks = args.nodes * ranks_per_node
+def _build_cfg(args, num_ranks):
     objects = (
         single_sphere(args.tsteps)
         if args.input == "single_sphere"
         else four_spheres(args.tsteps)
     )
-    cfg = build_config(
+    return build_config(
         num_ranks,
         tuple(args.root),
         objects,
@@ -115,14 +150,46 @@ def cmd_run(args) -> int:
         lb_method=args.lb_method,
         uniform_refine=args.uniform_refine,
     )
-    res = run_simulation(
-        cfg,
-        spec,
+
+
+def _make_engine(args):
+    from .exec import ResultCache, SweepEngine
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(event):
+        if event["event"] in ("ok", "cached", "failed", "retry"):
+            print(
+                f"[{event['index'] + 1}/{event['total']}] "
+                f"{event['label']}: {event['status']}"
+                f" ({event['wall_time']:.2f}s)",
+                file=sys.stderr,
+            )
+
+    return SweepEngine(
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=progress if args.jobs > 1 else None,
+    )
+
+
+def cmd_run(args) -> int:
+    spec = get_preset(args.preset)()
+    ranks_per_node = resolve_ranks_per_node(
+        args.variant, spec, args.ranks_per_node
+    )
+    num_ranks = args.nodes * ranks_per_node
+    cfg = _build_cfg(args, num_ranks)
+    res = run_simulation(RunSpec(
+        config=cfg,
+        machine=args.preset,
         variant=args.variant,
         num_nodes=args.nodes,
         ranks_per_node=ranks_per_node,
         scheduler=args.scheduler,
-    )
+    ))
     print(f"variant:          {res.variant}")
     print(f"machine:          {spec.name}, {args.nodes} nodes x "
           f"{ranks_per_node} ranks")
@@ -137,16 +204,60 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    machine = get_preset(args.preset)()
+    specs = []
+    for nodes in args.nodes:
+        for variant in args.variants:
+            rpn = resolve_ranks_per_node(
+                variant, machine, args.ranks_per_node
+            )
+            cfg = _build_cfg(args, nodes * rpn)
+            specs.append(RunSpec(
+                config=cfg,
+                machine=args.preset,
+                variant=variant,
+                num_nodes=nodes,
+                ranks_per_node=rpn,
+                scheduler=args.scheduler,
+            ))
+    engine = _make_engine(args)
+    report = engine.run(specs)
+    rows = []
+    for outcome in report.outcomes:
+        s = outcome.spec
+        if outcome.ok:
+            r = outcome.result
+            rows.append((
+                s.variant, s.num_nodes, s.ranks_per_node, outcome.status,
+                f"{r.total_time:.4f}", f"{r.refine_time:.4f}",
+                f"{r.gflops:.1f}", r.num_blocks,
+            ))
+        else:
+            rows.append((
+                s.variant, s.num_nodes, s.ranks_per_node, "FAILED",
+                "-", "-", "-", "-",
+            ))
+    print(format_table(
+        ["variant", "nodes", "ranks/node", "status", "total(s)",
+         "refine(s)", "GFLOPS", "blocks"],
+        rows,
+        title=f"sweep on {args.preset} — {report.summary()}",
+    ))
+    return 1 if report.failed else 0
+
+
 def cmd_bench(args) -> int:
+    engine = _make_engine(args)
     if args.experiment == "table1":
-        print(table1(quick=args.quick).text)
+        print(table1(quick=args.quick, engine=engine).text)
     elif args.experiment == "table2":
-        print(table2(quick=args.quick).text)
+        print(table2(quick=args.quick, engine=engine).text)
     elif args.experiment == "traces":
-        print(trace_runs(quick=args.quick).text)
+        print(trace_runs(quick=args.quick, engine=engine).text)
     else:
         fn = weak_scaling if args.experiment == "weak" else strong_scaling
-        kwargs = {"quick": args.quick}
+        kwargs = {"quick": args.quick, "engine": engine}
         if args.nodes:
             kwargs["node_counts"] = tuple(args.nodes)
         result = fn(**kwargs)
@@ -164,10 +275,13 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(sub)
+    _add_sweep_parser(sub)
     _add_bench_parser(sub)
     args = parser.parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
     return cmd_bench(args)
 
 

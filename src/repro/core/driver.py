@@ -2,15 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..amr.balance import max_imbalance
-from ..machine.presets import MachineSpec
 from ..mpi import World
 from ..simx import Environment
 from ..tasking import RankRuntime
 from ..trace import Tracer
 from .app import SharedState
+from .results import CommStats, RunResult, RuntimeStats
+from .spec import VARIANT_NAMES, RunSpec
 from .variants.fork_join import ForkJoinProgram
 from .variants.mpi_only import MpiOnlyProgram
 from .variants.tampi_dataflow import TampiDataflowProgram
@@ -20,102 +19,45 @@ VARIANTS = {
     "fork_join": ForkJoinProgram,
     "tampi_dataflow": TampiDataflowProgram,
 }
+assert set(VARIANTS) == set(VARIANT_NAMES)
 
 
-@dataclass
-class RunResult:
-    """Metrics of one simulated run (the quantities the paper reports)."""
-
-    variant: str
-    num_nodes: int
-    ranks_per_node: int
-    #: Total simulated execution time (seconds).
-    total_time: float
-    #: Simulated time rank 0 spent in refinement phases.
-    refine_time: float
-    #: Total stencil floating-point operations (all ranks).
-    flops: float
-    #: Final number of mesh blocks.
-    num_blocks: int
-    #: max/mean per-rank block count at the end.
-    imbalance: float
-    #: Global checksum log: (time, totals, drift) tuples.
-    checksums: list = field(default_factory=list)
-    #: Simulated-MPI world statistics.
-    comm_stats: object = None
-    #: Aggregated tasking-runtime statistics per rank.
-    runtime_stats: list = field(default_factory=list)
-    #: Tracer (present when tracing was requested).
-    tracer: object = None
-
-    @property
-    def non_refine_time(self) -> float:
-        return self.total_time - self.refine_time
-
-    @property
-    def gflops(self) -> float:
-        """Throughput as the paper computes it: stencil FLOPs / total time."""
-        if self.total_time <= 0:
-            return 0.0
-        return self.flops / self.total_time / 1e9
-
-
-def run_simulation(
-    config,
-    spec: MachineSpec,
-    *,
-    variant="tampi_dataflow",
-    num_nodes=1,
-    ranks_per_node=None,
-    scheduler="locality",
-    delayed_checksum=None,
-    stage_barrier=False,
-    trace=False,
-    cost_overrides=None,
-) -> RunResult:
+def run_simulation(config, spec=None, **kwargs) -> RunResult:
     """Simulate one miniAMR execution.
 
-    Parameters
-    ----------
-    config:
-        The :class:`~repro.amr.config.AmrConfig`; its rank grid
-        (npx·npy·npz) must equal ``num_nodes × ranks_per_node``.
-    spec:
-        Machine preset (node hardware + network + cost model).
-    variant:
-        ``"mpi_only"`` (one rank per core), ``"fork_join"``, or
-        ``"tampi_dataflow"``.
-    ranks_per_node:
-        Defaults to all cores for MPI-only and 4 for the hybrids (the
-        paper's chosen configurations).
-    scheduler:
-        Task scheduler for the data-flow variant ("locality" or "fifo").
-    delayed_checksum:
-        Override the data-flow variant's delayed-checksum optimization.
-    stage_barrier:
-        Ablation: force a local join after every stage (removes the
-        cross-stage overlap the data-flow execution model provides).
-    trace:
-        Collect a :class:`~repro.trace.Tracer` (slower; for Figs 1–3).
-    cost_overrides:
-        Optional dict of :class:`~repro.machine.CostSpec` field overrides
-        (for ablations).
+    The canonical form takes a single :class:`~repro.core.RunSpec`::
+
+        run_simulation(RunSpec(config=cfg, machine="marenostrum4", ...))
+
+    The legacy form — ``run_simulation(config, machine_spec, variant=...,
+    num_nodes=..., ranks_per_node=..., scheduler=..., delayed_checksum=...,
+    stage_barrier=..., trace=..., cost_overrides=...)`` — is kept as a thin
+    shim that builds the equivalent :class:`RunSpec`.  Defaults (notably
+    ranks-per-node: all cores for MPI-only, 4 for the hybrids) are resolved
+    by :meth:`RunSpec.resolve` either way.
     """
-    if variant not in VARIANTS:
-        raise ValueError(
-            f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}"
-        )
-    if ranks_per_node is None:
-        ranks_per_node = (
-            spec.node.cores_per_node if variant == "mpi_only" else 4
-        )
-    if cost_overrides:
-        spec = MachineSpec(
-            node=spec.node,
-            network=spec.network,
-            cost=spec.cost.with_overrides(**cost_overrides),
-            name=spec.name,
-        )
+    if isinstance(config, RunSpec):
+        if spec is not None or kwargs:
+            raise TypeError(
+                "run_simulation(RunSpec) takes no further arguments; "
+                "use dataclasses.replace() to derive a new spec"
+            )
+        run_spec = config
+    else:
+        if spec is None:
+            raise TypeError(
+                "run_simulation(config, machine_spec, ...) requires a "
+                "machine spec (or pass a single RunSpec)"
+            )
+        run_spec = RunSpec(config=config, machine=spec, **kwargs)
+    return execute(run_spec)
+
+
+def execute(run_spec: RunSpec) -> RunResult:
+    """Execute a (possibly unresolved) :class:`RunSpec`."""
+    rs = run_spec.resolve()
+    config, spec = rs.config, rs.machine
+    num_nodes, ranks_per_node = rs.num_nodes, rs.ranks_per_node
 
     machine = spec.machine(num_nodes=num_nodes, ranks_per_node=ranks_per_node)
     if config.num_ranks != machine.num_ranks:
@@ -126,13 +68,13 @@ def run_simulation(
         )
 
     env = Environment()
-    tracer = Tracer() if trace else None
+    tracer = Tracer() if rs.trace else None
     network = spec.network.scaled_to(num_nodes)
     world = World(env, machine, network, tracer=tracer)
     shared = SharedState(config, machine, spec, world, tracer=tracer)
 
-    cores_per_rank = 1 if variant == "mpi_only" else machine.cores_per_rank
-    program_cls = VARIANTS[variant]
+    cores_per_rank = 1 if rs.variant == "mpi_only" else machine.cores_per_rank
+    program_cls = VARIANTS[rs.variant]
     programs = []
     for rank in range(machine.num_ranks):
         runtime = RankRuntime(
@@ -141,15 +83,15 @@ def run_simulation(
             num_cores=cores_per_rank,
             cost_spec=spec.cost,
             numa=machine.placement(rank).spans_numa,
-            scheduler=scheduler,
+            scheduler=rs.scheduler,
             tracer=tracer,
         )
         program = program_cls(shared, rank, world.comm(rank), runtime)
-        if delayed_checksum is not None and hasattr(
+        if rs.delayed_checksum is not None and hasattr(
             program, "delayed_checksum"
         ):
-            program.delayed_checksum = delayed_checksum
-        program.stage_barrier = stage_barrier
+            program.delayed_checksum = rs.delayed_checksum
+        program.stage_barrier = rs.stage_barrier
         programs.append(program)
 
     procs = [
@@ -159,7 +101,7 @@ def run_simulation(
         env.run(until=proc)
 
     return RunResult(
-        variant=variant,
+        variant=rs.variant,
         num_nodes=num_nodes,
         ranks_per_node=ranks_per_node,
         total_time=env.now,
@@ -168,7 +110,7 @@ def run_simulation(
         num_blocks=shared.structure.num_blocks(),
         imbalance=max_imbalance(shared.structure),
         checksums=list(shared.checksum_log),
-        comm_stats=world.stats,
-        runtime_stats=[p.rt.stats for p in programs],
+        comm_stats=CommStats.from_world(world.stats),
+        runtime_stats=[RuntimeStats.from_runtime(p.rt.stats) for p in programs],
         tracer=tracer,
     )

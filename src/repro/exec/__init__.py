@@ -1,0 +1,36 @@
+"""``repro.exec`` — parallel, cached execution of simulation sweeps.
+
+Every paper artifact (Tables I–II, Figs 1–5, the ablations) is a sweep of
+independent deterministic runs.  This package turns a collection of
+:class:`~repro.core.RunSpec`s into results: dispatch across a worker-process
+pool, a content-addressed on-disk result cache keyed by spec fingerprint,
+per-run timeout and crash retry with exponential backoff, and structured
+progress reporting.  ``repro.bench`` and the CLI execute through it.
+
+    from repro.exec import ResultCache, SweepEngine
+
+    engine = SweepEngine(jobs=4, cache=ResultCache(".repro-cache"))
+    report = engine.run([spec1, spec2, ...])
+    report.raise_failures()
+    results = report.results          # RunResults, input order
+"""
+
+from .cache import ResultCache
+from .engine import (
+    RunOutcome,
+    Sweep,
+    SweepEngine,
+    SweepError,
+    SweepReport,
+    run_spec_dict,
+)
+
+__all__ = [
+    "ResultCache",
+    "RunOutcome",
+    "Sweep",
+    "SweepEngine",
+    "SweepError",
+    "SweepReport",
+    "run_spec_dict",
+]

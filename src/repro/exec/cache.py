@@ -1,0 +1,98 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<fp[:2]>/<fp>.json`` where ``fp`` is the run's
+:meth:`~repro.core.RunSpec.fingerprint` (sha256 over the fully-resolved
+spec plus the package version).  Each entry is a self-describing JSON
+envelope::
+
+    {"fingerprint": ..., "version": ..., "spec": ..., "result": ...}
+
+Invalidation is automatic by construction: any change to any spec field,
+to the machine description, or to the package version changes the
+fingerprint, so stale entries are simply never looked up again.  Corrupt
+or mismatched entries are treated as misses and removed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..core import RunResult, RunSpec
+
+
+class ResultCache:
+    """Maps run fingerprints to serialized :class:`RunResult` entries."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str):
+        """The cached :class:`RunResult`, or ``None`` on a miss.
+
+        A corrupt, unreadable, or mismatched entry is deleted and reported
+        as a miss — one bad file must never poison a sweep.
+        """
+        path = self.path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                envelope = json.load(fh)
+            if envelope.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
+            return RunResult.from_dict(envelope["result"])
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, fingerprint: str, spec: RunSpec, result: RunResult):
+        """Atomically store one result (write-to-temp + rename)."""
+        from .. import __version__
+
+        path = self.path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "fingerprint": fingerprint,
+            "version": __version__,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(envelope, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path(fingerprint).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self):
+        for entry in list(self.root.glob("*/*.json")):
+            try:
+                os.unlink(entry)
+            except OSError:
+                pass

@@ -1,0 +1,446 @@
+"""Parallel, cached, fault-isolated execution of simulation sweeps.
+
+Every paper artifact is a *sweep* of independent deterministic runs, so
+the engine's contract is simple:
+
+* runs are dispatched across a pool of worker **processes** (``jobs``);
+  results come back as serialized dicts and are bit-identical to serial
+  execution (the simulator is deterministic and ``RunResult`` round-trips
+  losslessly through JSON);
+* each run is looked up in / stored to a content-addressed
+  :class:`~repro.exec.cache.ResultCache` by its spec fingerprint;
+* a worker crash or timeout is retried with exponential backoff and, after
+  ``retries`` retries, fails *that one run* — never the sweep;
+* progress (completed / cached / failed, wall-time per run) is reported
+  through a callback.
+
+Trace runs (``spec.trace=True``) are live-only: the tracer cannot cross a
+process boundary or live in the JSON cache, so they always execute
+in-process and bypass the cache.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from ..core import RunResult, RunSpec, run_simulation
+
+
+class SweepError(RuntimeError):
+    """Raised when a sweep finished with failed runs and strictness is on."""
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """An ordered collection of runs, optionally labelled."""
+
+    specs: tuple
+    name: str = "sweep"
+    labels: tuple = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+        if self.labels is not None:
+            labels = tuple(self.labels)
+            if len(labels) != len(self.specs):
+                raise ValueError("labels must parallel specs")
+            object.__setattr__(self, "labels", labels)
+
+    def __len__(self):
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def label(self, index: int) -> str:
+        if self.labels is not None:
+            return self.labels[index]
+        spec = self.specs[index]
+        return f"{spec.variant}@{spec.num_nodes}n"
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one run of a sweep."""
+
+    index: int
+    spec: RunSpec
+    fingerprint: str
+    label: str
+    #: "ok" (executed), "cached" (served from cache), or "failed".
+    status: str
+    result: RunResult = None
+    error: str = None
+    attempts: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class SweepReport:
+    """Structured outcome of one sweep (input order preserved)."""
+
+    outcomes: list = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def results(self) -> list:
+        """Run results in input order (``None`` for failed runs)."""
+        return [o.result for o in self.outcomes]
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    @property
+    def completed(self) -> int:
+        return self.executed + self.cached
+
+    def raise_failures(self):
+        """Raise :class:`SweepError` listing every failed run."""
+        bad = [o for o in self.outcomes if o.status == "failed"]
+        if bad:
+            lines = [f"{len(bad)} of {len(self.outcomes)} runs failed:"]
+            for o in bad:
+                first = (o.error or "unknown error").strip().splitlines()
+                lines.append(
+                    f"  [{o.label}] after {o.attempts} attempt(s): "
+                    f"{first[-1] if first else 'unknown error'}"
+                )
+            raise SweepError("\n".join(lines))
+
+    def summary(self) -> str:
+        return (
+            f"{self.completed}/{len(self.outcomes)} runs "
+            f"({self.executed} executed, {self.cached} cached, "
+            f"{self.failed} failed) in {self.wall_time:.2f}s"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def run_spec_dict(spec_dict: dict) -> dict:
+    """Default worker body: execute a serialized spec, return a dict."""
+    return run_simulation(RunSpec.from_dict(spec_dict)).to_dict()
+
+
+def _child_main(conn, runner, spec_dict):
+    """Subprocess entry: run and report ("ok", dict) / ("error", tb)."""
+    try:
+        conn.send(("ok", runner(spec_dict)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except BaseException:
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class _Pending:
+    __slots__ = ("index", "spec", "fingerprint", "label", "attempts",
+                 "not_before", "started", "deadline", "proc", "conn",
+                 "wall_time")
+
+    def __init__(self, index, spec, fingerprint, label):
+        self.index = index
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.label = label
+        self.attempts = 0
+        self.not_before = 0.0
+        self.started = 0.0
+        self.deadline = None
+        self.proc = None
+        self.conn = None
+        self.wall_time = 0.0
+
+
+class SweepEngine:
+    """Executes :class:`Sweep`s; see the module docstring for the contract.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) executes in-process —
+        identical numbers, easier debugging, and results keep live
+        attachments.
+    cache:
+        A :class:`~repro.exec.cache.ResultCache` (or ``None`` to disable).
+    timeout:
+        Per-run wall-clock limit in seconds (subprocess runs only).
+    retries:
+        Crash/timeout retries per run before it is marked failed.
+        Deterministic Python exceptions are *not* retried.
+    backoff:
+        Base of the exponential retry backoff (``backoff * 2**attempt``).
+    progress:
+        Optional callback receiving event dicts
+        (``event ∈ {cached, start, ok, retry, failed}``).
+    mp_context:
+        ``multiprocessing`` start method (default: ``fork`` where
+        available, else ``spawn``).
+    runner:
+        Picklable ``spec_dict -> result_dict`` executed in workers
+        (test/instrumentation hook; defaults to :func:`run_spec_dict`).
+    """
+
+    def __init__(self, jobs=1, cache=None, timeout=None, retries=2,
+                 backoff=0.25, progress=None, mp_context=None, runner=None):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.progress = progress
+        self.runner = runner or run_spec_dict
+        if mp_context is None:
+            mp_context = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._ctx = multiprocessing.get_context(mp_context)
+
+    # ------------------------------------------------------------------
+    def run(self, sweep) -> SweepReport:
+        """Execute every spec; outcomes come back in input order."""
+        if not isinstance(sweep, Sweep):
+            sweep = Sweep(tuple(sweep))
+        t0 = time.monotonic()
+        outcomes = [None] * len(sweep)
+        pending = []
+
+        # Phase 1: cache lookups and live-only (trace) runs.
+        for index, spec in enumerate(sweep):
+            label = sweep.label(index)
+            fingerprint = spec.fingerprint()
+            if spec.trace:
+                outcomes[index] = self._run_inline(
+                    index, spec, fingerprint, label, cacheable=False
+                )
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(fingerprint)
+                if hit is not None:
+                    outcomes[index] = RunOutcome(
+                        index=index, spec=spec, fingerprint=fingerprint,
+                        label=label, status="cached", result=hit,
+                    )
+                    self._emit("cached", outcomes[index], len(sweep))
+                    continue
+            pending.append(_Pending(index, spec, fingerprint, label))
+
+        # Phase 2: execute the misses.
+        if self.jobs == 1:
+            for task in pending:
+                outcomes[task.index] = self._run_inline(
+                    task.index, task.spec, task.fingerprint, task.label,
+                    cacheable=True, total=len(sweep),
+                )
+        elif pending:
+            self._run_pool(pending, outcomes, len(sweep))
+
+        report = SweepReport(
+            outcomes=outcomes, wall_time=time.monotonic() - t0
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    def _emit(self, event, outcome, total, **extra):
+        if self.progress is None:
+            return
+        payload = {
+            "event": event,
+            "index": outcome.index,
+            "total": total,
+            "label": outcome.label,
+            "fingerprint": outcome.fingerprint,
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "wall_time": outcome.wall_time,
+        }
+        payload.update(extra)
+        self.progress(payload)
+
+    def _store(self, spec, fingerprint, result):
+        if self.cache is not None:
+            self.cache.put(fingerprint, spec, result)
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, index, spec, fingerprint, label, cacheable,
+                    total=None):
+        start = time.monotonic()
+        try:
+            result = run_simulation(spec)
+        except Exception:
+            outcome = RunOutcome(
+                index=index, spec=spec, fingerprint=fingerprint,
+                label=label, status="failed",
+                error=traceback.format_exc(), attempts=1,
+                wall_time=time.monotonic() - start,
+            )
+            self._emit("failed", outcome, total or 0)
+            return outcome
+        if cacheable:
+            self._store(spec, fingerprint, result)
+        outcome = RunOutcome(
+            index=index, spec=spec, fingerprint=fingerprint, label=label,
+            status="ok", result=result, attempts=1,
+            wall_time=time.monotonic() - start,
+        )
+        self._emit("ok", outcome, total or 0)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Process-pool scheduler: one process per attempt, no shared pool to
+    # break — a dying worker can only ever take its own run down.
+    # ------------------------------------------------------------------
+    def _run_pool(self, pending, outcomes, total):
+        waiting = list(pending)
+        running = []
+
+        def launch(task):
+            parent, child = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_child_main,
+                args=(child, self.runner, task.spec.to_dict()),
+                daemon=True,
+            )
+            task.attempts += 1
+            task.started = time.monotonic()
+            task.deadline = (
+                task.started + self.timeout if self.timeout else None
+            )
+            task.proc, task.conn = proc, parent
+            proc.start()
+            child.close()
+            running.append(task)
+            if task.attempts == 1:
+                self._emit(
+                    "start",
+                    RunOutcome(
+                        index=task.index, spec=task.spec,
+                        fingerprint=task.fingerprint, label=task.label,
+                        status="running", attempts=task.attempts,
+                    ),
+                    total,
+                )
+
+        def finalize(task, status, result=None, error=None):
+            task.wall_time += time.monotonic() - task.started
+            outcome = RunOutcome(
+                index=task.index, spec=task.spec,
+                fingerprint=task.fingerprint, label=task.label,
+                status=status, result=result, error=error,
+                attempts=task.attempts, wall_time=task.wall_time,
+            )
+            outcomes[task.index] = outcome
+            self._emit("ok" if status == "ok" else "failed", outcome, total)
+
+        def reap(task):
+            """Collect one finished/overdue subprocess attempt."""
+            msg = None
+            if task.conn.poll():
+                try:
+                    msg = task.conn.recv()
+                except (EOFError, OSError):
+                    msg = None
+            elif task.proc.is_alive():
+                if task.deadline is not None and (
+                    time.monotonic() > task.deadline
+                ):
+                    task.proc.terminate()
+                    task.proc.join()
+                    self._close(task)
+                    return _requeue_or_fail(
+                        task, f"timed out after {self.timeout}s"
+                    )
+                return False  # still working
+            # Either a message arrived or the process died silently.
+            task.proc.join()
+            self._close(task)
+            if msg is None:
+                return _requeue_or_fail(
+                    task, f"worker died (exit code {task.proc.exitcode})"
+                )
+            kind, payload = msg
+            if kind == "ok":
+                result = RunResult.from_dict(payload)
+                self._store(task.spec, task.fingerprint, result)
+                finalize(task, "ok", result=result)
+            else:
+                # Deterministic Python exception: retrying cannot help.
+                finalize(task, "failed", error=payload)
+            return True
+
+        def _requeue_or_fail(task, reason):
+            task.wall_time += time.monotonic() - task.started
+            if task.attempts > self.retries:
+                outcome = RunOutcome(
+                    index=task.index, spec=task.spec,
+                    fingerprint=task.fingerprint, label=task.label,
+                    status="failed", error=reason, attempts=task.attempts,
+                    wall_time=task.wall_time,
+                )
+                outcomes[task.index] = outcome
+                self._emit("failed", outcome, total)
+            else:
+                task.not_before = time.monotonic() + (
+                    self.backoff * (2 ** (task.attempts - 1))
+                )
+                waiting.append(task)
+                self._emit(
+                    "retry",
+                    RunOutcome(
+                        index=task.index, spec=task.spec,
+                        fingerprint=task.fingerprint, label=task.label,
+                        status="retrying", error=reason,
+                        attempts=task.attempts, wall_time=task.wall_time,
+                    ),
+                    total,
+                )
+            return True
+
+        while waiting or running:
+            now = time.monotonic()
+            for task in [t for t in waiting if t.not_before <= now]:
+                if len(running) >= self.jobs:
+                    break
+                waiting.remove(task)
+                launch(task)
+            for task in list(running):
+                done = reap(task)
+                if done:
+                    running.remove(task)
+            if waiting or running:
+                time.sleep(0.005)
+
+    @staticmethod
+    def _close(task):
+        try:
+            task.conn.close()
+        except OSError:
+            pass

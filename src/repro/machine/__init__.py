@@ -8,7 +8,14 @@ effects the paper analyzes.
 
 from .costmodel import STENCIL_FLOPS_PER_CELL, VAR_BYTES, CostSpec
 from .network import NetworkSpec
-from .presets import MachineSpec, laptop, marenostrum4, marenostrum4_scaled
+from .presets import (
+    PRESETS,
+    MachineSpec,
+    get_preset,
+    laptop,
+    marenostrum4,
+    marenostrum4_scaled,
+)
 from .topology import CoreId, Machine, NodeSpec, RankPlacement
 
 __all__ = [
@@ -18,9 +25,11 @@ __all__ = [
     "MachineSpec",
     "NetworkSpec",
     "NodeSpec",
+    "PRESETS",
     "RankPlacement",
     "STENCIL_FLOPS_PER_CELL",
     "VAR_BYTES",
+    "get_preset",
     "laptop",
     "marenostrum4",
     "marenostrum4_scaled",

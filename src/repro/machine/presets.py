@@ -83,3 +83,22 @@ def laptop() -> MachineSpec:
         cost=CostSpec(),
         name="laptop",
     )
+
+
+#: Name → factory registry used wherever a machine is selected by name
+#: (CLI ``--preset``, serialized :class:`~repro.core.RunSpec`s).
+PRESETS = {
+    "laptop": laptop,
+    "marenostrum4": marenostrum4,
+    "marenostrum4_scaled": marenostrum4_scaled,
+}
+
+
+def get_preset(name: str):
+    """The preset factory registered under ``name``."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

@@ -46,6 +46,48 @@ def test_bench_weak_quick(capsys):
     assert "weak scaling" in out
 
 
+def test_bench_weak_parallel_matches_serial_and_caches(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    argv = ["bench", "weak", "--quick", "--nodes", "1", "2",
+            "--cache-dir", cache]
+    assert main(argv + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert main(argv) == 0  # warm cache, serial
+    warm = capsys.readouterr().out
+    assert main(["bench", "weak", "--quick", "--nodes", "1", "2",
+                 "--no-cache"]) == 0
+    serial = capsys.readouterr().out
+    assert parallel == serial == warm
+
+
+def test_sweep_command_prints_table(capsys, tmp_path):
+    rc = main([
+        "sweep", "--variants", "mpi_only", "tampi_dataflow",
+        "--nodes", "1", "2", "--preset", "laptop", "--ranks-per-node", "2",
+        "--root", "2", "2", "2", "--nx", "4", "--num-vars", "2",
+        "--tsteps", "1", "--stages", "2", "--checksum-freq", "2",
+        "--max-refine-level", "1", "--jobs", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sweep on laptop" in out
+    assert "tampi_dataflow" in out and "mpi_only" in out
+    assert "4 executed" in out
+
+
+def test_run_hybrid_defaults_to_paper_ranks_per_node(capsys):
+    """cmd_run and the driver resolve the same default (4, Table I)."""
+    rc = main([
+        "run", "--variant", "tampi_dataflow", "--preset", "laptop",
+        "--nodes", "1", "--root", "2", "2", "2",
+        "--nx", "4", "--num-vars", "2", "--tsteps", "1", "--stages", "2",
+        "--checksum-freq", "2", "--max-refine-level", "1",
+    ])
+    assert rc == 0
+    assert "1 nodes x 4 ranks" in capsys.readouterr().out
+
+
 def test_unknown_variant_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--variant", "nope"])

@@ -1,0 +1,98 @@
+"""ResultCache: hit/miss semantics, corruption handling, atomicity."""
+
+import json
+
+import pytest
+
+from repro import AmrConfig, RunSpec, run_simulation, sphere
+from repro.exec import ResultCache
+
+
+@pytest.fixture(scope="module")
+def spec():
+    cfg = AmrConfig(
+        npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2,
+        nx=4, ny=4, nz=4, num_vars=2, num_tsteps=1, stages_per_ts=2,
+        refine_freq=1, checksum_freq=2, max_refine_level=1,
+        payload="synthetic",
+        objects=(sphere(center=(0.3, 0.3, 0.3), radius=0.25),),
+    )
+    return RunSpec(config=cfg, machine="laptop", variant="tampi_dataflow",
+                   ranks_per_node=2)
+
+
+@pytest.fixture(scope="module")
+def result(spec):
+    return run_simulation(spec)
+
+
+def test_miss_on_empty_cache(tmp_path, spec):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.get(spec.fingerprint()) is None
+    assert len(cache) == 0
+
+
+def test_put_then_hit(tmp_path, spec, result):
+    cache = ResultCache(tmp_path / "cache")
+    fp = spec.fingerprint()
+    cache.put(fp, spec, result)
+    assert fp in cache
+    assert len(cache) == 1
+    assert cache.get(fp) == result
+
+
+def test_entry_is_sharded_and_self_describing(tmp_path, spec, result):
+    cache = ResultCache(tmp_path / "cache")
+    fp = spec.fingerprint()
+    cache.put(fp, spec, result)
+    path = cache.path(fp)
+    assert path.parent.name == fp[:2]
+    envelope = json.loads(path.read_text())
+    assert envelope["fingerprint"] == fp
+    assert RunSpec.from_dict(envelope["spec"]) == spec
+
+
+def test_corrupt_entry_is_a_miss_and_removed(tmp_path, spec, result):
+    cache = ResultCache(tmp_path / "cache")
+    fp = spec.fingerprint()
+    cache.put(fp, spec, result)
+    cache.path(fp).write_text("{ not json !!!")
+    assert cache.get(fp) is None
+    assert not cache.path(fp).exists()
+
+
+def test_truncated_entry_is_a_miss(tmp_path, spec, result):
+    cache = ResultCache(tmp_path / "cache")
+    fp = spec.fingerprint()
+    cache.put(fp, spec, result)
+    blob = cache.path(fp).read_text()
+    cache.path(fp).write_text(blob[: len(blob) // 2])
+    assert cache.get(fp) is None
+
+
+def test_fingerprint_mismatch_is_a_miss(tmp_path, spec, result):
+    cache = ResultCache(tmp_path / "cache")
+    fp = spec.fingerprint()
+    cache.put(fp, spec, result)
+    envelope = json.loads(cache.path(fp).read_text())
+    envelope["fingerprint"] = "0" * 64
+    cache.path(fp).write_text(json.dumps(envelope))
+    assert cache.get(fp) is None
+
+
+def test_no_temp_files_left_behind(tmp_path, spec, result):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(spec.fingerprint(), spec, result)
+    leftovers = [
+        p for p in (tmp_path / "cache").rglob("*")
+        if p.is_file() and not p.name.endswith(".json")
+    ]
+    assert leftovers == []
+
+
+def test_clear(tmp_path, spec, result):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(spec.fingerprint(), spec, result)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get(spec.fingerprint()) is None

@@ -1,0 +1,209 @@
+"""SweepEngine: parallel==serial, caching, crash/timeout isolation."""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import AmrConfig, RunSpec, sphere
+from repro.bench import weak_scaling
+from repro.exec import (
+    ResultCache,
+    Sweep,
+    SweepEngine,
+    SweepError,
+    run_spec_dict,
+)
+
+
+def small_config(num_ranks=2, **overrides):
+    kwargs = dict(
+        npx=num_ranks, npy=1, npz=1, init_x=1, init_y=2, init_z=2,
+        nx=4, ny=4, nz=4, num_vars=2, num_tsteps=1, stages_per_ts=2,
+        refine_freq=1, checksum_freq=2, max_refine_level=1,
+        payload="synthetic",
+        objects=(sphere(center=(0.3, 0.3, 0.3), radius=0.25),),
+    )
+    kwargs.update(overrides)
+    return AmrConfig(**kwargs)
+
+
+def small_sweep():
+    return [
+        RunSpec(config=small_config(), machine="laptop", variant=v,
+                ranks_per_node=2)
+        for v in ("mpi_only", "fork_join", "tampi_dataflow")
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fault-injection runners (module-level: picklable; fork inherits state).
+# ----------------------------------------------------------------------
+def _crash_until_third_attempt(spec_dict):
+    marker_dir = Path(os.environ["REPRO_EXEC_TEST_DIR"])
+    attempts = len(list(marker_dir.glob("attempt-*")))
+    (marker_dir / f"attempt-{attempts}").touch()
+    if attempts < 2:
+        os._exit(42)  # simulate a hard worker death (no exception path)
+    return run_spec_dict(spec_dict)
+
+
+def _crash_fork_join_only(spec_dict):
+    if spec_dict["variant"] == "fork_join":
+        os._exit(9)
+    return run_spec_dict(spec_dict)
+
+
+def _hang_forever(spec_dict):
+    time.sleep(600)
+
+
+def _raise_value_error(spec_dict):
+    raise ValueError("deterministic failure, retrying cannot help")
+
+
+# ----------------------------------------------------------------------
+# Parallel == serial
+# ----------------------------------------------------------------------
+def test_parallel_equals_serial_on_small_sweep():
+    specs = small_sweep()
+    serial = SweepEngine(jobs=1).run(specs)
+    parallel = SweepEngine(jobs=3).run(specs)
+    assert serial.failed == parallel.failed == 0
+    assert parallel.results == serial.results
+
+
+def test_parallel_equals_serial_weak_scaling():
+    serial = weak_scaling(node_counts=(1, 2), quick=True,
+                          engine=SweepEngine(jobs=1))
+    parallel = weak_scaling(node_counts=(1, 2), quick=True,
+                            engine=SweepEngine(jobs=4))
+    assert parallel.points == serial.points
+
+
+def test_outcomes_preserve_input_order():
+    specs = small_sweep()
+    report = SweepEngine(jobs=3).run(Sweep(specs, name="order"))
+    assert [o.spec for o in report.outcomes] == specs
+    assert [o.index for o in report.outcomes] == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# Caching
+# ----------------------------------------------------------------------
+def test_warm_cache_executes_nothing(tmp_path):
+    specs = small_sweep()
+    cache = ResultCache(tmp_path / "cache")
+    cold = SweepEngine(jobs=2, cache=cache).run(specs)
+    assert cold.executed == 3 and cold.cached == 0
+    warm = SweepEngine(jobs=2, cache=cache).run(specs)
+    assert warm.executed == 0 and warm.cached == 3
+    assert warm.results == cold.results
+
+
+def test_serial_runs_also_fill_the_cache(tmp_path):
+    specs = small_sweep()
+    cache = ResultCache(tmp_path / "cache")
+    SweepEngine(jobs=1, cache=cache).run(specs)
+    warm = SweepEngine(jobs=1, cache=cache).run(specs)
+    assert warm.executed == 0 and warm.cached == 3
+
+
+def test_trace_specs_bypass_the_cache(tmp_path):
+    spec = RunSpec(config=small_config(), machine="laptop",
+                   variant="tampi_dataflow", ranks_per_node=2, trace=True)
+    cache = ResultCache(tmp_path / "cache")
+    first = SweepEngine(jobs=2, cache=cache).run([spec])
+    second = SweepEngine(jobs=2, cache=cache).run([spec])
+    assert len(cache) == 0
+    assert first.executed == second.executed == 1
+    # Trace runs stay in-process, so the live tracer is present.
+    assert first.outcomes[0].result.tracer is not None
+
+
+# ----------------------------------------------------------------------
+# Fault isolation
+# ----------------------------------------------------------------------
+def test_worker_crash_is_retried_then_succeeds(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_EXEC_TEST_DIR", str(tmp_path))
+    spec = small_sweep()[2]
+    engine = SweepEngine(jobs=2, retries=2, backoff=0.01,
+                         mp_context="fork",
+                         runner=_crash_until_third_attempt)
+    report = engine.run([spec])
+    outcome = report.outcomes[0]
+    assert outcome.status == "ok"
+    assert outcome.attempts == 3
+    assert outcome.result == SweepEngine(jobs=1).run([spec]).results[0]
+
+
+def test_worker_crash_fails_only_that_run():
+    specs = small_sweep()
+    engine = SweepEngine(jobs=2, retries=1, backoff=0.01,
+                         mp_context="fork", runner=_crash_fork_join_only)
+    report = engine.run(specs)
+    by_variant = {o.spec.variant: o for o in report.outcomes}
+    assert by_variant["fork_join"].status == "failed"
+    assert by_variant["fork_join"].attempts == 2  # initial + 1 retry
+    assert "worker died" in by_variant["fork_join"].error
+    assert by_variant["mpi_only"].status == "ok"
+    assert by_variant["tampi_dataflow"].status == "ok"
+    assert report.failed == 1 and report.executed == 2
+    with pytest.raises(SweepError, match="fork_join"):
+        report.raise_failures()
+
+
+def test_timeout_kills_and_fails_the_run():
+    spec = small_sweep()[0]
+    engine = SweepEngine(jobs=2, timeout=0.25, retries=0,
+                         mp_context="fork", runner=_hang_forever)
+    report = engine.run([spec])
+    outcome = report.outcomes[0]
+    assert outcome.status == "failed"
+    assert "timed out" in outcome.error
+
+
+def test_deterministic_exception_is_not_retried():
+    spec = small_sweep()[0]
+    engine = SweepEngine(jobs=2, retries=5, backoff=0.01,
+                         mp_context="fork", runner=_raise_value_error)
+    report = engine.run([spec])
+    outcome = report.outcomes[0]
+    assert outcome.status == "failed"
+    assert outcome.attempts == 1
+    assert "deterministic failure" in outcome.error
+
+
+def test_inline_errors_become_failed_outcomes():
+    bad = RunSpec(config=small_config(num_ranks=2), machine="laptop",
+                  variant="tampi_dataflow", num_nodes=1, ranks_per_node=4)
+    report = SweepEngine(jobs=1).run([bad])
+    assert report.failed == 1
+    assert "rank grid" in report.outcomes[0].error
+    with pytest.raises(SweepError):
+        report.raise_failures()
+
+
+# ----------------------------------------------------------------------
+# Progress reporting
+# ----------------------------------------------------------------------
+def test_progress_events_are_emitted(tmp_path):
+    events = []
+    specs = small_sweep()
+    cache = ResultCache(tmp_path / "cache")
+    SweepEngine(jobs=2, cache=cache, progress=events.append).run(specs)
+    assert sum(1 for e in events if e["event"] == "ok") == 3
+    SweepEngine(jobs=2, cache=cache, progress=events.append).run(specs)
+    cached = [e for e in events if e["event"] == "cached"]
+    assert len(cached) == 3
+    assert all(e["total"] == 3 for e in events)
+    ok = [e for e in events if e["event"] == "ok"]
+    assert all(e["wall_time"] > 0 for e in ok)
+
+
+def test_report_summary_mentions_counts(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    report = SweepEngine(jobs=1, cache=cache).run(small_sweep())
+    text = report.summary()
+    assert "3 executed" in text and "0 cached" in text

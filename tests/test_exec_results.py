@@ -1,0 +1,93 @@
+"""RunResult round trips: typed stats, JSON serialization, equality."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import AmrConfig, RunResult, RunSpec, run_simulation, sphere
+from repro.core import CommStats, RuntimeStats
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = AmrConfig(
+        npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2,
+        nx=4, ny=4, nz=4, num_vars=2, num_tsteps=2, stages_per_ts=2,
+        refine_freq=1, checksum_freq=2, max_refine_level=1,
+        objects=(sphere(center=(0.3, 0.3, 0.3), radius=0.25,
+                        move=(0.05, 0.0, 0.0)),),
+    )
+    return run_simulation(RunSpec(
+        config=cfg, machine="laptop", variant="tampi_dataflow",
+        ranks_per_node=2,
+    ))
+
+
+def test_stats_are_typed_and_serializable(result):
+    assert isinstance(result.comm_stats, CommStats)
+    assert result.comm_stats.messages > 0
+    assert result.comm_stats.bytes_sent > 0
+    assert all(isinstance(s, RuntimeStats) for s in result.runtime_stats)
+    assert sum(s.tasks_executed for s in result.runtime_stats) > 0
+    # The whole result must be plain-JSON representable.
+    json.dumps(result.to_dict())
+
+
+def test_round_trip_equality(result):
+    again = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert again == result
+    assert result == again
+
+
+def test_round_trip_preserves_exact_floats(result):
+    again = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert again.total_time == result.total_time
+    assert again.flops == result.flops
+    for (ta, ca, da), (tb, cb, db) in zip(result.checksums, again.checksums):
+        assert ta == tb and da == db
+        assert np.array_equal(np.asarray(ca), np.asarray(cb))
+        assert cb.dtype == np.float64
+
+
+def test_inequality_on_changed_field(result):
+    other = RunResult.from_dict(result.to_dict())
+    other.total_time += 1e-9
+    assert other != result
+
+
+def test_inequality_on_changed_checksum(result):
+    other = RunResult.from_dict(result.to_dict())
+    t, total, d = other.checksums[-1]
+    other.checksums[-1] = (t, total + 1.0, d)
+    assert other != result
+
+
+def test_tracer_is_live_only(result):
+    # tracer never serializes...
+    assert "tracer" not in result.to_dict()
+    # ...and never survives a round trip.
+    again = RunResult.from_dict(result.to_dict())
+    assert again.tracer is None
+
+
+def test_equality_ignores_tracer(result):
+    cfg = AmrConfig(
+        npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2,
+        nx=4, ny=4, nz=4, num_vars=2, num_tsteps=2, stages_per_ts=2,
+        refine_freq=1, checksum_freq=2, max_refine_level=1,
+        objects=(sphere(center=(0.3, 0.3, 0.3), radius=0.25,
+                        move=(0.05, 0.0, 0.0)),),
+    )
+    traced = run_simulation(RunSpec(
+        config=cfg, machine="laptop", variant="tampi_dataflow",
+        ranks_per_node=2, trace=True,
+    ))
+    assert traced.tracer is not None
+    assert RunResult.from_dict(traced.to_dict()) == traced
+
+
+def test_derived_metrics_survive_round_trip(result):
+    again = RunResult.from_dict(result.to_dict())
+    assert again.gflops == result.gflops
+    assert again.non_refine_time == result.non_refine_time

@@ -40,12 +40,17 @@ from .machine import (
 __version__ = "1.0.0"
 
 from . import exec as exec_  # noqa: E402  (needs __version__ for fingerprints)
+from . import verify  # noqa: E402
 from .exec import ResultCache, Sweep, SweepEngine, SweepReport
+from .verify import AccessRaceError, AccessWitness, GoldenStore, fuzz_sweep
 
 __all__ = [
+    "AccessRaceError",
+    "AccessWitness",
     "AmrConfig",
     "CommStats",
     "CostSpec",
+    "GoldenStore",
     "MachineSpec",
     "NetworkSpec",
     "NodeSpec",
@@ -61,6 +66,7 @@ __all__ = [
     "SweepReport",
     "amr",
     "core",
+    "fuzz_sweep",
     "get_preset",
     "laptop",
     "machine",
@@ -73,5 +79,6 @@ __all__ = [
     "tampi",
     "tasking",
     "trace",
+    "verify",
     "__version__",
 ]

@@ -28,6 +28,7 @@ from .bench import (
 )
 from .core import RunSpec, VARIANTS, resolve_ranks_per_node, run_simulation
 from .machine.presets import PRESETS, get_preset
+from .tasking.runtime import SCHEDULERS
 
 #: Default on-disk result cache for ``bench``/``sweep`` (override with
 #: --cache-dir / REPRO_CACHE_DIR; disable with --no-cache).
@@ -58,8 +59,9 @@ def _add_geometry_options(p):
     p.add_argument("--stencil", type=int, choices=(7, 27), default=7)
     p.add_argument("--lb-method", choices=("sfc", "rcb"), default="sfc")
     p.add_argument("--uniform-refine", action="store_true")
-    p.add_argument("--scheduler", choices=("locality", "fifo"),
-                   default="locality")
+    p.add_argument("--scheduler", choices=SCHEDULERS, default="locality")
+    p.add_argument("--sched-seed", type=int, default=0,
+                   help="schedule-perturbation seed (fuzz scheduler only)")
 
 
 def _add_engine_options(p):
@@ -84,6 +86,9 @@ def _add_run_parser(sub):
                    default="marenostrum4_scaled")
     p.add_argument("--nodes", type=int, default=1)
     p.add_argument("--ranks-per-node", type=int, default=None)
+    p.add_argument("--check-access", action="store_true",
+                   help="run the dependency race detector (fail on any "
+                        "undeclared task data access)")
     _add_geometry_options(p)
     return p
 
@@ -121,6 +126,37 @@ def _add_bench_parser(sub):
     p.add_argument("--quick", action="store_true",
                    help="smaller geometry for a fast look")
     _add_engine_options(p)
+    return p
+
+
+def _add_verify_parser(sub):
+    p = sub.add_parser(
+        "verify",
+        help="correctness gate: golden-result regression, schedule-"
+             "perturbation fuzz, and the dependency race detector",
+    )
+    p.add_argument("--goldens-dir", default=None,
+                   help="golden store directory (default: goldens)")
+    p.add_argument("--update-goldens", action="store_true",
+                   help="rewrite the golden files from fresh runs "
+                        "(review the diff like any other)")
+    p.add_argument("--seeds", type=int, default=10,
+                   help="fuzz schedules to try (default: %(default)s)")
+    p.add_argument("--quick", action="store_true",
+                   help="single-timestep goldens for a fast smoke check")
+    p.add_argument("--skip-fuzz", action="store_true",
+                   help="skip the schedule-perturbation sweep")
+    p.add_argument("--skip-race", action="store_true",
+                   help="skip the dependency race detector run")
+    # Verification always re-executes: a result cache could mask drift
+    # introduced without a version bump, so only jobs/timeout/retries of
+    # the engine options apply here.
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = in-process serial)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-run timeout in seconds (parallel runs only)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="crash/timeout retries per run before it fails")
     return p
 
 
@@ -189,7 +225,11 @@ def cmd_run(args) -> int:
         num_nodes=args.nodes,
         ranks_per_node=ranks_per_node,
         scheduler=args.scheduler,
+        sched_seed=args.sched_seed,
+        check_access=args.check_access,
     ))
+    if args.check_access:
+        print("access check:     clean (no undeclared task accesses)")
     print(f"variant:          {res.variant}")
     print(f"machine:          {spec.name}, {args.nodes} nodes x "
           f"{ranks_per_node} ranks")
@@ -220,6 +260,7 @@ def cmd_sweep(args) -> int:
                 num_nodes=nodes,
                 ranks_per_node=rpn,
                 scheduler=args.scheduler,
+                sched_seed=args.sched_seed,
             ))
     engine = _make_engine(args)
     report = engine.run(specs)
@@ -265,6 +306,83 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from dataclasses import replace
+
+    from .exec import Sweep, SweepEngine
+    from .verify import (
+        DEFAULT_GOLDENS_DIR,
+        AccessRaceError,
+        GoldenStore,
+        default_golden_specs,
+        fuzz_sweep,
+    )
+
+    engine = SweepEngine(
+        jobs=args.jobs, cache=None, timeout=args.timeout,
+        retries=args.retries,
+    )
+    store = GoldenStore(args.goldens_dir or DEFAULT_GOLDENS_DIR)
+    specs = default_golden_specs(quick=args.quick)
+    problems = []
+
+    # 1. Golden runs (one small config per variant) through the engine.
+    names = sorted(specs)
+    report = engine.run(
+        Sweep([specs[n] for n in names], name="goldens", labels=names)
+    )
+    results = {}
+    for name, outcome in zip(names, report.outcomes):
+        if outcome.ok:
+            results[name] = outcome.result
+        else:
+            problems.append(f"{name}: run failed: {outcome.error}")
+
+    if args.update_goldens:
+        for name in sorted(results):
+            store.save(name, specs[name], results[name])
+            print(f"golden updated: {store.path(name)}")
+    else:
+        for name in sorted(results):
+            drift = store.compare(name, specs[name], results[name])
+            problems += drift
+            print(f"golden {name}: {'ok' if not drift else 'DRIFT'}")
+
+    # 2. Schedule-perturbation fuzz on the data-flow run; the MPI-only
+    #    result doubles as the cross-variant reference.
+    if not args.skip_fuzz and "tampi_dataflow_small" in results:
+        fuzz = fuzz_sweep(
+            specs["tampi_dataflow_small"],
+            seeds=args.seeds,
+            engine=engine,
+            reference=results.get("mpi_only_small"),
+        )
+        print(fuzz.summary().splitlines()[0])
+        if not fuzz.ok:
+            problems += fuzz.mismatches + fuzz.failures
+
+    # 3. Dependency race detector on the declared-dependency variant
+    #    (in-process: the witness must observe the actual execution).
+    if not args.skip_race:
+        try:
+            run_simulation(
+                replace(specs["tampi_dataflow_small"], check_access=True)
+            )
+        except AccessRaceError as exc:
+            problems.append(f"race detector: {exc}")
+            print("race detector: VIOLATIONS")
+        else:
+            print("race detector: clean")
+
+    if problems:
+        print(f"\nverify FAILED ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("verify: all checks passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="miniamr-sim",
@@ -277,11 +395,14 @@ def main(argv=None) -> int:
     _add_run_parser(sub)
     _add_sweep_parser(sub)
     _add_bench_parser(sub)
+    _add_verify_parser(sub)
     args = parser.parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "verify":
+        return cmd_verify(args)
     return cmd_bench(args)
 
 

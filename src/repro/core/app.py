@@ -25,6 +25,7 @@ from ..amr.comm_plan import EXCHANGE_TAG_BASE, build_all_rank_plans
 from ..amr.ids import HI, LO
 from ..amr.mesh import MeshStructure, PlanBoard, apply_plan, plan_refinement
 from ..amr.objects import MovingObject
+from ..verify.witness import READ, WRITE
 
 #: Tag offsets inside the exchange tag space.
 _ACK_TAG = EXCHANGE_TAG_BASE
@@ -83,6 +84,13 @@ class BaseRankProgram:
         for bid in shared.structure.blocks_of_rank(rank):
             self.blocks[bid] = Block.initial(bid, self.cfg)
 
+        #: (vslice.start, vslice.stop) -> variable-group index, used by the
+        #: access-witness instrumentation to name the touched handle.
+        self._group_of_slice = {}
+        for g in range(self.cfg.num_groups):
+            s = self.cfg.group_slice(g)
+            self._group_of_slice[(s.start, s.stop)] = g
+
         #: Per-rank copies of the moving objects (advanced identically on
         #: every rank, like miniAMR's replicated object state).
         self.objects = [MovingObject(spec) for spec in self.cfg.objects]
@@ -124,6 +132,39 @@ class BaseRankProgram:
         )
 
     # ------------------------------------------------------------------
+    # Dependency handles & access-witness instrumentation
+    # ------------------------------------------------------------------
+    def block_handle(self, bid, group):
+        """The dependency handle of (mesh block, variable group).
+
+        Defined here (not only in the data-flow variant) so the shared
+        data ops below can report their actual accesses to the access
+        witness using the same handles the task graph declares.
+        """
+        return ("blk", bid, group)
+
+    def touch_block(self, kind, bid, vslice):
+        """Report an actual (block, variable-group) access to the witness."""
+        w = self.rt.witness
+        if w is not None:
+            group = self._group_of_slice[(vslice.start, vslice.stop)]
+            w.touch(kind, self.block_handle(bid, group))
+
+    def touch_block_all_groups(self, kind, bid):
+        """Report an access spanning every variable group of a block."""
+        w = self.rt.witness
+        if w is not None:
+            for g in range(self.cfg.num_groups):
+                w.touch(kind, self.block_handle(bid, g))
+
+    def touch(self, kind, handle):
+        """Report an actual access to an arbitrary handle (e.g. a comm
+        buffer section) to the witness."""
+        w = self.rt.witness
+        if w is not None:
+            w.touch(kind, handle)
+
+    # ------------------------------------------------------------------
     # Plans
     # ------------------------------------------------------------------
     def plans_for_group(self, group):
@@ -142,6 +183,7 @@ class BaseRankProgram:
     # ------------------------------------------------------------------
     def make_face_payload(self, transfer, vslice):
         """Extract (and restrict if needed) the source face of a transfer."""
+        self.touch_block(READ, transfer.src, vslice)
         src = self.blocks[transfer.src]
         if not src.is_real:
             return None
@@ -158,6 +200,10 @@ class BaseRankProgram:
 
     def apply_face_payload(self, transfer, plane, vslice):
         """Write a received (or locally copied) face into the dst ghosts."""
+        # Touched even when synthetic payloads skip the array write: the
+        # algorithm's access pattern is the same, so the witness stays
+        # useful in synthetic mode.
+        self.touch_block(WRITE, transfer.dst, vslice)
         dst = self.blocks[transfer.dst]
         if not dst.is_real or plane is None:
             return
@@ -183,9 +229,11 @@ class BaseRankProgram:
     def run(self):
         """The rank's program (a simulation process generator)."""
         cfg = self.cfg
+        self.rt.timestep = "init"
         yield from self.initial_refinement()
         stage_index = 0
         for ts in range(cfg.num_tsteps):
+            self.rt.timestep = ts
             for _stage in range(cfg.stages_per_ts):
                 for group in range(cfg.num_groups):
                     yield from self.communicate(group)
@@ -477,18 +525,30 @@ class BaseRankProgram:
     # ------------------------------------------------------------------
     def do_split(self, bid):
         """Split one owned block into its 8 children (payload op)."""
+        self.touch_block_all_groups(READ, bid)
         block = self.blocks.pop(bid)
         self.blocks.update(split_block(block, self.cfg))
+        for child in bid.children():
+            self.touch_block_all_groups(WRITE, child)
 
     def do_consolidate(self, parent):
         """Consolidate 8 owned children into their parent (payload op)."""
         children = {}
         for cid in parent.children():
+            self.touch_block_all_groups(READ, cid)
             children[cid] = self.blocks.pop(cid)
+        self.touch_block_all_groups(WRITE, parent)
         self.blocks[parent] = consolidate_blocks(parent, children, self.cfg)
+
+    def block_checksum(self, bid, vslice):
+        """Checksum one block's variable group (a witnessed read)."""
+        self.touch_block(READ, bid, vslice)
+        return self.blocks[bid].checksum(vslice)
 
     def apply_stencil(self, bid, vslice):
         """Functional stencil on one block (real mode; no-op otherwise)."""
+        self.touch_block(READ, bid, vslice)
+        self.touch_block(WRITE, bid, vslice)
         block = self.blocks[bid]
         if block.is_real:
             block.fill_boundary_ghosts(

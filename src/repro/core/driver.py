@@ -7,6 +7,7 @@ from ..mpi import World
 from ..simx import Environment
 from ..tasking import RankRuntime
 from ..trace import Tracer
+from ..verify.witness import AccessWitness
 from .app import SharedState
 from .results import CommStats, RunResult, RuntimeStats
 from .spec import VARIANT_NAMES, RunSpec
@@ -69,6 +70,7 @@ def execute(run_spec: RunSpec) -> RunResult:
 
     env = Environment()
     tracer = Tracer() if rs.trace else None
+    witness = AccessWitness(env) if rs.check_access else None
     network = spec.network.scaled_to(num_nodes)
     world = World(env, machine, network, tracer=tracer)
     shared = SharedState(config, machine, spec, world, tracer=tracer)
@@ -84,6 +86,8 @@ def execute(run_spec: RunSpec) -> RunResult:
             cost_spec=spec.cost,
             numa=machine.placement(rank).spans_numa,
             scheduler=rs.scheduler,
+            sched_seed=rs.sched_seed,
+            witness=witness,
             tracer=tracer,
         )
         program = program_cls(shared, rank, world.comm(rank), runtime)
@@ -99,6 +103,9 @@ def execute(run_spec: RunSpec) -> RunResult:
     ]
     for proc in procs:
         env.run(until=proc)
+
+    if witness is not None:
+        witness.check()  # raises AccessRaceError on undeclared accesses
 
     return RunResult(
         variant=rs.variant,

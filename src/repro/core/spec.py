@@ -28,6 +28,7 @@ from ..machine.costmodel import CostSpec
 from ..machine.network import NetworkSpec
 from ..machine.presets import MachineSpec, get_preset
 from ..machine.topology import NodeSpec
+from ..tasking.runtime import SCHEDULERS
 
 #: The three parallelization variants under study (must match
 #: :data:`repro.core.driver.VARIANTS`; asserted there).
@@ -124,8 +125,18 @@ class RunSpec:
     #: ``None`` = the paper's default (all cores for MPI-only,
     #: :data:`DEFAULT_HYBRID_RPN` for the hybrids).
     ranks_per_node: int = None
-    #: Task scheduler for the data-flow variant ("locality" or "fifo").
+    #: Task scheduler for the tasking runtime (one of
+    #: :data:`repro.tasking.SCHEDULERS`: "locality", "fifo", or the
+    #: seeded schedule-perturbation "fuzz" scheduler).
     scheduler: str = "locality"
+    #: Seed of the "fuzz" scheduler's perturbation stream (ignored by the
+    #: deterministic schedulers; see :mod:`repro.verify`).
+    sched_seed: int = 0
+    #: Enable the access-witness race detector: tasks record the handles
+    #: they actually touch and the run fails with
+    #: :class:`~repro.verify.AccessRaceError` on any touch not covered by
+    #: a declared dependency.
+    check_access: bool = False
     #: Override the data-flow variant's delayed-checksum optimization.
     delayed_checksum: bool = None
     #: Ablation: force a local join after every stage.
@@ -152,8 +163,13 @@ class RunSpec:
             raise ValueError("num_nodes must be >= 1")
         if self.ranks_per_node is not None and self.ranks_per_node < 1:
             raise ValueError("ranks_per_node must be >= 1")
-        if self.scheduler not in ("locality", "fifo"):
-            raise ValueError("scheduler must be 'locality' or 'fifo'")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; choose from "
+                f"{sorted(SCHEDULERS)}"
+            )
+        if not isinstance(self.sched_seed, int) or self.sched_seed < 0:
+            raise ValueError("sched_seed must be a non-negative int")
         if self.cost_overrides is not None:
             bad = set(self.cost_overrides) - {
                 f.name for f in fields(CostSpec)
@@ -210,6 +226,8 @@ class RunSpec:
             "num_nodes": self.num_nodes,
             "ranks_per_node": self.ranks_per_node,
             "scheduler": self.scheduler,
+            "sched_seed": self.sched_seed,
+            "check_access": self.check_access,
             "delayed_checksum": self.delayed_checksum,
             "stage_barrier": self.stage_barrier,
             "cost_overrides": (
@@ -230,6 +248,8 @@ class RunSpec:
             num_nodes=data.get("num_nodes", 1),
             ranks_per_node=data.get("ranks_per_node"),
             scheduler=data.get("scheduler", "locality"),
+            sched_seed=data.get("sched_seed", 0),
+            check_access=data.get("check_access", False),
             delayed_checksum=data.get("delayed_checksum"),
             stage_barrier=data.get("stage_barrier", False),
             cost_overrides=data.get("cost_overrides"),

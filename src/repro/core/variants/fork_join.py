@@ -164,13 +164,16 @@ class ForkJoinProgram(BaseRankProgram):
             yield from self.team.parallel_for(
                 [cost] * len(bids), bodies, label="checksum", phase="checksum"
             )
-            for part in partials:
+            # Partials land in chunk-execution order; FP addition is not
+            # associative, so reduce in canonical block order to keep the
+            # checksum bitwise identical under every legal schedule.
+            for _bid, part in sorted(partials, key=lambda p: p[0]):
                 total[vs] += part
         return total
 
     def _csum_body(self, partials, bid, vs):
         def run():
-            partials.append(self.blocks[bid].checksum(vs))
+            partials.append((bid, self.block_checksum(bid, vs)))
 
         return run
 

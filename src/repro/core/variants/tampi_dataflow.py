@@ -31,6 +31,7 @@ import numpy as np
 
 from ... import tampi
 from ...amr.comm_plan import direction_tag, group_nbytes, message_groups
+from ...verify.witness import READ, WRITE
 from ..app import BaseRankProgram
 
 
@@ -49,10 +50,8 @@ class TampiDataflowProgram(BaseRankProgram):
         self._csum_seq = 0
 
     # ------------------------------------------------------------------
-    def block_handle(self, bid, group):
-        """The dependency handle of (mesh block, variable group)."""
-        return ("blk", bid, group)
-
+    # ``block_handle`` is inherited from BaseRankProgram so the shared
+    # data ops report their accesses with the very handles declared here.
     def _buffer_ns(self, axis):
         """Buffer namespace: per-direction iff --separate_buffers."""
         return axis if self.cfg.separate_buffers else 0
@@ -89,7 +88,7 @@ class TampiDataflowProgram(BaseRankProgram):
                         f"recv d{axis} p{peer} m{gi}",
                         body=self._recv_body(
                             slot, peer, direction_tag(axis, gi),
-                            group_nbytes(mgroup),
+                            group_nbytes(mgroup), rbuf,
                         ),
                         outs=[rbuf],
                         phase="recv",
@@ -111,7 +110,7 @@ class TampiDataflowProgram(BaseRankProgram):
                         yield from rt.spawn(
                             f"pack d{axis} {t.src.coords}",
                             cost=self.copy_cost(t.nbytes),
-                            body=self._pack_body(slots, fi, t, vs),
+                            body=self._pack_body(slots, fi, t, vs, sections[fi]),
                             ins=[self.block_handle(t.src, group)],
                             outs=[sections[fi]],
                             affinity=t.src,
@@ -123,7 +122,7 @@ class TampiDataflowProgram(BaseRankProgram):
                         f"send d{axis} p{peer} m{gi}",
                         body=self._send_body(
                             slots, peer, direction_tag(axis, gi),
-                            group_nbytes(mgroup),
+                            group_nbytes(mgroup), sections,
                         ),
                         ins=sections,
                         phase="send",
@@ -155,7 +154,7 @@ class TampiDataflowProgram(BaseRankProgram):
                     yield from rt.spawn(
                         f"unpack d{axis} {t.dst.coords}",
                         cost=self.copy_cost(t.nbytes),
-                        body=self._unpack_body(slot, fi, t, vs),
+                        body=self._unpack_body(slot, fi, t, vs, rbuf),
                         ins=[rbuf],
                         inouts=[] if commutative else [dst_handle],
                         commutatives=[dst_handle] if commutative else [],
@@ -165,30 +164,38 @@ class TampiDataflowProgram(BaseRankProgram):
                     )
 
     # Task bodies ------------------------------------------------------
-    def _recv_body(self, slot, peer, tag, nbytes):
+    # Generator bodies report their touches before the first yield, so
+    # the witness's executing-task stack attributes them correctly even
+    # though the task later suspends inside TAMPI.
+    def _recv_body(self, slot, peer, tag, nbytes, rbuf):
         def body(ctx):
+            self.touch(WRITE, rbuf)
             slot["req"] = yield from tampi.irecv(
                 ctx, self.comm, peer, tag, nbytes
             )
 
         return body
 
-    def _send_body(self, slots, peer, tag, nbytes):
+    def _send_body(self, slots, peer, tag, nbytes, sections):
         def body(ctx):
+            for section in sections:
+                self.touch(READ, section)
             yield from tampi.isend(
                 ctx, self.comm, peer, tag, nbytes=nbytes, payload=slots
             )
 
         return body
 
-    def _pack_body(self, slots, fi, transfer, vs):
+    def _pack_body(self, slots, fi, transfer, vs, section):
         def run():
+            self.touch(WRITE, section)
             slots[fi] = self.make_face_payload(transfer, vs)
 
         return run
 
-    def _unpack_body(self, slot, fi, transfer, vs):
+    def _unpack_body(self, slot, fi, transfer, vs, rbuf):
         def run():
+            self.touch(READ, rbuf)
             data = slot["req"].data
             plane = data[fi] if data is not None else None
             self.apply_face_payload(transfer, plane, vs)
@@ -244,7 +251,7 @@ class TampiDataflowProgram(BaseRankProgram):
                 yield from self.rt.spawn(
                     f"checksum {bid.coords}",
                     cost=cost,
-                    body=self._csum_body(partials, bid, vs),
+                    body=self._csum_body(partials, bid, vs, handle),
                     ins=[self.block_handle(bid, group)],
                     outs=[handle],
                     affinity=bid,
@@ -263,9 +270,10 @@ class TampiDataflowProgram(BaseRankProgram):
             self._pending_checksum = current
             yield from self._validate_pending()
 
-    def _csum_body(self, partials, bid, vs):
+    def _csum_body(self, partials, bid, vs, handle):
         def run():
-            partials.append((vs, self.blocks[bid].checksum(vs)))
+            self.touch(WRITE, handle)
+            partials.append((bid, vs, self.block_checksum(bid, vs)))
 
         return run
 
@@ -274,7 +282,10 @@ class TampiDataflowProgram(BaseRankProgram):
         self._pending_checksum = None
         yield from self.rt.taskwait_with_deps(ins=handles)
         total = np.zeros(self.cfg.num_vars, dtype=np.float64)
-        for vs, part in partials:
+        # Partials arrive in task-execution order; FP addition is not
+        # associative, so sum them in a canonical order to keep checksums
+        # bitwise identical under every legal schedule.
+        for bid, vs, part in sorted(partials, key=lambda p: (p[0], p[1].start)):
             total[vs] += part
         yield from self.validate_checksum(total)
 
@@ -359,14 +370,16 @@ class TampiDataflowProgram(BaseRankProgram):
                 slot = {}
                 yield from rt.spawn(
                     f"xrecv {bid.coords}",
-                    body=self._recv_body(slot, src, tag_base + idx, nbytes),
+                    body=self._recv_body(
+                        slot, src, tag_base + idx, nbytes, rbuf
+                    ),
                     outs=[rbuf],
                     phase="exchange-recv",
                 )
                 yield from rt.spawn(
                     f"xunpack {bid.coords}",
                     cost=self.copy_cost(nbytes),
-                    body=self._xunpack_body(slot, bid),
+                    body=self._xunpack_body(slot, bid, rbuf),
                     ins=[rbuf],
                     outs=[self.block_handle(bid, g) for g in groups],
                     phase="exchange-unpack",
@@ -377,14 +390,16 @@ class TampiDataflowProgram(BaseRankProgram):
                 yield from rt.spawn(
                     f"xpack {bid.coords}",
                     cost=self.copy_cost(nbytes),
-                    body=self._xpack_body(slot, bid),
+                    body=self._xpack_body(slot, bid, sbuf),
                     ins=[self.block_handle(bid, g) for g in groups],
                     outs=[sbuf],
                     phase="exchange-pack",
                 )
                 yield from rt.spawn(
                     f"xsend {bid.coords}",
-                    body=self._xsend_body(slot, dst, tag_base + idx, nbytes),
+                    body=self._xsend_body(
+                        slot, dst, tag_base + idx, nbytes, sbuf
+                    ),
                     ins=[sbuf],
                     phase="exchange-send",
                 )
@@ -394,23 +409,28 @@ class TampiDataflowProgram(BaseRankProgram):
             if src == self.rank and bid in self.blocks:
                 del self.blocks[bid]
 
-    def _xpack_body(self, slot, bid):
+    def _xpack_body(self, slot, bid, sbuf):
         def run():
+            self.touch_block_all_groups(READ, bid)
+            self.touch(WRITE, sbuf)
             block = self.blocks[bid]
             slot[0] = block.data if block.is_real else block.surrogate
 
         return run
 
-    def _xsend_body(self, slot, dst, tag, nbytes):
+    def _xsend_body(self, slot, dst, tag, nbytes, sbuf):
         def body(ctx):
+            self.touch(READ, sbuf)
             yield from tampi.isend(
                 ctx, self.comm, dst, tag, nbytes=nbytes, payload=slot[0]
             )
 
         return body
 
-    def _xunpack_body(self, slot, bid):
+    def _xunpack_body(self, slot, bid, rbuf):
         def run():
+            self.touch(READ, rbuf)
+            self.touch_block_all_groups(WRITE, bid)
             self.blocks[bid] = self._block_from_payload(
                 bid, slot["req"].data
             )

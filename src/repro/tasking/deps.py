@@ -29,6 +29,15 @@ class _HandleState:
         self.readers = []
         self.commuters = []
 
+    def clone(self):
+        """Independent copy for a region-segment split: the fragment
+        inherits the history so far but diverges from its sibling."""
+        state = _HandleState()
+        state.last_writer = self.last_writer
+        state.readers = list(self.readers)
+        state.commuters = list(self.commuters)
+        return state
+
 
 class DependencyTracker:
     """Computes predecessor sets and wires successor edges."""

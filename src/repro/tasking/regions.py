@@ -50,14 +50,27 @@ class _Segment:
     def split(self, at):
         """Split at offset ``at`` (strictly inside); returns the right part.
 
-        The right part *shares* the dependency state object with the left so
-        both fragments keep the same history.
+        The right part receives a *clone* of the dependency state, so both
+        fragments inherit the history accumulated up to the split but
+        diverge afterwards.  (Sharing the object instead would let a later
+        access to one fragment pollute the sibling's history, creating
+        dependencies between provably disjoint accesses.)
         """
         if not self.start < at < self.stop:
             raise ValueError(f"split point {at} outside ({self.start}, {self.stop})")
-        right = _Segment(at, self.stop, self.state)
+        right = _Segment(at, self.stop, _clone_state(self.state))
         self.stop = at
         return right
+
+
+def _clone_state(state):
+    """Duck-typed state copy: ``clone()`` if provided, else ``copy()``."""
+    if state is None:
+        return None
+    clone = getattr(state, "clone", None)
+    if clone is not None:
+        return clone()
+    return state.copy()
 
 
 class RegionSpace:

@@ -10,7 +10,10 @@ One :class:`RankRuntime` manages the cores of one MPI rank:
 * released successors are pushed to the *front* of the completing core's
   queue under the default ``"locality"`` scheduler (Nanos6's
   immediate-successor policy, which the paper credits for the IPC gain);
-  the ``"fifo"`` scheduler ablates this;
+  the ``"fifo"`` scheduler ablates this; the seeded ``"fuzz"`` scheduler
+  perturbs every free scheduling choice (pop order, queue placement,
+  release order, idle-worker wakeup) to explore alternative *legal*
+  schedules — the verification tool behind :mod:`repro.verify`;
 * tasks may bind simulated-MPI requests (via :mod:`repro.tampi`); their
   dependencies are released only when the body finished *and* every bound
   request completed.
@@ -19,6 +22,7 @@ One :class:`RankRuntime` manages the cores of one MPI rank:
 from __future__ import annotations
 
 import inspect
+import random
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -26,7 +30,10 @@ from ..machine.costmodel import CostSpec, NoiseModel
 from .deps import DependencyTracker
 from .task import Task, TaskState, normalize_accesses
 
-SCHEDULERS = ("locality", "fifo")
+#: The task schedulers the runtime implements.  This tuple is the single
+#: source of truth — :class:`~repro.core.RunSpec` validation and the CLI
+#: ``--scheduler`` choices both import it.
+SCHEDULERS = ("locality", "fifo", "fuzz")
 
 
 @dataclass
@@ -70,12 +77,16 @@ class RankRuntime:
         cost_spec=None,
         numa=False,
         scheduler="locality",
+        sched_seed=0,
+        witness=None,
         tracer=None,
     ):
         if num_cores < 1:
             raise ValueError("num_cores must be >= 1")
         if scheduler not in SCHEDULERS:
-            raise ValueError(f"unknown scheduler {scheduler!r}")
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}"
+            )
         self.env = env
         self.rank = rank
         self.num_cores = num_cores
@@ -84,6 +95,22 @@ class RankRuntime:
         #: applied by the application when computing task costs).
         self.numa = numa
         self.scheduler = scheduler
+        #: Seed of the ``"fuzz"`` scheduler's perturbation stream (ignored
+        #: by the deterministic schedulers).  The stream is derived from
+        #: (seed, rank) so every rank perturbs independently but the whole
+        #: run stays reproducible for a given seed.
+        self.sched_seed = sched_seed
+        self._rng = (
+            random.Random(sched_seed * 1_000_003 + rank)
+            if scheduler == "fuzz"
+            else None
+        )
+        #: Optional :class:`repro.verify.AccessWitness` recording the
+        #: handles each task actually touches (None = no recording).
+        self.witness = witness
+        #: Application-provided context for witness reports (the current
+        #: timestep); see :meth:`repro.core.app.BaseRankProgram.run`.
+        self.timestep = None
         self.tracer = tracer
         self.stats = RuntimeStats()
         #: Deterministic per-rank system-noise source (shared with the
@@ -223,11 +250,19 @@ class RankRuntime:
         if task.commutative_handles and not self._acquire_commutative(task):
             return  # parked; re-released when the lock holder completes
         task.state = TaskState.READY
+        rng = self._rng
+        if rng is not None:
+            # Fuzz: every placement choice is randomized — which idle
+            # worker wakes, which queue the task lands on, front or back.
+            preferred = rng.randrange(self.num_cores)
+            front = rng.random() < 0.5
         waiter = self._pick_waiter(preferred)
         if waiter is not None:
             waiter[1].succeed(task)
             return
-        if preferred is None:
+        if rng is not None:
+            core = preferred
+        elif preferred is None:
             core = self._rr
             self._rr = (self._rr + 1) % self.num_cores
         else:
@@ -291,6 +326,8 @@ class RankRuntime:
         return chosen
 
     def _pop_task_for(self, core):
+        if self._rng is not None:
+            return self._pop_task_fuzz(core)
         dq = self._ready[core]
         if dq:
             return dq.popleft()
@@ -300,6 +337,21 @@ class RankRuntime:
                 self.stats.steals += 1
                 return self._ready[victim].pop()
         return None
+
+    def _pop_task_fuzz(self, core):
+        """Fuzz-scheduler pop: a uniformly random ready task of any queue."""
+        nonempty = [c for c in range(self.num_cores) if self._ready[c]]
+        if not nonempty:
+            return None
+        victim = self._rng.choice(nonempty)
+        dq = self._ready[victim]
+        idx = self._rng.randrange(len(dq))
+        dq.rotate(-idx)
+        task = dq.popleft()
+        dq.rotate(idx)
+        if victim != core:
+            self.stats.steals += 1
+        return task
 
     def _worker(self, core):
         env = self.env
@@ -344,10 +396,20 @@ class RankRuntime:
             yield env.timeout(total)
 
         if task.body is not None:
-            if inspect.isgeneratorfunction(task.body):
-                yield from task.body(TaskContext(self, task, core))
-            else:
-                task.body()
+            witness = self.witness
+            # Unchecked tasks still get a frame: their touches must be
+            # swallowed, not misattributed to a suspended witnessed task.
+            record = witness is not None
+            if record:
+                witness.task_begin(task, self.rank, self.timestep)
+            try:
+                if inspect.isgeneratorfunction(task.body):
+                    yield from task.body(TaskContext(self, task, core))
+                else:
+                    task.body()
+            finally:
+                if record:
+                    witness.task_end(task)
 
         self._last_affinity[core] = task.affinity
         self.stats.tasks_executed += 1
@@ -400,6 +462,12 @@ class RankRuntime:
             for succ in reversed(released):
                 self._make_ready(succ, preferred=core, front=True)
         else:
+            if self._rng is not None and len(released) > 1:
+                # Fuzz: permute the release order.  This is also how TAMPI
+                # completion interleavings are perturbed — a request's
+                # completion funnels through here, so its successors race
+                # in a different order on every seed.
+                self._rng.shuffle(released)
             for succ in released:
                 self._make_ready(succ, preferred=None)
 

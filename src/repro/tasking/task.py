@@ -66,6 +66,7 @@ class Task:
         "done_event",
         "is_sync",
         "commutative_handles",
+        "unchecked",
     )
 
     _counter = 0
@@ -101,6 +102,10 @@ class Task:
         self.done_event = env.event()
         #: True for the zero-cost marker tasks used by taskwait-with-deps.
         self.is_sync = False
+        #: Exempt from access-witness checking (set by layers like the
+        #: fork-join team whose tasks synchronize structurally, not through
+        #: declared dependencies).
+        self.unchecked = False
         #: Handles this task accesses commutatively (runtime mutual
         #: exclusion; populated from ``accesses``).
         self.commutative_handles = tuple(

@@ -1,0 +1,66 @@
+"""``repro.verify`` — the correctness layer for the data-flow port.
+
+The paper's claim is that the taskified miniAMR produces the same physics
+as MPI-only *under any legal schedule*.  Our runtime, like OmpSs-2,
+trusts each task's declared ``in/out/inout`` accesses — so this package
+provides the tooling that makes that trust checkable:
+
+* :class:`AccessWitness` — an access-witness race detector: tasks record
+  the handles they actually touch, and any touch not covered by a declared
+  dependency is flagged as a would-be data race
+  (:class:`AccessViolation` / :class:`AccessRaceError`).  Enable per run
+  with ``RunSpec(check_access=True)``.
+* :func:`fuzz_sweep` — a schedule-perturbation fuzzer built on the seeded
+  ``"fuzz"`` scheduler: N seeds of a run must produce bitwise-identical
+  checksums and structural invariants (:class:`FuzzReport`,
+  :class:`ScheduleVarianceError`).
+* :class:`GoldenStore` — committed JSON golden results keyed by resolved
+  spec content; ``miniamr-sim verify`` checks them and
+  ``--update-goldens`` refreshes them (:class:`GoldenMismatchError`).
+"""
+
+from .fuzz import (
+    FuzzReport,
+    ScheduleVarianceError,
+    compare_reference,
+    fuzz_specs,
+    fuzz_sweep,
+    invariants,
+)
+from .goldens import (
+    DEFAULT_GOLDENS_DIR,
+    GoldenMismatchError,
+    GoldenStore,
+    default_golden_specs,
+    expected_from_result,
+    golden_key,
+)
+from .witness import (
+    READ,
+    WRITE,
+    AccessRaceError,
+    AccessViolation,
+    AccessWitness,
+    covers,
+)
+
+__all__ = [
+    "AccessRaceError",
+    "AccessViolation",
+    "AccessWitness",
+    "DEFAULT_GOLDENS_DIR",
+    "FuzzReport",
+    "GoldenMismatchError",
+    "GoldenStore",
+    "READ",
+    "WRITE",
+    "ScheduleVarianceError",
+    "compare_reference",
+    "covers",
+    "default_golden_specs",
+    "expected_from_result",
+    "fuzz_specs",
+    "fuzz_sweep",
+    "golden_key",
+    "invariants",
+]

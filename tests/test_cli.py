@@ -88,6 +88,59 @@ def test_run_hybrid_defaults_to_paper_ranks_per_node(capsys):
     assert "1 nodes x 4 ranks" in capsys.readouterr().out
 
 
+def test_help_lists_verify_subcommand(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    assert "verify" in capsys.readouterr().out
+
+
+def test_verify_help_documents_flags(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["verify", "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--update-goldens", "--seeds", "--goldens-dir", "--quick"):
+        assert flag in out
+
+
+def test_run_scheduler_choices_are_centralized(capsys):
+    """The run parser must accept exactly repro.tasking.runtime.SCHEDULERS."""
+    from repro.tasking.runtime import SCHEDULERS
+
+    with pytest.raises(SystemExit):
+        main(["run", "--variant", "mpi_only", "--scheduler", "nope"])
+    for name in SCHEDULERS:
+        assert name in ("locality", "fifo", "fuzz")
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "--help"])
+    assert exc.value.code == 0
+    assert "fuzz" in capsys.readouterr().out
+
+
+def test_run_check_access_flag(capsys):
+    rc = main([
+        "run", "--variant", "tampi_dataflow", "--preset", "laptop",
+        "--nodes", "1", "--ranks-per-node", "2", "--root", "2", "2", "1",
+        "--nx", "4", "--num-vars", "2", "--tsteps", "1", "--stages", "2",
+        "--checksum-freq", "2", "--max-refine-level", "1", "--check-access",
+    ])
+    assert rc == 0
+    assert "access check:     clean" in capsys.readouterr().out
+
+
+def test_run_fuzz_scheduler_with_seed(capsys):
+    rc = main([
+        "run", "--variant", "tampi_dataflow", "--preset", "laptop",
+        "--nodes", "1", "--ranks-per-node", "2", "--root", "2", "2", "1",
+        "--nx", "4", "--num-vars", "2", "--tsteps", "1", "--stages", "2",
+        "--checksum-freq", "2", "--max-refine-level", "1",
+        "--scheduler", "fuzz", "--sched-seed", "7",
+    ])
+    assert rc == 0
+    assert "tampi_dataflow" in capsys.readouterr().out
+
+
 def test_unknown_variant_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--variant", "nope"])

@@ -96,3 +96,38 @@ def test_clear(tmp_path, spec, result):
     cache.clear()
     assert len(cache) == 0
     assert cache.get(spec.fingerprint()) is None
+
+
+def test_version_bump_changes_fingerprint_and_misses(
+    monkeypatch, tmp_path, spec, result
+):
+    """A package upgrade must invalidate cached results: the fingerprint
+    embeds ``repro.__version__``, so the same spec misses after a bump."""
+    import repro
+
+    cache = ResultCache(tmp_path / "cache")
+    old_fp = spec.fingerprint()
+    cache.put(old_fp, spec, result)
+    assert cache.get(old_fp) == result
+
+    monkeypatch.setattr(repro, "__version__", "999.0.0")
+    new_fp = spec.fingerprint()
+    assert new_fp != old_fp
+    assert cache.get(new_fp) is None  # stale entry is not served
+    assert cache.get(old_fp) == result  # ...but remains addressable
+
+
+def test_sweep_engine_parallel_matches_serial_on_fuzz_seeds(spec):
+    """A fuzz-seed sweep is the worst case for worker-process isolation
+    (every run perturbs the schedule); jobs=1 and jobs>1 must agree."""
+    from repro.exec import Sweep, SweepEngine
+    from repro.verify import fuzz_specs, invariants
+
+    specs = [spec] + fuzz_specs(spec, range(3))
+    serial = SweepEngine(jobs=1).run(Sweep(specs, name="fuzz"))
+    parallel = SweepEngine(jobs=2).run(Sweep(specs, name="fuzz"))
+    assert not serial.failed and not parallel.failed
+    for a, b in zip(serial.outcomes, parallel.outcomes):
+        assert a.fingerprint == b.fingerprint
+        assert a.result.total_time == b.result.total_time
+        assert invariants(a.result) == invariants(b.result)

@@ -97,6 +97,8 @@ def test_fingerprint_equal_for_implicit_and_explicit_default_rpn():
         {"num_nodes": 2},
         {"ranks_per_node": 4},
         {"scheduler": "fifo"},
+        {"scheduler": "fuzz", "sched_seed": 3},
+        {"check_access": True},
         {"delayed_checksum": False},
         {"stage_barrier": True},
         {"cost_overrides": {"noise_amplitude": 0.0}},
@@ -114,6 +116,35 @@ def test_fingerprint_sensitive_to_every_field(change):
 def test_fingerprint_sensitive_to_config_changes():
     changed = base_spec(config=small_config(num_tsteps=2))
     assert changed.fingerprint() != base_spec().fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_unknown_scheduler_rejected_with_clear_error():
+    with pytest.raises(ValueError, match="unknown scheduler 'wfq'"):
+        base_spec(scheduler="wfq")
+
+
+def test_scheduler_error_names_the_valid_choices():
+    from repro.tasking.runtime import SCHEDULERS
+
+    with pytest.raises(ValueError) as exc:
+        base_spec(scheduler="nope")
+    for name in SCHEDULERS:
+        assert name in str(exc.value)
+
+
+def test_negative_sched_seed_rejected():
+    with pytest.raises(ValueError, match="sched_seed"):
+        base_spec(sched_seed=-1)
+
+
+def test_sched_seed_and_check_access_round_trip():
+    spec = base_spec(scheduler="fuzz", sched_seed=11, check_access=True)
+    again = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert again == spec
+    assert again.sched_seed == 11 and again.check_access is True
 
 
 def test_cost_overrides_fold_into_resolved_machine():

@@ -2,10 +2,12 @@
 randomly placed objects (the reproduction's core functional guarantee)."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import AmrConfig, laptop, run_simulation, sphere
+from repro.core import RunSpec
 
 
 @settings(max_examples=6, deadline=None)
@@ -46,4 +48,80 @@ def test_property_variants_agree_for_random_objects(cx, cy, cz, r, mx):
         other = results[variant].checksums
         assert len(other) == len(ref)
         for (_, a, _), (_, b, _) in zip(ref, other):
+            assert np.max(np.abs(a - b) / np.abs(a)) < 1e-12, variant
+
+
+# ----------------------------------------------------------------------
+# Stress configs x all variants x both deterministic schedulers
+# ----------------------------------------------------------------------
+def _stress_base(name):
+    """Two adversarial workloads: refinement churn and forced rebalancing."""
+    if name == "refine_heavy":
+        # A fast-moving object refined every timestep, two levels deep:
+        # maximum split/consolidate and exchange traffic.
+        return dict(
+            nx=4, ny=4, nz=4, num_vars=2,
+            num_tsteps=3, stages_per_ts=2, refine_freq=1, checksum_freq=2,
+            max_refine_level=2,
+            objects=(sphere(center=(0.25, 0.4, 0.5), radius=0.14,
+                            move=(0.18, 0.05, 0.0)),),
+        )
+    # load_balance: a small off-center object concentrates every refined
+    # block on one rank, forcing the ACK-gated exchange to move blocks.
+    return dict(
+        nx=4, ny=4, nz=4, num_vars=2,
+        num_tsteps=2, stages_per_ts=3, refine_freq=1, checksum_freq=3,
+        max_refine_level=1, lb_method="rcb",
+        objects=(sphere(center=(0.2, 0.2, 0.2), radius=0.12,
+                        move=(0.3, 0.3, 0.0)),),
+    )
+
+
+def _stress_spec(workload, variant, scheduler):
+    base = _stress_base(workload)
+    if variant == "mpi_only":
+        cfg = AmrConfig(npx=2, npy=2, npz=1, init_x=1, init_y=1, init_z=2,
+                        **base)
+        rpn = 4
+    else:
+        cfg = AmrConfig(npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2,
+                        **base)
+        rpn = 2
+    return RunSpec(config=cfg, machine="laptop", variant=variant,
+                   num_nodes=1, ranks_per_node=rpn, scheduler=scheduler)
+
+
+@pytest.mark.parametrize("workload", ["refine_heavy", "load_balance"])
+def test_stress_configs_agree_across_variants_and_schedulers(workload):
+    results = {}
+    for variant in ("mpi_only", "fork_join", "tampi_dataflow"):
+        for scheduler in ("locality", "fifo"):
+            results[variant, scheduler] = run_simulation(
+                _stress_spec(workload, variant, scheduler)
+            )
+
+    # Within a variant the scheduler is a pure performance knob: the
+    # checksum log must be bitwise identical under locality and fifo.
+    for variant in ("mpi_only", "fork_join", "tampi_dataflow"):
+        a = results[variant, "locality"].checksums
+        b = results[variant, "fifo"].checksums
+        assert len(a) == len(b) and a, variant
+        for (_, ca, _), (_, cb, _) in zip(a, b):
+            assert ca.tobytes() == cb.tobytes(), variant
+
+    # The two hybrids share a rank grid, so their reductions commute
+    # identically: bitwise agreement across variants too.
+    fj = results["fork_join", "locality"].checksums
+    td = results["tampi_dataflow", "locality"].checksums
+    for (_, ca, _), (_, cb, _) in zip(fj, td):
+        assert ca.tobytes() == cb.tobytes()
+
+    # MPI-only reduces over a different rank decomposition: agreement to
+    # floating-point reassociation error only.
+    ref = results["mpi_only", "locality"]
+    for variant in ("fork_join", "tampi_dataflow"):
+        other = results[variant, "locality"]
+        assert other.num_blocks == ref.num_blocks
+        assert len(other.checksums) == len(ref.checksums)
+        for (_, a, _), (_, b, _) in zip(ref.checksums, other.checksums):
             assert np.max(np.abs(a - b) / np.abs(a)) < 1e-12, variant

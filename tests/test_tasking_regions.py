@@ -61,10 +61,15 @@ def test_identical_access_reuses_state():
 def test_contained_access_splits_segment():
     space = RegionSpace()
     whole = space.segments_for(0, 100, dict)[0]
+    whole["writer"] = "t0"
     inner = space.segments_for(25, 75, dict)
     assert len(inner) == 1
-    assert inner[0] is whole  # split shares the state object
     assert len(space) == 3  # [0,25) [25,75) [75,100)
+    # The fragment inherits a *copy* of the history: same content, but a
+    # later mutation of one fragment must not pollute its siblings.
+    assert inner[0] == whole and inner[0] is not whole
+    inner[0]["writer"] = "t1"
+    assert whole["writer"] == "t0"
 
 
 def test_disjoint_accesses_have_distinct_states():
@@ -142,17 +147,27 @@ def test_property_segments_cover_and_stay_disjoint(ranges):
     )
 )
 def test_property_overlapping_queries_share_state(ranges):
-    """If two accesses overlap, they must share at least one state object;
-    if they are disjoint, they must share none."""
+    """A query sees the history of earlier accesses iff they overlap it.
+
+    Each access stamps a unique marker into every state it is handed;
+    splits copy the history into both fragments, so a later overlapping
+    query must find the marker, and a disjoint one must never (the
+    shared-state design this replaced leaked markers across fragments
+    after a split, serializing provably disjoint accesses)."""
     space = RegionSpace()
-    results = []
-    for start, length in ranges:
-        states = set(
-            id(s) for s in space.segments_for(start, start + length, dict)
-        )
-        results.append(((start, start + length), states))
-    for (r1, s1) in results:
-        for (r2, s2) in results:
-            overlap = r1[0] < r2[1] and r2[0] < r1[1]
-            if overlap:
-                assert s1 & s2, f"{r1} and {r2} overlap but share no state"
+    seen = []  # ((start, stop), marker)
+    for k, (start, length) in enumerate(ranges):
+        rng = (start, start + length)
+        states = space.segments_for(start, start + length, dict)
+        markers = set()
+        for s in states:
+            markers |= set(s)
+        for r_prev, m_prev in seen:
+            overlap = rng[0] < r_prev[1] and r_prev[0] < rng[1]
+            assert (m_prev in markers) == overlap, (
+                f"{rng} vs {r_prev}: overlap={overlap}, "
+                f"marker seen={m_prev in markers}"
+            )
+        for s in states:
+            s[f"m{k}"] = True
+        seen.append((rng, f"m{k}"))

@@ -1,0 +1,101 @@
+"""Schedule-perturbation fuzzer: legality, determinism, invariance."""
+
+import pytest
+
+from repro import run_simulation
+from repro.machine import CostSpec
+from repro.simx import Environment
+from repro.tasking import RankRuntime
+from repro.verify import (
+    ScheduleVarianceError,
+    default_golden_specs,
+    fuzz_specs,
+    fuzz_sweep,
+    invariants,
+)
+
+FREE = CostSpec(
+    task_spawn_overhead=0.0,
+    task_dispatch_overhead=0.0,
+    noise_amplitude=0.0,
+    noise_spike_rate=0.0,
+)
+
+
+# ----------------------------------------------------------------------
+# The fuzz scheduler only explores *legal* schedules
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 7, 42])
+def test_fuzz_scheduler_respects_dependencies(seed):
+    """A write-chain must execute in order under every fuzz seed."""
+    env = Environment()
+    rt = RankRuntime(
+        env, num_cores=4, cost_spec=FREE, scheduler="fuzz", sched_seed=seed
+    )
+    order = []
+
+    def main():
+        for i in range(12):
+            # Even tasks form an inout chain on "h"; odd tasks are free.
+            handles = {"inouts": ["h"]} if i % 2 == 0 else {}
+            yield from rt.spawn(
+                f"t{i}", cost=1e-6,
+                body=lambda i=i: order.append(i), **handles,
+            )
+        yield from rt.taskwait()
+
+    proc = env.process(main())
+    env.run(until=proc)
+    assert sorted(order) == list(range(12))
+    chain = [i for i in order if i % 2 == 0]
+    assert chain == sorted(chain), f"dependency chain reordered: {order}"
+
+
+def test_fuzz_seed_is_reproducible_and_seeds_differ():
+    spec = default_golden_specs(quick=True)["tampi_dataflow_small"]
+    seeds = fuzz_specs(spec, [3, 3, 4])
+    a, b, c = (run_simulation(s) for s in seeds)
+    assert a.total_time == b.total_time  # same seed, same schedule
+    # Different seeds should (for this workload) pick different schedules;
+    # the physics must agree regardless.
+    assert invariants(a) == invariants(c)
+
+
+# ----------------------------------------------------------------------
+# fuzz_sweep driver
+# ----------------------------------------------------------------------
+def test_fuzz_sweep_ten_seeds_identical_with_mpi_reference():
+    specs = default_golden_specs(quick=True)
+    reference = run_simulation(specs["mpi_only_small"])
+    report = fuzz_sweep(
+        specs["tampi_dataflow_small"], seeds=10, reference=reference
+    )
+    assert report.ok, report.summary()
+    assert len(report.results) == 10
+    assert "10 seeds" in report.summary()
+    report.raise_failures()  # no-op when ok
+
+
+def test_fuzz_sweep_rejects_fuzz_baseline():
+    spec = default_golden_specs(quick=True)["tampi_dataflow_small"]
+    bad = fuzz_specs(spec, [0])[0]
+    with pytest.raises(ValueError, match="deterministic baseline"):
+        fuzz_sweep(bad, seeds=2)
+
+
+def test_fuzz_sweep_detects_divergence():
+    """A doctored result must be reported, not silently averaged away."""
+    spec = default_golden_specs(quick=True)["fork_join_small"]
+    report = fuzz_sweep(spec, seeds=2)
+    assert report.ok
+    # Corrupt one seed's invariants and re-diff through the report path.
+    from repro.verify.fuzz import _diff_invariants
+
+    base = invariants(report.baseline)
+    doctored = invariants(report.results[0])
+    doctored["flops"] += 1.0
+    problems = _diff_invariants("seed0", base, doctored)
+    assert problems and "flops" in problems[0]
+    report.mismatches += problems
+    with pytest.raises(ScheduleVarianceError, match="flops"):
+        report.raise_failures()

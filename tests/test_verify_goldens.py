@@ -1,0 +1,146 @@
+"""Golden-result store: keys, roundtrip, drift detection, committed files."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import run_simulation
+from repro.cli import main
+from repro.verify import (
+    GoldenMismatchError,
+    GoldenStore,
+    default_golden_specs,
+    expected_from_result,
+    golden_key,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_specs():
+    return default_golden_specs(quick=True)
+
+
+@pytest.fixture(scope="module")
+def quick_result(quick_specs):
+    return run_simulation(quick_specs["mpi_only_small"])
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def test_golden_key_is_stable_and_content_addressed(quick_specs):
+    spec = quick_specs["mpi_only_small"]
+    assert golden_key(spec) == golden_key(spec)
+    assert golden_key(spec) != golden_key(quick_specs["fork_join_small"])
+    assert golden_key(spec) != golden_key(replace(spec, scheduler="fifo"))
+
+
+def test_golden_key_ignores_package_version(monkeypatch, quick_specs):
+    """Goldens assert stability ACROSS versions (unlike the result cache)."""
+    import repro
+
+    spec = quick_specs["mpi_only_small"]
+    before = golden_key(spec)
+    monkeypatch.setattr(repro, "__version__", "999.0.0")
+    assert golden_key(spec) == before
+    assert spec.fingerprint() != before  # cache key: version-sensitive
+
+
+# ----------------------------------------------------------------------
+# Store roundtrip & drift
+# ----------------------------------------------------------------------
+def test_store_roundtrip_clean(tmp_path, quick_specs, quick_result):
+    store = GoldenStore(tmp_path / "goldens")
+    spec = quick_specs["mpi_only_small"]
+    assert "g" not in store
+    store.save("g", spec, quick_result)
+    assert "g" in store and store.names() == ["g"]
+    assert store.compare("g", spec, quick_result) == []
+    store.check("g", spec, quick_result)  # does not raise
+
+
+def test_missing_golden_is_a_problem(tmp_path, quick_specs, quick_result):
+    store = GoldenStore(tmp_path / "goldens")
+    problems = store.compare(
+        "nope", quick_specs["mpi_only_small"], quick_result
+    )
+    assert problems and "no golden on file" in problems[0]
+
+
+def test_corrupted_expectation_is_drift(tmp_path, quick_specs, quick_result):
+    store = GoldenStore(tmp_path / "goldens")
+    spec = quick_specs["mpi_only_small"]
+    store.save("g", spec, quick_result)
+    envelope = json.loads(store.path("g").read_text())
+    envelope["expected"]["checksums"][0][1][0] += 1e-6
+    envelope["expected"]["messages"] += 1
+    store.path("g").write_text(json.dumps(envelope))
+    problems = store.compare("g", spec, quick_result)
+    assert any("messages" in p for p in problems)
+    assert any("checksums[0]" in p for p in problems)
+    with pytest.raises(GoldenMismatchError, match="golden drift"):
+        store.check("g", spec, quick_result)
+
+
+def test_spec_key_mismatch_is_reported(tmp_path, quick_specs, quick_result):
+    store = GoldenStore(tmp_path / "goldens")
+    spec = quick_specs["mpi_only_small"]
+    store.save("g", spec, quick_result)
+    changed = replace(spec, sched_seed=9)
+    problems = store.compare("g", changed, quick_result)
+    assert any("spec key changed" in p for p in problems)
+
+
+def test_expected_payload_fields(quick_result):
+    expected = expected_from_result(quick_result)
+    for key in ("total_time", "flops", "num_blocks", "checksums",
+                "messages", "tasks_spawned", "tasks_executed"):
+        assert key in expected
+    assert expected["checksums"], "at least one validation recorded"
+
+
+# ----------------------------------------------------------------------
+# The committed goldens/ directory stays in sync with the code
+# ----------------------------------------------------------------------
+def test_committed_goldens_match_default_specs():
+    store = GoldenStore("goldens")
+    specs = default_golden_specs()
+    assert store.names() == sorted(specs)
+    for name, spec in specs.items():
+        envelope = store.load(name)
+        assert envelope["key"] == golden_key(spec), (
+            f"{name}: default_golden_specs() drifted from the committed "
+            f"golden; regenerate with `miniamr-sim verify --update-goldens`"
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI: miniamr-sim verify
+# ----------------------------------------------------------------------
+def _verify_argv(goldens_dir, *extra):
+    return [
+        "verify", "--quick", "--skip-fuzz", "--skip-race",
+        "--goldens-dir", str(goldens_dir), *extra,
+    ]
+
+
+def test_cli_verify_update_then_pass_then_corrupt(tmp_path, capsys):
+    goldens = tmp_path / "goldens"
+    assert main(_verify_argv(goldens, "--update-goldens")) == 0
+    assert main(_verify_argv(goldens)) == 0
+    assert "all checks passed" in capsys.readouterr().out
+
+    # Seeded corruption: any tampering must flip the exit code.
+    store = GoldenStore(goldens)
+    envelope = json.loads(store.path("tampi_dataflow_small").read_text())
+    envelope["expected"]["tasks_executed"] += 1
+    store.path("tampi_dataflow_small").write_text(json.dumps(envelope))
+    assert main(_verify_argv(goldens)) == 1
+    out = capsys.readouterr().out
+    assert "DRIFT" in out and "tasks_executed" in out
+
+
+def test_cli_verify_missing_goldens_fails(tmp_path, capsys):
+    assert main(_verify_argv(tmp_path / "empty")) == 1
+    assert "no golden on file" in capsys.readouterr().out

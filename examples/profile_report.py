@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Profile two variants and explain the difference, end to end.
+
+Runs the MPI-only reference and the TAMPI+OmpSs-2 data-flow port with
+``RunSpec(profile=True)``, prints each run's observability summary
+(busy fraction, critical-path composition, idle-gap taxonomy), then the
+side-by-side comparison — the quantitative form of the paper's Fig 2 vs
+Fig 3 contrast: the data-flow variant overlaps communication-phase tasks
+with stencil tasks, while MPI-only alternates compute with blocking-MPI
+windows by construction.  Also demonstrates the exporters by writing a
+Perfetto-loadable Chrome trace and a metrics CSV to a temp directory,
+and that the ProfileReport survives a JSON round-trip (it rides inside
+cached ``RunResult``s).
+
+Run:  python examples/profile_report.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import AmrConfig, run_simulation, sphere
+from repro.core import RunSpec
+from repro.obs import (
+    ProfileReport,
+    ascii_summary,
+    compare_reports,
+    metrics_csv,
+    write_chrome_trace,
+)
+
+
+def make_spec(variant):
+    # Same root mesh for both variants; MPI-only fills the 4-core laptop
+    # node with 4 ranks, the data-flow hybrid runs 2 ranks x 2 cores.
+    objects = (
+        sphere(center=(0.3, 0.3, 0.3), radius=0.25, move=(0.05, 0.05, 0.0)),
+    )
+    if variant == "mpi_only":
+        grid = dict(npx=2, npy=2, npz=1, init_x=1, init_y=1, init_z=2)
+        rpn = 4
+    else:
+        grid = dict(npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2)
+        rpn = 2
+    cfg = AmrConfig(
+        nx=4, ny=4, nz=4, num_vars=4,
+        num_tsteps=4, stages_per_ts=4,
+        refine_freq=2, checksum_freq=4, max_refine_level=2,
+        objects=objects, **grid,
+    )
+    return RunSpec(
+        config=cfg, machine="laptop", variant=variant,
+        num_nodes=1, ranks_per_node=rpn, profile=True,
+    )
+
+
+def main():
+    results = {}
+    for variant in ("mpi_only", "tampi_dataflow"):
+        res = run_simulation(make_spec(variant))
+        results[variant] = res
+        print(ascii_summary(res.profile, top=5))
+
+    # The side-by-side report (what `miniamr-sim report a.json b.json`
+    # prints for two saved profiles).
+    a = results["mpi_only"].profile
+    b = results["tampi_dataflow"].profile
+    print(compare_reports(a, b))
+
+    # Exporters: a Perfetto/chrome://tracing trace and the metrics CSV.
+    outdir = Path(tempfile.mkdtemp(prefix="miniamr-profile-"))
+    n = write_chrome_trace(
+        results["tampi_dataflow"].profiler,
+        outdir / "tampi.trace.json",
+        variant="tampi_dataflow",
+    )
+    (outdir / "tampi.metrics.csv").write_text(metrics_csv(b))
+    print(f"chrome trace written: {outdir / 'tampi.trace.json'} "
+          f"({n} events; load in Perfetto or chrome://tracing)")
+    print(f"metrics CSV written:  {outdir / 'tampi.metrics.csv'}")
+
+    # The report is plain data: it survives JSON exactly, which is what
+    # lets profiled results flow through the sweep engine's cache.
+    rehydrated = ProfileReport.from_dict(json.loads(json.dumps(b.to_dict())))
+    assert rehydrated == b
+    print("profile report JSON round-trip: exact")
+
+    print(
+        f"\noverlap fraction: mpi_only {a.overlap_fraction:.3f} vs "
+        f"tampi_dataflow {b.overlap_fraction:.3f} — the data-flow port "
+        "runs communication tasks while stencils compute."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,9 @@ Examples::
     miniamr-sim sweep --variants mpi_only tampi_dataflow --nodes 1 2 --jobs 4
     miniamr-sim bench table1
     miniamr-sim bench weak --nodes 1 2 4 8 --jobs 4 --cache-dir .repro-cache
+    miniamr-sim profile --variant tampi_dataflow --preset laptop \\
+        --json tampi.json --chrome-trace tampi.trace.json
+    miniamr-sim report mpi_only.json tampi.json
 """
 
 from __future__ import annotations
@@ -160,6 +163,46 @@ def _add_verify_parser(sub):
     return p
 
 
+def _add_profile_parser(sub):
+    p = sub.add_parser(
+        "profile",
+        help="run one profiled execution: metrics, critical path, "
+             "idle-gap taxonomy; optionally export Chrome trace / JSON",
+    )
+    p.add_argument("--variant", choices=sorted(VARIANTS), required=True)
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="marenostrum4_scaled")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--ranks-per-node", type=int, default=None)
+    _add_geometry_options(p)
+    p.add_argument("--trace-max-events", type=int, default=None,
+                   help="bound tracer memory (ring buffer; evictions are "
+                        "counted, not fatal)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the ProfileReport JSON here (the input "
+                        "format of `miniamr-sim report`)")
+    p.add_argument("--chrome-trace", default=None, metavar="PATH",
+                   help="write a Perfetto/chrome://tracing trace here")
+    p.add_argument("--metrics-csv", default=None, metavar="PATH",
+                   help="write the metrics registry as CSV here")
+    p.add_argument("--top", type=int, default=8,
+                   help="rows per section of the text summary")
+    return p
+
+
+def _add_report_parser(sub):
+    p = sub.add_parser(
+        "report",
+        help="compare two profiled runs side by side (phase times, "
+             "overlap fraction, critical path, idle-gap taxonomy)",
+    )
+    p.add_argument("runs", nargs=2, metavar="RUN",
+                   help="ProfileReport JSON files written by "
+                        "`miniamr-sim profile --json` (a serialized "
+                        "RunResult containing a profile also works)")
+    return p
+
+
 def _build_cfg(args, num_ranks):
     objects = (
         single_sphere(args.tsteps)
@@ -241,6 +284,84 @@ def cmd_run(args) -> int:
     print(f"messages:         {res.comm_stats.messages} "
           f"({res.comm_stats.bytes_sent} bytes)")
     print(f"checksums:        {len(res.checksums)} validated")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    import json
+
+    from .obs import ascii_summary, metrics_csv, write_chrome_trace
+
+    spec = get_preset(args.preset)()
+    ranks_per_node = resolve_ranks_per_node(
+        args.variant, spec, args.ranks_per_node
+    )
+    num_ranks = args.nodes * ranks_per_node
+    cfg = _build_cfg(args, num_ranks)
+    res = run_simulation(RunSpec(
+        config=cfg,
+        machine=args.preset,
+        variant=args.variant,
+        num_nodes=args.nodes,
+        ranks_per_node=ranks_per_node,
+        scheduler=args.scheduler,
+        sched_seed=args.sched_seed,
+        profile=True,
+        trace_max_events=args.trace_max_events,
+    ))
+    report = res.profile
+    # Write every requested export before printing: stdout may be a pipe
+    # that closes early (e.g. `| head`), and SIGPIPE must not lose files.
+    chrome_events = None
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+    if args.chrome_trace:
+        chrome_events = write_chrome_trace(
+            res.profiler, args.chrome_trace, variant=res.variant
+        )
+    if args.metrics_csv:
+        with open(args.metrics_csv, "w") as fh:
+            fh.write(metrics_csv(report))
+    print(ascii_summary(report, top=args.top), end="")
+    if report.phase_summary.dropped_events:
+        print(
+            f"note: tracer ring buffer dropped "
+            f"{report.phase_summary.dropped_events} events "
+            f"(--trace-max-events {args.trace_max_events})"
+        )
+    if args.json:
+        print(f"profile report written: {args.json}")
+    if args.chrome_trace:
+        print(
+            f"chrome trace written:   {args.chrome_trace} "
+            f"({chrome_events} events)"
+        )
+    if args.metrics_csv:
+        print(f"metrics CSV written:    {args.metrics_csv}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    import json
+
+    from .obs import ProfileReport, compare_reports
+
+    def load(path):
+        with open(path) as fh:
+            data = json.load(fh)
+        if isinstance(data.get("profile"), dict):
+            data = data["profile"]  # a serialized RunResult
+        try:
+            return ProfileReport.from_dict(data)
+        except KeyError as exc:
+            raise SystemExit(
+                f"{path}: not a ProfileReport JSON (missing {exc}); "
+                "produce one with `miniamr-sim profile --json PATH`"
+            ) from None
+
+    a, b = (load(path) for path in args.runs)
+    print(compare_reports(a, b), end="")
     return 0
 
 
@@ -396,6 +517,8 @@ def main(argv=None) -> int:
     _add_sweep_parser(sub)
     _add_bench_parser(sub)
     _add_verify_parser(sub)
+    _add_profile_parser(sub)
+    _add_report_parser(sub)
     args = parser.parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
@@ -403,6 +526,10 @@ def main(argv=None) -> int:
         return cmd_sweep(args)
     if args.command == "verify":
         return cmd_verify(args)
+    if args.command == "profile":
+        return cmd_profile(args)
+    if args.command == "report":
+        return cmd_report(args)
     return cmd_bench(args)
 
 

@@ -109,7 +109,11 @@ class BaseRankProgram:
     def charge(self, seconds):
         """Consume CPU time on the calling thread (with system noise)."""
         if seconds > 0:
+            t0 = self.env.now
             yield self.env.timeout(self.rt.noise.stretch(seconds))
+            profiler = self.rt.profiler
+            if profiler is not None:
+                profiler.inline_busy(self.rank, t0, self.env.now)
 
     def stencil_cost(self, nvars) -> float:
         return self.cost.stencil_time(
@@ -234,6 +238,8 @@ class BaseRankProgram:
         stage_index = 0
         for ts in range(cfg.num_tsteps):
             self.rt.timestep = ts
+            if self.tracer:
+                self.tracer.phase_begin(self.rank, "timestep", self.env.now)
             for _stage in range(cfg.stages_per_ts):
                 for group in range(cfg.num_groups):
                     yield from self.communicate(group)
@@ -243,6 +249,8 @@ class BaseRankProgram:
                     yield from self.join_all()
                 if cfg.checksum_freq and stage_index % cfg.checksum_freq == 0:
                     yield from self.checksum(stage_index)
+            if self.tracer:
+                self.tracer.phase_end(self.rank, "timestep", self.env.now)
             last = ts + 1 == cfg.num_tsteps
             if cfg.refine_freq and (ts + 1) % cfg.refine_freq == 0 and not last:
                 yield from self.refinement_phase(move_objects=True)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from ..amr.balance import max_imbalance
 from ..mpi import World
+from ..obs.profiler import Profiler
+from ..obs.report import PhaseSummary, build_profile_report
 from ..simx import Environment
 from ..tasking import RankRuntime
 from ..trace import Tracer
@@ -68,11 +70,21 @@ def execute(run_spec: RunSpec) -> RunResult:
             f"{machine.num_ranks} ({num_nodes} nodes x {ranks_per_node})"
         )
 
-    env = Environment()
-    tracer = Tracer() if rs.trace else None
+    profiler = Profiler() if rs.profile else None
+    env = Environment(
+        metrics=profiler.metrics if profiler is not None else None
+    )
+    # Profiled runs always collect a tracer internally (phase spans feed
+    # the ProfileReport); it is only attached to the result — live-only —
+    # when tracing was explicitly requested.
+    tracer = (
+        Tracer(max_events=rs.trace_max_events)
+        if (rs.trace or rs.profile)
+        else None
+    )
     witness = AccessWitness(env) if rs.check_access else None
     network = spec.network.scaled_to(num_nodes)
-    world = World(env, machine, network, tracer=tracer)
+    world = World(env, machine, network, tracer=tracer, profiler=profiler)
     shared = SharedState(config, machine, spec, world, tracer=tracer)
 
     cores_per_rank = 1 if rs.variant == "mpi_only" else machine.cores_per_rank
@@ -89,6 +101,7 @@ def execute(run_spec: RunSpec) -> RunResult:
             sched_seed=rs.sched_seed,
             witness=witness,
             tracer=tracer,
+            profiler=profiler,
         )
         program = program_cls(shared, rank, world.comm(rank), runtime)
         if rs.delayed_checksum is not None and hasattr(
@@ -107,6 +120,20 @@ def execute(run_spec: RunSpec) -> RunResult:
     if witness is not None:
         witness.check()  # raises AccessRaceError on undeclared accesses
 
+    env.flush_metrics()
+    profile = (
+        build_profile_report(
+            profiler,
+            rs,
+            num_ranks=machine.num_ranks,
+            cores_per_rank=cores_per_rank,
+            makespan=env.now,
+            tracer=tracer,
+        )
+        if profiler is not None
+        else None
+    )
+
     return RunResult(
         variant=rs.variant,
         num_nodes=num_nodes,
@@ -119,5 +146,10 @@ def execute(run_spec: RunSpec) -> RunResult:
         checksums=list(shared.checksum_log),
         comm_stats=CommStats.from_world(world.stats),
         runtime_stats=[RuntimeStats.from_runtime(p.rt.stats) for p in programs],
-        tracer=tracer,
+        phase_summary=(
+            PhaseSummary.from_tracer(tracer) if tracer is not None else None
+        ),
+        profile=profile,
+        tracer=tracer if rs.trace else None,
+        profiler=profiler,
     )

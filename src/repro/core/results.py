@@ -7,7 +7,10 @@ serializes losslessly through :meth:`RunResult.to_dict` /
 results can cross process boundaries and live in the on-disk cache of
 :mod:`repro.exec`.  The only live-only attachment is the optional
 :class:`~repro.trace.Tracer`, which is excluded from serialization and
-from equality.
+from equality.  Trace-derived *data* does serialize: a compact
+:class:`~repro.obs.PhaseSummary` rides along whenever the run traced or
+profiled, and a full :class:`~repro.obs.ProfileReport` when
+``RunSpec(profile=True)`` — so cached results are no longer blind.
 """
 
 from __future__ import annotations
@@ -15,6 +18,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields
 
 import numpy as np
+
+from ..obs.report import PhaseSummary, ProfileReport
 
 
 @dataclass
@@ -115,9 +120,19 @@ class RunResult:
     comm_stats: CommStats = None
     #: Tasking-runtime summary per rank.
     runtime_stats: list = field(default_factory=list)
+    #: Compact trace-derived phase-time summary (present when the run
+    #: traced or profiled; serialized, unlike the tracer itself).
+    phase_summary: PhaseSummary = None
+    #: Full profiling report (present when ``RunSpec(profile=True)``).
+    profile: ProfileReport = None
     #: Live-only tracer (present when tracing was requested; never
     #: serialized, ignored by equality).
     tracer: object = None
+    #: Live-only :class:`~repro.obs.Profiler` (present when the run was
+    #: profiled in-process; never serialized, ignored by equality — the
+    #: serializable digest is :attr:`profile`).  Needed by exporters that
+    #: read raw records, e.g. the Chrome trace writer.
+    profiler: object = None
 
     @property
     def non_refine_time(self) -> float:
@@ -136,7 +151,7 @@ class RunResult:
         if not isinstance(other, RunResult):
             return NotImplemented
         for f in fields(self):
-            if f.name in ("tracer", "checksums"):
+            if f.name in ("tracer", "profiler", "checksums"):
                 continue
             if getattr(self, f.name) != getattr(other, f.name):
                 return False
@@ -155,9 +170,12 @@ class RunResult:
     def to_dict(self) -> dict:
         """JSON-compatible dict (inverse of :meth:`from_dict`).
 
-        The tracer is live-only and intentionally not included.
+        The tracer is live-only and intentionally not included; its
+        serializable derivatives (``phase_summary``, ``profile``) are
+        emitted only when present, so dicts of untraced runs — and the
+        goldens built from them — are unchanged by these fields.
         """
-        return {
+        d = {
             "variant": self.variant,
             "num_nodes": self.num_nodes,
             "ranks_per_node": self.ranks_per_node,
@@ -172,6 +190,11 @@ class RunResult:
             ),
             "runtime_stats": [s.to_dict() for s in self.runtime_stats],
         }
+        if self.phase_summary is not None:
+            d["phase_summary"] = self.phase_summary.to_dict()
+        if self.profile is not None:
+            d["profile"] = self.profile.to_dict()
+        return d
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunResult":
@@ -193,4 +216,14 @@ class RunResult:
                 RuntimeStats.from_dict(s)
                 for s in data.get("runtime_stats", [])
             ],
+            phase_summary=(
+                PhaseSummary.from_dict(data["phase_summary"])
+                if data.get("phase_summary") is not None
+                else None
+            ),
+            profile=(
+                ProfileReport.from_dict(data["profile"])
+                if data.get("profile") is not None
+                else None
+            ),
         )

@@ -145,6 +145,16 @@ class RunSpec:
     cost_overrides: dict = None
     #: Collect a live :class:`~repro.trace.Tracer` (never cached).
     trace: bool = False
+    #: Profile the run: collect a serializable
+    #: :class:`~repro.obs.ProfileReport` (metrics, critical path, idle-gap
+    #: taxonomy) attached to the result.  Off by default; the default is
+    #: omitted from :meth:`to_dict` so fingerprints and goldens of
+    #: unprofiled runs are unchanged by this field's existence.
+    profile: bool = False
+    #: Bound the tracer's memory: keep at most this many events (ring
+    #: buffer; evictions counted in ``Tracer.dropped_events``).  ``None``
+    #: (the default, omitted from :meth:`to_dict`) keeps everything.
+    trace_max_events: int = None
 
     def __post_init__(self):
         if not isinstance(self.config, AmrConfig):
@@ -176,6 +186,11 @@ class RunSpec:
             }
             if bad:
                 raise ValueError(f"unknown cost_overrides: {sorted(bad)}")
+        if self.trace_max_events is not None and (
+            not isinstance(self.trace_max_events, int)
+            or self.trace_max_events < 1
+        ):
+            raise ValueError("trace_max_events must be a positive int")
 
     # ------------------------------------------------------------------
     def machine_spec(self) -> MachineSpec:
@@ -214,8 +229,14 @@ class RunSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-compatible dict (inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-compatible dict (inverse of :meth:`from_dict`).
+
+        Fields added after the golden store was seeded (``profile``,
+        ``trace_max_events``) are emitted only at non-default values, so
+        the canonical JSON — and therefore every fingerprint and golden
+        key — of a pre-existing spec is byte-identical.
+        """
+        d = {
             "config": config_to_dict(self.config),
             "machine": (
                 self.machine
@@ -235,6 +256,11 @@ class RunSpec:
             ),
             "trace": self.trace,
         }
+        if self.profile:
+            d["profile"] = True
+        if self.trace_max_events is not None:
+            d["trace_max_events"] = self.trace_max_events
+        return d
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
@@ -254,6 +280,8 @@ class RunSpec:
             stage_barrier=data.get("stage_barrier", False),
             cost_overrides=data.get("cost_overrides"),
             trace=data.get("trace", False),
+            profile=data.get("profile", False),
+            trace_max_events=data.get("trace_max_events"),
         )
 
     # ------------------------------------------------------------------

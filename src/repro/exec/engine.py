@@ -16,7 +16,11 @@ the engine's contract is simple:
 
 Trace runs (``spec.trace=True``) are live-only: the tracer cannot cross a
 process boundary or live in the JSON cache, so they always execute
-in-process and bypass the cache.
+in-process and bypass the cache.  Profiled runs (``spec.profile=True``)
+are *not* live-only — the :class:`~repro.obs.ProfileReport` serializes
+with the result, so they flow through the pool and the cache like any
+other run (under their own fingerprint, since ``profile`` is part of the
+spec).
 """
 
 from __future__ import annotations

@@ -93,11 +93,14 @@ class WorldStats:
 class World:
     """All communication state of one simulated MPI world."""
 
-    def __init__(self, env, machine, network, tracer=None):
+    def __init__(self, env, machine, network, tracer=None, profiler=None):
         self.env = env
         self.machine = machine
         self.network = network
         self.tracer = tracer
+        #: Optional :class:`repro.obs.Profiler` (records per-call wait
+        #: intervals and per-message in-flight windows).
+        self.profiler = profiler
         self.size = machine.num_ranks
         self._endpoints = {}
         self._channels = {}  # (comm_id, src, dst) -> last arrival time
@@ -161,6 +164,11 @@ class World:
             self.stats.intra_node_messages += 1
         else:
             self.stats.inter_node_messages += 1
+
+        if self.profiler is not None:
+            self.profiler.message_posted(
+                wsrc, wdst, env.now, arrival, nbytes
+            )
 
         msg = _Message(src, tag, nbytes, payload, req)
         timer = env.timeout(arrival - env.now)
@@ -337,9 +345,15 @@ class RankComm:
         return self.world.env
 
     def _trace(self, name, t0, **meta):
-        tracer = self.world.tracer
-        if tracer is not None:
-            tracer.mpi_event(self.rank, name, t0, self.env.now, **meta)
+        world = self.world
+        if world.tracer is not None:
+            world.tracer.mpi_event(self.rank, name, t0, self.env.now, **meta)
+        if world.profiler is not None:
+            # The profiler keys everything by world rank; map comm-local
+            # ranks of derived communicators back through the world.
+            wmap = world._comm_ranks.get(self.comm_id)
+            rank = wmap[self.rank] if wmap else self.rank
+            world.profiler.mpi_call(rank, name, t0, self.env.now)
 
     # ------------------------------------------------------------------
     # Point-to-point (generators: use with ``yield from``)

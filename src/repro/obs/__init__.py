@@ -1,0 +1,52 @@
+"""``repro.obs`` — the observability subsystem.
+
+Metrics registry, run profiler, critical-path / idle-gap attribution,
+serializable profile reports, and exporters (Chrome trace JSON, CSV,
+ASCII summaries).  Enabled per run via ``RunSpec(profile=True)``; every
+hook in the instrumented layers is a no-op when profiling is off.
+"""
+
+from .attribution import (
+    BLOCKERS,
+    COMM_BLOCKED,
+    comm_blocked_fraction,
+    critical_path,
+    idle_gaps,
+    merge_intervals,
+    overlap_length,
+    phase_overlap_fraction,
+)
+from .export import (
+    ascii_summary,
+    chrome_trace_events,
+    compare_reports,
+    metrics_csv,
+    metrics_json,
+    write_chrome_trace,
+)
+from .metrics import MetricsRegistry
+from .profiler import Profiler, TaskRecord
+from .report import PhaseSummary, ProfileReport, build_profile_report
+
+__all__ = [
+    "BLOCKERS",
+    "COMM_BLOCKED",
+    "MetricsRegistry",
+    "PhaseSummary",
+    "ProfileReport",
+    "Profiler",
+    "TaskRecord",
+    "ascii_summary",
+    "build_profile_report",
+    "chrome_trace_events",
+    "comm_blocked_fraction",
+    "compare_reports",
+    "critical_path",
+    "idle_gaps",
+    "merge_intervals",
+    "metrics_csv",
+    "metrics_json",
+    "overlap_length",
+    "phase_overlap_fraction",
+    "write_chrome_trace",
+]

@@ -1,0 +1,292 @@
+"""Exporters for profiled runs: Chrome trace JSON, metrics dumps, and
+ASCII summaries.
+
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` — the
+  trace-event JSON format that Perfetto / ``chrome://tracing`` load
+  (``ph: "X"`` complete events, microsecond timestamps, one process per
+  rank, one thread per core) — our stand-in for the paper's Paraver
+  timelines (Figs 1–3).
+* :func:`metrics_json` / :func:`metrics_csv` — the registry dump.
+* :func:`ascii_summary` — a terminal-friendly top-N view of one
+  :class:`~repro.obs.report.ProfileReport`.
+* :func:`compare_reports` — two reports side by side: phase times,
+  overlap fraction, critical-path composition, idle-gap taxonomy.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .attribution import BLOCKERS, COMM_BLOCKED
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def chrome_trace_events(profiler, variant="") -> list:
+    """The run as a list of Chrome trace-event dicts.
+
+    Tasks become ``X`` (complete) events with ``pid`` = rank and ``tid`` =
+    core + 1; MPI calls and inline main-thread work go on ``tid`` 0.
+    Metadata events name the processes and threads.
+    """
+    events = []
+    ranks = set(profiler.ranks())
+    ranks.update(profiler.inline)
+    cores_seen = {}
+    for rec in profiler.executed_tasks():
+        events.append({
+            "name": rec.label,
+            "cat": "task",
+            "ph": "X",
+            "ts": _us(rec.t_start),
+            "dur": _us(rec.exec_time),
+            "pid": rec.rank,
+            "tid": rec.core + 1,
+            "args": {"phase": rec.phase, "tid": rec.tid},
+        })
+        if rec.release_pending > 0:
+            events.append({
+                "name": f"{rec.label}:release",
+                "cat": "tampi",
+                "ph": "X",
+                "ts": _us(rec.t_end),
+                "dur": _us(rec.release_pending),
+                "pid": rec.rank,
+                "tid": rec.core + 1,
+                "args": {"phase": rec.phase},
+            })
+        cores_seen.setdefault(rec.rank, set()).add(rec.core)
+    for call in profiler.mpi_calls:
+        events.append({
+            "name": call.name,
+            "cat": "mpi",
+            "ph": "X",
+            "ts": _us(call.t0),
+            "dur": _us(call.duration),
+            "pid": call.rank,
+            "tid": 0,
+            "args": {},
+        })
+    for rank, spans in profiler.inline.items():
+        for t0, t1 in spans:
+            events.append({
+                "name": "inline",
+                "cat": "app",
+                "ph": "X",
+                "ts": _us(t0),
+                "dur": _us(t1 - t0),
+                "pid": rank,
+                "tid": 0,
+                "args": {},
+            })
+
+    meta = []
+    prefix = f"{variant} " if variant else ""
+    for rank in sorted(ranks):
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": rank, "tid": 0,
+            "args": {"name": f"{prefix}rank {rank}"},
+        })
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": rank, "tid": 0,
+            "args": {"name": "main (MPI)"},
+        })
+        for core in sorted(cores_seen.get(rank, ())):
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": rank,
+                "tid": core + 1, "args": {"name": f"core {core}"},
+            })
+    return meta + events
+
+
+def write_chrome_trace(profiler, path, variant="") -> int:
+    """Write Perfetto-loadable trace JSON; returns the event count."""
+    events = chrome_trace_events(profiler, variant=variant)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# Metrics dumps
+# ----------------------------------------------------------------------
+def metrics_json(report) -> str:
+    """A report's metrics dump as pretty JSON text."""
+    return json.dumps(report.metrics, indent=2, sort_keys=True)
+
+
+def metrics_csv(report) -> str:
+    """A report's metrics dump as CSV text."""
+    return report.metrics_registry().to_csv()
+
+
+# ----------------------------------------------------------------------
+# ASCII rendering
+# ----------------------------------------------------------------------
+def _bar(fraction, width=24) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _fmt_seconds(value) -> str:
+    return f"{value:10.4f} s"
+
+
+def ascii_summary(report, top=8) -> str:
+    """One report as a terminal summary (top-N phases, idle, CP)."""
+    lines = [
+        f"== profile: {report.variant} "
+        f"({report.num_nodes} nodes x {report.ranks_per_node} ranks, "
+        f"{report.cores_per_rank} task cores/rank) ==",
+        f"makespan        {_fmt_seconds(report.makespan)}",
+        f"executed tasks  {report.tasks:10d}",
+        f"p2p messages    {report.messages:10d}",
+        f"busy fraction   {report.busy_fraction:10.3f}  "
+        f"[{_bar(report.busy_fraction)}]",
+        f"overlap (stencil x comm) {report.overlap_fraction:6.3f}",
+        f"comm-blocked idle        {report.comm_blocked_fraction:6.3f}",
+    ]
+
+    task_time = report.phase_summary.task_time_by_phase
+    if task_time:
+        lines.append("-- task time by phase (top %d) --" % top)
+        total = sum(task_time.values()) or 1.0
+        ranked = sorted(task_time.items(), key=lambda kv: -kv[1])[:top]
+        for phase, t in ranked:
+            lines.append(
+                f"  {phase:<18}{_fmt_seconds(t)}  [{_bar(t / total)}]"
+            )
+
+    mpi_time = report.phase_summary.mpi_time_by_call
+    if mpi_time:
+        lines.append("-- MPI time by call (top %d) --" % top)
+        total = sum(mpi_time.values()) or 1.0
+        ranked = sorted(mpi_time.items(), key=lambda kv: -kv[1])[:top]
+        for name, t in ranked:
+            lines.append(
+                f"  {name:<18}{_fmt_seconds(t)}  [{_bar(t / total)}]"
+            )
+
+    cp = report.critical_path
+    if cp.get("tasks"):
+        lines.append(
+            f"-- critical path: {cp['length']:.4f} s over "
+            f"{cp['tasks']} tasks --"
+        )
+        length = cp["length"] or 1.0
+        for phase, t in sorted(
+            cp.get("composition", {}).items(), key=lambda kv: -kv[1]
+        )[:top]:
+            lines.append(
+                f"  {phase:<18}{_fmt_seconds(t)}  [{_bar(t / length)}]"
+            )
+
+    idle = report.idle
+    if idle.get("by_blocker"):
+        lines.append(
+            f"-- idle gaps: {idle['idle_seconds']:.4f} core-s in "
+            f"{idle['gap_count']} gaps (max {idle['max_gap']:.4f} s) --"
+        )
+        core_seconds = idle.get("core_seconds") or 1.0
+        for blocker in BLOCKERS:
+            t = idle["by_blocker"].get(blocker)
+            if t is None:
+                continue
+            tag = "*" if blocker in COMM_BLOCKED else " "
+            lines.append(
+                f" {tag}{blocker:<18}{_fmt_seconds(t)}  "
+                f"[{_bar(t / core_seconds)}]"
+            )
+        lines.append("  (* counted as comm-blocked)")
+    return "\n".join(lines) + "\n"
+
+
+def compare_reports(a, b, top=6) -> str:
+    """Two reports side by side — the Fig 2 vs Fig 3 contrast in text."""
+    wa = max(len(a.variant), 14)
+    wb = max(len(b.variant), 14)
+
+    def row(label, va, vb):
+        return f"  {label:<26}{va:>{wa}}  {vb:>{wb}}"
+
+    def frow(label, va, vb, fmt="{:.4f}"):
+        return row(label, fmt.format(va), fmt.format(vb))
+
+    lines = [
+        "== variant comparison ==",
+        row("", a.variant, b.variant),
+        frow("makespan (s)", a.makespan, b.makespan),
+        frow("busy fraction", a.busy_fraction, b.busy_fraction),
+        frow("overlap fraction", a.overlap_fraction, b.overlap_fraction),
+        frow(
+            "comm-blocked idle",
+            a.comm_blocked_fraction,
+            b.comm_blocked_fraction,
+        ),
+        frow(
+            "critical path (s)",
+            a.critical_path_length,
+            b.critical_path_length,
+        ),
+        row("executed tasks", str(a.tasks), str(b.tasks)),
+    ]
+
+    phases = sorted(
+        set(a.phase_summary.phase_times) | set(b.phase_summary.phase_times)
+    )
+    if phases:
+        lines.append("-- phase wall time (rank 0, s) --")
+        for phase in phases:
+            lines.append(frow(
+                phase,
+                a.phase_summary.phase_times.get(phase, 0.0),
+                b.phase_summary.phase_times.get(phase, 0.0),
+            ))
+
+    calls = set(a.phase_summary.mpi_time_by_call)
+    calls |= set(b.phase_summary.mpi_time_by_call)
+    if calls:
+        lines.append("-- MPI time by call (top %d, s) --" % top)
+        ranked = sorted(
+            calls,
+            key=lambda c: -(
+                a.phase_summary.mpi_time_by_call.get(c, 0.0)
+                + b.phase_summary.mpi_time_by_call.get(c, 0.0)
+            ),
+        )[:top]
+        for call in ranked:
+            lines.append(frow(
+                call,
+                a.phase_summary.mpi_time_by_call.get(call, 0.0),
+                b.phase_summary.mpi_time_by_call.get(call, 0.0),
+            ))
+
+    lines.append("-- idle by blocker (core-s) --")
+    blockers = [
+        name for name in BLOCKERS
+        if name in a.idle.get("by_blocker", {})
+        or name in b.idle.get("by_blocker", {})
+    ]
+    for blocker in blockers:
+        lines.append(frow(
+            blocker,
+            a.idle.get("by_blocker", {}).get(blocker, 0.0),
+            b.idle.get("by_blocker", {}).get(blocker, 0.0),
+        ))
+
+    cps = sorted(
+        set(a.critical_path.get("composition", {}))
+        | set(b.critical_path.get("composition", {}))
+    )
+    if cps:
+        lines.append("-- critical-path composition (s) --")
+        for phase in cps:
+            lines.append(frow(
+                phase,
+                a.critical_path.get("composition", {}).get(phase, 0.0),
+                b.critical_path.get("composition", {}).get(phase, 0.0),
+            ))
+    return "\n".join(lines) + "\n"

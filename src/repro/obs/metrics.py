@@ -1,0 +1,232 @@
+"""Low-overhead metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is the numeric backbone of ``repro.obs``: every
+instrumented layer (the simulation kernel, the tasking runtime, TAMPI, the
+simulated MPI) records into one shared registry through cheap
+``inc``/``set_gauge``/``observe`` calls.  Series are keyed by a metric name
+plus a sorted label tuple (``phase``, ``variant``, ``rank``, ``call`` ...),
+so one registry holds e.g. the ready-queue-depth distribution of every
+rank without the layers coordinating.
+
+Everything is plain Python floats/ints and serializes losslessly to JSON
+(:meth:`MetricsRegistry.to_dict` / :meth:`from_dict`), so a registry can
+ride inside a :class:`~repro.obs.ProfileReport` through the result cache.
+Histograms keep count/sum/min/max plus power-of-two magnitude buckets —
+enough for latency/size distributions at a few dozen bytes per series.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy
+
+#: Series kinds (the ``type`` field of a serialized series).
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def _label_key(labels: dict) -> tuple:
+    """Canonical (sorted, hashable) form of a label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _bucket(value: float) -> int:
+    """Power-of-two magnitude bucket of a non-negative value.
+
+    Bucket ``b`` holds values in ``[2**(b-1), 2**b)``; zero and negatives
+    land in bucket 0.  Magnitude buckets keep histograms tiny while still
+    separating a 3-microsecond wait from a 3-millisecond one.
+    """
+    if value <= 0:
+        return 0
+    # frexp(v) = (m, e) with m in [0.5, 1), so e == floor(log2(v)) + 1
+    # exactly — no rounding edge at powers of two.
+    return max(math.frexp(value)[1], 0)
+
+
+class _Series:
+    """One (name, labels) time series."""
+
+    __slots__ = ("kind", "count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self, kind):
+        self.kind = kind
+        self.count = 0
+        self.total = 0.0
+        self.vmin = None
+        self.vmax = None
+        self.buckets = {}  # magnitude bucket -> count (histograms only)
+
+    # ------------------------------------------------------------------
+    def add(self, value):
+        self.count += 1
+        self.total += value
+
+    def set(self, value):
+        self.count += 1
+        self.total = value
+        self.vmax = value if self.vmax is None else max(self.vmax, value)
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        self.vmin = value if self.vmin is None else min(self.vmin, value)
+        self.vmax = value if self.vmax is None else max(self.vmax, value)
+        b = _bucket(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    def observe_many(self, values):
+        """Bulk-record samples; same result as ``observe`` per value,
+        but vectorized — this is what keeps report building cheap when
+        a run folds thousands of task latencies into the registry."""
+        n = len(values)
+        if n == 0:
+            return
+        arr = numpy.asarray(values, dtype=float)
+        self.count += n
+        self.total += float(arr.sum())
+        vmin = float(arr.min())
+        vmax = float(arr.max())
+        self.vmin = vmin if self.vmin is None else min(self.vmin, vmin)
+        self.vmax = vmax if self.vmax is None else max(self.vmax, vmax)
+        buckets = self.buckets
+        if vmin <= 0:
+            positive = arr[arr > 0]
+            zeros = n - positive.size
+            if zeros:
+                buckets[0] = buckets.get(0, 0) + zeros
+            arr = positive
+        if arr.size:
+            exps = numpy.maximum(numpy.frexp(arr)[1], 0)
+            for b, c in zip(*numpy.unique(exps, return_counts=True)):
+                b = int(b)
+                buckets[b] = buckets.get(b, 0) + int(c)
+
+
+class MetricsRegistry:
+    """Labelled counters, gauges, and histograms (see module docstring)."""
+
+    def __init__(self):
+        self._series = {}  # (name, label_key) -> _Series
+
+    # ------------------------------------------------------------------
+    def _get(self, name, labels, kind) -> _Series:
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _Series(kind)
+        return series
+
+    # ------------------------------------------------------------------
+    # Recording (the hot-path API: one dict lookup + arithmetic)
+    # ------------------------------------------------------------------
+    def inc(self, name, value=1, **labels):
+        """Add ``value`` to a monotonically-increasing counter."""
+        self._get(name, labels, COUNTER).add(value)
+
+    def set_gauge(self, name, value, **labels):
+        """Set a gauge to its latest value (peak kept in ``vmax``)."""
+        self._get(name, labels, GAUGE).set(value)
+
+    def observe(self, name, value, **labels):
+        """Record one sample into a histogram."""
+        self._get(name, labels, HISTOGRAM).observe(value)
+
+    def counter(self, name, **labels) -> _Series:
+        """Pre-resolved counter handle for hot loops.
+
+        Resolves the series once; the caller then does ``handle.add(n)``
+        per event, skipping the name/label canonicalization of
+        :meth:`inc`.  The series appears in dumps immediately (count 0).
+        """
+        return self._get(name, labels, COUNTER)
+
+    def histogram(self, name, **labels) -> _Series:
+        """Pre-resolved histogram handle (``handle.observe(v)`` per
+        sample) for bulk recording — same contract as :meth:`counter`."""
+        return self._get(name, labels, HISTOGRAM)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self._series)
+
+    def value(self, name, **labels):
+        """Counter total / gauge last value (``0`` for unknown series)."""
+        series = self._series.get((name, _label_key(labels)))
+        return series.total if series is not None else 0
+
+    def count(self, name, **labels):
+        """Number of recorded samples (``0`` for unknown series)."""
+        series = self._series.get((name, _label_key(labels)))
+        return series.count if series is not None else 0
+
+    def mean(self, name, **labels):
+        """Mean of a histogram's samples (``0.0`` when empty)."""
+        series = self._series.get((name, _label_key(labels)))
+        if series is None or series.count == 0:
+            return 0.0
+        return series.total / series.count
+
+    def names(self) -> list:
+        return sorted({name for name, _k in self._series})
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> list:
+        """Deterministic JSON-compatible dump (sorted by name, labels)."""
+        out = []
+        for (name, label_key), s in sorted(
+            self._series.items(), key=lambda kv: kv[0]
+        ):
+            entry = {
+                "name": name,
+                "labels": [list(pair) for pair in label_key],
+                "type": s.kind,
+                "count": s.count,
+                "total": s.total,
+            }
+            if s.vmin is not None:
+                entry["min"] = s.vmin
+            if s.vmax is not None:
+                entry["max"] = s.vmax
+            if s.buckets:
+                entry["buckets"] = [
+                    [b, n] for b, n in sorted(s.buckets.items())
+                ]
+            out.append(entry)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: list) -> "MetricsRegistry":
+        reg = cls()
+        for entry in data:
+            labels = tuple(tuple(pair) for pair in entry.get("labels", []))
+            series = _Series(entry["type"])
+            series.count = entry["count"]
+            series.total = entry["total"]
+            series.vmin = entry.get("min")
+            series.vmax = entry.get("max")
+            series.buckets = {
+                int(b): int(n) for b, n in entry.get("buckets", [])
+            }
+            reg._series[(entry["name"], labels)] = series
+        return reg
+
+    def to_csv(self) -> str:
+        """The dump as CSV text (one row per series)."""
+        lines = ["name,labels,type,count,total,min,max"]
+        for entry in self.to_dict():
+            labels = ";".join(f"{k}={v}" for k, v in entry["labels"])
+            lines.append(
+                f"{entry['name']},{labels},{entry['type']},"
+                f"{entry['count']},{entry['total']},"
+                f"{entry.get('min', '')},{entry.get('max', '')}"
+            )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,221 @@
+"""Serializable profiling artifacts: :class:`ProfileReport` and
+:class:`PhaseSummary`.
+
+Both are plain-data containers with strict JSON round-trips (no numpy,
+no integer dict keys), so they ride inside
+:class:`~repro.core.results.RunResult` through the process pool, the
+on-disk :class:`~repro.exec.ResultCache`, and sweeps — the evidence a
+run produces is no longer discarded with the live tracer.
+
+* :class:`PhaseSummary` is the compact always-affordable summary (phase
+  wall times, MPI time by call, task time by phase) derived from the
+  tracer; it is attached whenever a run traces or profiles.
+* :class:`ProfileReport` is the full product of ``RunSpec(profile=True)``:
+  the phase summary plus the critical path, the classified idle-gap
+  taxonomy, the cross-phase overlap fraction, and the metrics registry
+  dump.  :func:`repro.obs.export.compare_reports` renders two of them
+  side by side — the quantitative form of the paper's Fig 2 vs Fig 3
+  contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .attribution import (
+    comm_blocked_fraction,
+    critical_path,
+    idle_gaps,
+    phase_overlap_fraction,
+)
+from .metrics import MetricsRegistry
+
+
+def _summarize_events(tracer):
+    """One pass over the trace: phase / MPI-call / task-phase times.
+
+    Same quantities as :func:`repro.trace.analysis.phase_time` (rank 0,
+    the paper's methodology), :func:`~repro.trace.analysis.mpi_time_by_call`
+    and :func:`~repro.trace.analysis.task_time_by_phase`, fused into a
+    single scan so building a report stays cheap on large traces.
+    """
+    phase_times = {}
+    mpi_times = {}
+    task_times = {}
+    for e in tracer.events:
+        kind = e.kind
+        if kind == "task":
+            task_times[e.phase] = (
+                task_times.get(e.phase, 0.0) + (e.t1 - e.t0)
+            )
+        elif kind == "mpi":
+            mpi_times[e.name] = mpi_times.get(e.name, 0.0) + (e.t1 - e.t0)
+        elif e.rank == 0:  # phase span
+            phase_times[e.name] = (
+                phase_times.get(e.name, 0.0) + (e.t1 - e.t0)
+            )
+    return (
+        dict(sorted(phase_times.items())),
+        dict(sorted(mpi_times.items())),
+        dict(sorted(task_times.items())),
+    )
+
+
+@dataclass
+class PhaseSummary:
+    """Compact trace-derived summary that serializes with the result."""
+
+    #: Rank-0 wall seconds per phase (timestep, refine, ...).
+    phase_times: dict = field(default_factory=dict)
+    #: Seconds per MPI call name, all ranks (Waitany dominance in Fig 2).
+    mpi_time_by_call: dict = field(default_factory=dict)
+    #: Task execution seconds per phase tag (stencil, pack, ...).
+    task_time_by_phase: dict = field(default_factory=dict)
+    #: Events the tracer kept / dropped (ring-buffer mode).
+    events: int = 0
+    dropped_events: int = 0
+
+    @classmethod
+    def from_tracer(cls, tracer) -> "PhaseSummary":
+        phase_times, mpi_times, task_times = _summarize_events(tracer)
+        return cls(
+            phase_times=phase_times,
+            mpi_time_by_call=mpi_times,
+            task_time_by_phase=task_times,
+            events=len(tracer.events),
+            dropped_events=getattr(tracer, "dropped_events", 0),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "phase_times": dict(self.phase_times),
+            "mpi_time_by_call": dict(self.mpi_time_by_call),
+            "task_time_by_phase": dict(self.task_time_by_phase),
+            "events": self.events,
+            "dropped_events": self.dropped_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseSummary":
+        return cls(
+            phase_times=dict(data.get("phase_times", {})),
+            mpi_time_by_call=dict(data.get("mpi_time_by_call", {})),
+            task_time_by_phase=dict(data.get("task_time_by_phase", {})),
+            events=data.get("events", 0),
+            dropped_events=data.get("dropped_events", 0),
+        )
+
+
+@dataclass
+class ProfileReport:
+    """Everything a profiled run learned about itself (JSON-stable)."""
+
+    variant: str
+    num_nodes: int
+    ranks_per_node: int
+    #: Simulated makespan (seconds).
+    makespan: float
+    #: Task-executing cores per rank.
+    cores_per_rank: int
+    #: Number of executed tasks across all ranks.
+    tasks: int
+    #: Point-to-point messages recorded.
+    messages: int
+    phase_summary: PhaseSummary = field(default_factory=PhaseSummary)
+    #: Fraction of stencil-task time overlapped by communication tasks.
+    overlap_fraction: float = 0.0
+    #: Fraction of core-time blocked on communication (mpi_wait +
+    #: tampi_release + network idle).
+    comm_blocked_fraction: float = 0.0
+    #: :func:`repro.obs.attribution.critical_path` output.
+    critical_path: dict = field(default_factory=dict)
+    #: :func:`repro.obs.attribution.idle_gaps` output.
+    idle: dict = field(default_factory=dict)
+    #: :meth:`MetricsRegistry.to_dict` dump.
+    metrics: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def critical_path_length(self) -> float:
+        return self.critical_path.get("length", 0.0)
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.idle.get("busy_fraction", 0.0)
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The metrics dump rehydrated into a queryable registry."""
+        return MetricsRegistry.from_dict(self.metrics)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "variant": self.variant,
+            "num_nodes": self.num_nodes,
+            "ranks_per_node": self.ranks_per_node,
+            "makespan": self.makespan,
+            "cores_per_rank": self.cores_per_rank,
+            "tasks": self.tasks,
+            "messages": self.messages,
+            "phase_summary": self.phase_summary.to_dict(),
+            "overlap_fraction": self.overlap_fraction,
+            "comm_blocked_fraction": self.comm_blocked_fraction,
+            "critical_path": dict(self.critical_path),
+            "idle": dict(self.idle),
+            "metrics": list(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileReport":
+        return cls(
+            variant=data["variant"],
+            num_nodes=data["num_nodes"],
+            ranks_per_node=data["ranks_per_node"],
+            makespan=data["makespan"],
+            cores_per_rank=data["cores_per_rank"],
+            tasks=data["tasks"],
+            messages=data["messages"],
+            phase_summary=PhaseSummary.from_dict(
+                data.get("phase_summary", {})
+            ),
+            overlap_fraction=data.get("overlap_fraction", 0.0),
+            comm_blocked_fraction=data.get("comm_blocked_fraction", 0.0),
+            critical_path=dict(data.get("critical_path", {})),
+            idle=dict(data.get("idle", {})),
+            metrics=list(data.get("metrics", [])),
+        )
+
+
+def build_profile_report(
+    profiler, rs, num_ranks, cores_per_rank, makespan, tracer=None
+) -> ProfileReport:
+    """Assemble a :class:`ProfileReport` from one finished run.
+
+    ``rs`` is the *resolved* :class:`~repro.core.RunSpec`; ``tracer`` is
+    the run's tracer (profiled runs always carry one internally, even
+    when ``rs.trace`` is off).
+    """
+    cores_by_rank = {rank: cores_per_rank for rank in range(num_ranks)}
+    idle = idle_gaps(profiler, cores_by_rank, makespan)
+    executed = sum(
+        1 for r in profiler.tasks.values() if r.t_start is not None
+    )
+    return ProfileReport(
+        variant=rs.variant,
+        num_nodes=rs.num_nodes,
+        ranks_per_node=rs.ranks_per_node,
+        makespan=makespan,
+        cores_per_rank=cores_per_rank,
+        tasks=executed,
+        messages=len(profiler.messages),
+        phase_summary=(
+            PhaseSummary.from_tracer(tracer)
+            if tracer is not None
+            else PhaseSummary()
+        ),
+        overlap_fraction=phase_overlap_fraction(profiler),
+        comm_blocked_fraction=comm_blocked_fraction(idle),
+        critical_path=critical_path(profiler),
+        idle=idle,
+        metrics=profiler.finalize_metrics().to_dict(),
+    )

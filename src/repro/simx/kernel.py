@@ -24,11 +24,17 @@ NORMAL = 1
 class Environment:
     """A deterministic discrete-event simulation environment."""
 
-    def __init__(self, initial_time=0.0):
+    def __init__(self, initial_time=0.0, metrics=None):
         self._now = float(initial_time)
         self._queue = []  # heap of (time, priority, seq, event)
         self._seq = 0
         self._active_proc = None
+        #: Optional :class:`repro.obs.MetricsRegistry` counting processed
+        #: events (None = no accounting; the hot loop stays branch-cheap).
+        self.metrics = metrics
+        # With metrics on, the per-event cost is one plain-int increment;
+        # flush_metrics() folds the count into the registry at run end.
+        self._events_processed = 0
 
     # ------------------------------------------------------------------
     # Clock & scheduling
@@ -89,11 +95,24 @@ class Environment:
             raise EmptySchedule("no scheduled events") from None
 
         self._now = when
+        if self.metrics is not None:
+            self._events_processed += 1
         event._process_callbacks()
 
         if not event._ok and not event.defused:
             exc = event._value
             raise exc
+
+    def flush_metrics(self):
+        """Fold the processed-event count into the metrics registry.
+
+        Deferred from :meth:`step` so the hot loop pays a plain-int
+        increment per event instead of a series update; the driver calls
+        this once before the profile report is built.
+        """
+        if self.metrics is not None:
+            self.metrics.counter("kernel.events").add(self._events_processed)
+            self._events_processed = 0
 
     def run(self, until=None):
         """Run the simulation.

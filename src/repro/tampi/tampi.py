@@ -10,6 +10,12 @@ def iwait(ctx, request):
     release its dependencies until the request completes.  May be called
     several times to bind multiple requests.
     """
+    profiler = ctx.runtime.profiler
+    if profiler is not None:
+        profiler.iwait_outcome(
+            ctx.runtime.rank,
+            "bound" if not request.completed else "immediate",
+        )
     if not request.completed:
         ctx.runtime.bind_request(ctx.task, request)
 

@@ -80,6 +80,7 @@ class RankRuntime:
         sched_seed=0,
         witness=None,
         tracer=None,
+        profiler=None,
     ):
         if num_cores < 1:
             raise ValueError("num_cores must be >= 1")
@@ -112,6 +113,9 @@ class RankRuntime:
         #: timestep); see :meth:`repro.core.app.BaseRankProgram.run`.
         self.timestep = None
         self.tracer = tracer
+        #: Optional :class:`repro.obs.Profiler` recording the executed task
+        #: graph and runtime metrics (None = every hook is a no-op branch).
+        self.profiler = profiler
         self.stats = RuntimeStats()
         #: Deterministic per-rank system-noise source (shared with the
         #: rank's main thread for its inline charges).
@@ -175,6 +179,8 @@ class RankRuntime:
         self.stats.tasks_spawned += 1
         if not task.is_sync:
             self._outstanding += 1
+            if self.profiler is not None:
+                self.profiler.task_spawned(task, self.rank, self.env.now)
         self.tracker.register(task)
         if task.npred == 0:
             self._make_ready(task, preferred=None)
@@ -250,6 +256,12 @@ class RankRuntime:
         if task.commutative_handles and not self._acquire_commutative(task):
             return  # parked; re-released when the lock holder completes
         task.state = TaskState.READY
+        if self.profiler is not None:
+            self.profiler.task_ready(
+                task,
+                self.env.now,
+                queue_depth=sum(map(len, self._ready)),
+            )
         rng = self._rng
         if rng is not None:
             # Fuzz: every placement choice is randomized — which idle
@@ -330,11 +342,15 @@ class RankRuntime:
             return self._pop_task_fuzz(core)
         dq = self._ready[core]
         if dq:
+            if self.profiler is not None:
+                self.profiler.pop_decision(self.rank, False)
             return dq.popleft()
         for i in range(1, self.num_cores):
             victim = (core + i) % self.num_cores
             if self._ready[victim]:
                 self.stats.steals += 1
+                if self.profiler is not None:
+                    self.profiler.pop_decision(self.rank, True)
                 return self._ready[victim].pop()
         return None
 
@@ -351,6 +367,8 @@ class RankRuntime:
         dq.rotate(idx)
         if victim != core:
             self.stats.steals += 1
+        if self.profiler is not None:
+            self.profiler.pop_decision(self.rank, victim != core)
         return task
 
     def _worker(self, core):
@@ -420,6 +438,8 @@ class RankRuntime:
             self.tracer.task_event(
                 self.rank, core, task.label, task.phase, t0, t1
             )
+        if self.profiler is not None:
+            self.profiler.task_ran(task, core, t0, t1)
 
         task.state = TaskState.EXECUTED
         if task.pending_requests == 0:
@@ -433,12 +453,16 @@ class RankRuntime:
         if task.completed:
             raise ValueError("cannot bind a request to a completed task")
         task.pending_requests += 1
+        if self.profiler is not None:
+            self.profiler.request_bound(task, self.rank, self.env.now)
         request.event.callbacks.append(
             lambda _ev, t=task: self._request_done(t)
         )
 
     def _request_done(self, task):
         task.pending_requests -= 1
+        if self.profiler is not None:
+            self.profiler.request_released(task, self.rank, self.env.now)
         if task.pending_requests == 0 and task.state is TaskState.EXECUTED:
             self._complete(task, core=None)
 
@@ -446,6 +470,8 @@ class RankRuntime:
         task.state = TaskState.COMPLETED
         if not task.is_sync:
             self._outstanding -= 1
+            if self.profiler is not None:
+                self.profiler.task_completed(task, self.env.now)
         if task.commutative_handles:
             self._release_commutative(task, core)
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 
@@ -27,25 +28,43 @@ class Tracer:
 
     Mirrors what Extrae gives the paper's authors: per-thread timelines of
     task executions and MPI calls, which Paraver then renders (Figs 1–3).
+
+    ``max_events`` bounds memory: the tracer becomes a ring buffer keeping
+    only the newest ``max_events`` events and counting evictions in
+    :attr:`dropped_events` (so profiling a large sweep cannot OOM).  The
+    default (``None``) keeps everything in a plain list.
     """
 
-    def __init__(self, enabled=True):
+    def __init__(self, enabled=True, max_events=None):
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be a positive int or None")
         self.enabled = enabled
-        self.events = []
+        self.max_events = max_events
+        self.events = [] if max_events is None else deque(maxlen=max_events)
+        #: Events evicted by the ring buffer (0 in unbounded mode).
+        self.dropped_events = 0
         self._phase_stack = {}
+
+    def _record(self, event):
+        if (
+            self.max_events is not None
+            and len(self.events) == self.max_events
+        ):
+            self.dropped_events += 1
+        self.events.append(event)
 
     # ------------------------------------------------------------------
     def task_event(self, rank, core, label, phase, t0, t1):
         """Called by the tasking runtime for every executed task."""
         if self.enabled:
-            self.events.append(
+            self._record(
                 TraceEvent(rank, core, "task", label, phase, t0, t1)
             )
 
     def mpi_event(self, rank, name, t0, t1, **_meta):
         """Called by the simulated MPI for every call interval."""
         if self.enabled:
-            self.events.append(
+            self._record(
                 TraceEvent(rank, -1, "mpi", name, "mpi", t0, t1)
             )
 
@@ -58,7 +77,7 @@ class Tracer:
             return
         t0 = self._phase_stack.pop((rank, phase), None)
         if t0 is not None:
-            self.events.append(
+            self._record(
                 TraceEvent(rank, -1, "phase", phase, phase, t0, now)
             )
 

@@ -141,6 +141,70 @@ def test_run_fuzz_scheduler_with_seed(capsys):
     assert "tampi_dataflow" in capsys.readouterr().out
 
 
+def _profile_argv(variant, json_path=None, extra=()):
+    argv = [
+        "profile", "--variant", variant, "--preset", "laptop",
+        "--nodes", "1", "--ranks-per-node", "2", "--root", "2", "2", "1",
+        "--nx", "4", "--num-vars", "2", "--tsteps", "2", "--stages", "2",
+        "--checksum-freq", "2", "--max-refine-level", "1",
+    ]
+    if json_path is not None:
+        argv += ["--json", str(json_path)]
+    return argv + list(extra)
+
+
+def test_profile_command_prints_summary(capsys):
+    rc = main(_profile_argv("tampi_dataflow"))
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "== profile: tampi_dataflow" in out
+    assert "critical path" in out
+    assert "busy fraction" in out
+
+
+def test_profile_exports_and_report_compares(capsys, tmp_path):
+    import json
+
+    a_path = tmp_path / "mpi.json"
+    b_path = tmp_path / "tampi.json"
+    trace_path = tmp_path / "trace.json"
+    csv_path = tmp_path / "metrics.csv"
+    assert main(_profile_argv("mpi_only", a_path)) == 0
+    assert main(_profile_argv(
+        "tampi_dataflow", b_path,
+        extra=["--chrome-trace", str(trace_path),
+               "--metrics-csv", str(csv_path)],
+    )) == 0
+    capsys.readouterr()
+
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]
+    assert csv_path.read_text().startswith("name,labels,")
+
+    rc = main(["report", str(a_path), str(b_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "== variant comparison ==" in out
+    assert "mpi_only" in out and "tampi_dataflow" in out
+    assert "overlap" in out
+
+
+def test_report_rejects_non_profile_json(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"not\": \"a profile\"}")
+    with pytest.raises(SystemExit):
+        main(["report", str(bad), str(bad)])
+
+
+def test_profile_with_bounded_tracer_warns_on_drops(capsys):
+    rc = main(_profile_argv(
+        "tampi_dataflow", extra=["--trace-max-events", "10"]
+    ))
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ring buffer dropped" in out
+
+
 def test_unknown_variant_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--variant", "nope"])

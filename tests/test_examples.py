@@ -44,6 +44,16 @@ def test_mesh_anatomy_runs(capsys):
     assert "imbalance after balancing" in out
 
 
+def test_profile_report_runs(capsys):
+    run_example("profile_report.py")
+    out = capsys.readouterr().out
+    assert "== profile: mpi_only" in out
+    assert "== profile: tampi_dataflow" in out
+    assert "== variant comparison ==" in out
+    assert "profile report JSON round-trip: exact" in out
+    assert "chrome trace written" in out
+
+
 def test_examples_exist_and_have_docstrings():
     expected = {
         "quickstart.py",
@@ -52,6 +62,7 @@ def test_examples_exist_and_have_docstrings():
         "trace_visualization.py",
         "custom_machine.py",
         "mesh_anatomy.py",
+        "profile_report.py",
     }
     found = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= found

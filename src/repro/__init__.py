@@ -22,9 +22,10 @@ Quickstart::
     print(result.total_time, result.gflops)
 """
 
-from . import amr, core, machine, mpi, simx, tampi, tasking, trace
+from . import amr, core, faults, machine, mpi, simx, tampi, tasking, trace
 from .amr import AmrConfig, ObjectSpec, Shape, sphere
 from .core import CommStats, RunResult, RunSpec, RuntimeStats, run_simulation
+from .faults import FaultPlan, FaultStats, noise_plan, straggler_plan
 from .machine import (
     PRESETS,
     CostSpec,
@@ -50,6 +51,8 @@ __all__ = [
     "AmrConfig",
     "CommStats",
     "CostSpec",
+    "FaultPlan",
+    "FaultStats",
     "GoldenStore",
     "MachineSpec",
     "NetworkSpec",
@@ -66,7 +69,10 @@ __all__ = [
     "SweepReport",
     "amr",
     "core",
+    "faults",
     "fuzz_sweep",
+    "noise_plan",
+    "straggler_plan",
     "get_preset",
     "laptop",
     "machine",

@@ -4,11 +4,15 @@ Each entry point regenerates one published result on the simulated
 cluster: :func:`table1` (ranks-per-node study), :func:`table2`
 (communication-task granularity), :func:`weak_scaling` (Fig 4),
 :func:`strong_scaling` (Fig 5), and :func:`trace_runs` (Figs 1–3).
+:func:`resilience` goes beyond the paper: the degradation curve of every
+variant under identical injected noise (see :mod:`repro.faults`).
 """
 
 from .experiments import (
     SCALED_RPN,
     TAMPI_OPTS,
+    ResiliencePoint,
+    ResilienceResult,
     ScalingPoint,
     ScalingResult,
     Table1Result,
@@ -16,6 +20,7 @@ from .experiments import (
     TraceExperiment,
     build_config,
     format_table,
+    resilience,
     run_specs,
     strong_scaling,
     table1,
@@ -34,6 +39,8 @@ from .inputs import (
 __all__ = [
     "SCALED_RPN",
     "TAMPI_OPTS",
+    "ResiliencePoint",
+    "ResilienceResult",
     "ScalingPoint",
     "ScalingResult",
     "Table1Result",
@@ -44,6 +51,7 @@ __all__ = [
     "fit_grid",
     "format_table",
     "four_spheres",
+    "resilience",
     "run_specs",
     "single_sphere",
     "strong_scaling",

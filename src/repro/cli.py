@@ -10,6 +10,10 @@ Examples::
     miniamr-sim profile --variant tampi_dataflow --preset laptop \\
         --json tampi.json --chrome-trace tampi.trace.json
     miniamr-sim report mpi_only.json tampi.json
+    miniamr-sim faults --intensities 0.5 1.0 --quick
+
+Exit codes: 0 success, 1 failed runs (sweep/bench/verify), 2 invalid
+spec or argument combination.
 """
 
 from __future__ import annotations
@@ -18,10 +22,12 @@ import argparse
 import os
 import sys
 
+from . import __version__
 from .bench import (
     build_config,
     format_table,
     four_spheres,
+    resilience,
     single_sphere,
     strong_scaling,
     table1,
@@ -30,6 +36,7 @@ from .bench import (
     weak_scaling,
 )
 from .core import RunSpec, VARIANTS, resolve_ranks_per_node, run_simulation
+from .faults import noise_plan
 from .machine.presets import PRESETS, get_preset
 from .tasking.runtime import SCHEDULERS
 
@@ -82,6 +89,26 @@ def _add_engine_options(p):
                    help="crash/timeout retries per run before it fails")
 
 
+def _add_fault_options(p):
+    """Fault-injection options shared by ``run`` and ``profile``."""
+    p.add_argument("--fault-noise", type=float, default=0.0,
+                   metavar="INTENSITY",
+                   help="inject the canonical noise mix (CPU noise + OS "
+                        "bursts + message jitter + transient loss) at "
+                        "this intensity (0 = clean run)")
+    p.add_argument("--fault-seed", type=int, default=2020,
+                   help="fault-injection seed (default: %(default)s)")
+
+
+def _fault_plan(args):
+    """The :class:`~repro.faults.FaultPlan` of ``--fault-noise`` (or None)."""
+    if args.fault_noise < 0:
+        raise ValueError("--fault-noise must be >= 0")
+    if args.fault_noise == 0:
+        return None
+    return noise_plan(args.fault_noise, seed=args.fault_seed)
+
+
 def _add_run_parser(sub):
     p = sub.add_parser("run", help="run one simulated miniAMR execution")
     p.add_argument("--variant", choices=sorted(VARIANTS), required=True)
@@ -93,6 +120,7 @@ def _add_run_parser(sub):
                    help="run the dependency race detector (fail on any "
                         "undeclared task data access)")
     _add_geometry_options(p)
+    _add_fault_options(p)
     return p
 
 
@@ -128,6 +156,30 @@ def _add_bench_parser(sub):
                    help="node counts (weak/strong scaling only)")
     p.add_argument("--quick", action="store_true",
                    help="smaller geometry for a fast look")
+    _add_engine_options(p)
+    return p
+
+
+def _add_faults_parser(sub):
+    p = sub.add_parser(
+        "faults",
+        help="resilience experiment: sweep injected-noise intensity x "
+             "variant and print the degradation curve",
+    )
+    p.add_argument("--intensities", type=float, nargs="+",
+                   default=(0.5, 1.0),
+                   help="noise intensities to sweep (0 = clean baseline, "
+                        "always included; default: %(default)s)")
+    p.add_argument("--variants", nargs="+", choices=sorted(VARIANTS),
+                   default=sorted(VARIANTS))
+    p.add_argument("--nodes", type=int, default=2,
+                   help="nodes per run (default: %(default)s)")
+    p.add_argument("--seed", type=int, default=2020,
+                   help="fault-injection seed (default: %(default)s)")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller geometry for a fast look")
+    p.add_argument("--csv", default=None, metavar="PATH",
+                   help="write the degradation curve as CSV here")
     _add_engine_options(p)
     return p
 
@@ -175,6 +227,7 @@ def _add_profile_parser(sub):
     p.add_argument("--nodes", type=int, default=1)
     p.add_argument("--ranks-per-node", type=int, default=None)
     _add_geometry_options(p)
+    _add_fault_options(p)
     p.add_argument("--trace-max-events", type=int, default=None,
                    help="bound tracer memory (ring buffer; evictions are "
                         "counted, not fatal)")
@@ -270,6 +323,7 @@ def cmd_run(args) -> int:
         scheduler=args.scheduler,
         sched_seed=args.sched_seed,
         check_access=args.check_access,
+        faults=_fault_plan(args),
     ))
     if args.check_access:
         print("access check:     clean (no undeclared task accesses)")
@@ -284,6 +338,14 @@ def cmd_run(args) -> int:
     print(f"messages:         {res.comm_stats.messages} "
           f"({res.comm_stats.bytes_sent} bytes)")
     print(f"checksums:        {len(res.checksums)} validated")
+    if res.fault_stats is not None:
+        fs = res.fault_stats
+        print(f"injected faults:  {fs['injected_cpu_seconds']:.6f} s CPU "
+              f"({fs['cpu_noise_events']} events, "
+              f"{fs['cpu_bursts']} bursts), "
+              f"{fs['injected_network_seconds']:.6f} s network "
+              f"({fs['messages_delayed']} delayed, "
+              f"{fs['messages_lost']} lost)")
     return 0
 
 
@@ -308,6 +370,7 @@ def cmd_profile(args) -> int:
         sched_seed=args.sched_seed,
         profile=True,
         trace_max_events=args.trace_max_events,
+        faults=_fault_plan(args),
     ))
     report = res.profile
     # Write every requested export before printing: stdout may be a pipe
@@ -427,6 +490,24 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    engine = _make_engine(args)
+    result = resilience(
+        intensities=tuple(args.intensities),
+        variants=tuple(args.variants),
+        num_nodes=args.nodes,
+        quick=args.quick,
+        engine=engine,
+        seed=args.seed,
+    )
+    print(result.text)
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(result.to_csv() + "\n")
+        print(f"degradation curve written: {args.csv}")
+    return 0
+
+
 def cmd_verify(args) -> int:
     from dataclasses import replace
 
@@ -512,25 +593,42 @@ def main(argv=None) -> int:
             "MPI-only parallelizations on a modelled cluster"
         ),
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(sub)
     _add_sweep_parser(sub)
     _add_bench_parser(sub)
+    _add_faults_parser(sub)
     _add_verify_parser(sub)
     _add_profile_parser(sub)
     _add_report_parser(sub)
     args = parser.parse_args(argv)
-    if args.command == "run":
-        return cmd_run(args)
-    if args.command == "sweep":
-        return cmd_sweep(args)
-    if args.command == "verify":
-        return cmd_verify(args)
-    if args.command == "profile":
-        return cmd_profile(args)
-    if args.command == "report":
-        return cmd_report(args)
-    return cmd_bench(args)
+    commands = {
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "bench": cmd_bench,
+        "faults": cmd_faults,
+        "verify": cmd_verify,
+        "profile": cmd_profile,
+        "report": cmd_report,
+    }
+    from .exec import SweepError
+
+    try:
+        return commands[args.command](args)
+    except SweepError as exc:
+        # Failed runs within an otherwise valid sweep/experiment.
+        print(f"miniamr-sim: error: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError, TypeError) as exc:
+        # Invalid spec/scheduler/geometry combinations surface as clean
+        # diagnostics with a distinct exit code, not raw tracebacks.
+        message = exc.args[0] if exc.args else exc
+        print(f"miniamr-sim: error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..amr.balance import max_imbalance
+from ..faults.injectors import FaultInjector
 from ..mpi import World
 from ..obs.profiler import Profiler
 from ..obs.report import PhaseSummary, build_profile_report
@@ -84,7 +85,19 @@ def execute(run_spec: RunSpec) -> RunResult:
     )
     witness = AccessWitness(env) if rs.check_access else None
     network = spec.network.scaled_to(num_nodes)
-    world = World(env, machine, network, tracer=tracer, profiler=profiler)
+    # resolve() normalized inactive plans away, so a non-None plan here
+    # always perturbs something.
+    injector = (
+        FaultInjector(
+            rs.faults, network, machine.num_ranks, profiler=profiler
+        )
+        if rs.faults is not None
+        else None
+    )
+    world = World(
+        env, machine, network, tracer=tracer, profiler=profiler,
+        faults=injector,
+    )
     shared = SharedState(config, machine, spec, world, tracer=tracer)
 
     cores_per_rank = 1 if rs.variant == "mpi_only" else machine.cores_per_rank
@@ -102,6 +115,7 @@ def execute(run_spec: RunSpec) -> RunResult:
             witness=witness,
             tracer=tracer,
             profiler=profiler,
+            faults=injector,
         )
         program = program_cls(shared, rank, world.comm(rank), runtime)
         if rs.delayed_checksum is not None and hasattr(
@@ -129,6 +143,7 @@ def execute(run_spec: RunSpec) -> RunResult:
             cores_per_rank=cores_per_rank,
             makespan=env.now,
             tracer=tracer,
+            fault_injector=injector,
         )
         if profiler is not None
         else None
@@ -150,6 +165,9 @@ def execute(run_spec: RunSpec) -> RunResult:
             PhaseSummary.from_tracer(tracer) if tracer is not None else None
         ),
         profile=profile,
+        fault_stats=(
+            injector.stats.to_dict() if injector is not None else None
+        ),
         tracer=tracer if rs.trace else None,
         profiler=profiler,
     )

@@ -125,6 +125,10 @@ class RunResult:
     phase_summary: PhaseSummary = None
     #: Full profiling report (present when ``RunSpec(profile=True)``).
     profile: ProfileReport = None
+    #: Injected-fault ledger (present when the run had an active
+    #: :class:`~repro.faults.FaultPlan`): the
+    #: :class:`~repro.faults.FaultStats` counters as a plain dict.
+    fault_stats: dict = None
     #: Live-only tracer (present when tracing was requested; never
     #: serialized, ignored by equality).
     tracer: object = None
@@ -194,6 +198,8 @@ class RunResult:
             d["phase_summary"] = self.phase_summary.to_dict()
         if self.profile is not None:
             d["profile"] = self.profile.to_dict()
+        if self.fault_stats is not None:
+            d["fault_stats"] = dict(self.fault_stats)
         return d
 
     @classmethod
@@ -226,4 +232,5 @@ class RunResult:
                 if data.get("profile") is not None
                 else None
             ),
+            fault_stats=data.get("fault_stats"),
         )

@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass, fields, replace
 
 from ..amr.config import AmrConfig
 from ..amr.objects import ObjectSpec, Shape
+from ..faults.plan import FaultPlan
 from ..machine.costmodel import CostSpec
 from ..machine.network import NetworkSpec
 from ..machine.presets import MachineSpec, get_preset
@@ -155,6 +156,12 @@ class RunSpec:
     #: buffer; evictions counted in ``Tracer.dropped_events``).  ``None``
     #: (the default, omitted from :meth:`to_dict`) keeps everything.
     trace_max_events: int = None
+    #: Deterministic fault injection: a :class:`~repro.faults.FaultPlan`
+    #: (or ``None`` = clean run).  Omitted from :meth:`to_dict` when
+    #: ``None``, and :meth:`resolve` normalizes *inactive* plans to
+    #: ``None``, so fault-off fingerprints, cache keys, and goldens are
+    #: byte-identical to pre-faults specs.
+    faults: FaultPlan = None
 
     def __post_init__(self):
         if not isinstance(self.config, AmrConfig):
@@ -191,6 +198,10 @@ class RunSpec:
             or self.trace_max_events < 1
         ):
             raise ValueError("trace_max_events must be a positive int")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan or None, got {self.faults!r}"
+            )
 
     # ------------------------------------------------------------------
     def machine_spec(self) -> MachineSpec:
@@ -225,6 +236,11 @@ class RunSpec:
             machine=machine,
             ranks_per_node=rpn,
             cost_overrides=None,
+            faults=(
+                self.faults
+                if self.faults is not None and self.faults.is_active()
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -232,7 +248,8 @@ class RunSpec:
         """JSON-compatible dict (inverse of :meth:`from_dict`).
 
         Fields added after the golden store was seeded (``profile``,
-        ``trace_max_events``) are emitted only at non-default values, so
+        ``trace_max_events``, ``faults``) are emitted only at non-default
+        values, so
         the canonical JSON — and therefore every fingerprint and golden
         key — of a pre-existing spec is byte-identical.
         """
@@ -260,6 +277,8 @@ class RunSpec:
             d["profile"] = True
         if self.trace_max_events is not None:
             d["trace_max_events"] = self.trace_max_events
+        if self.faults is not None:
+            d["faults"] = self.faults.to_dict()
         return d
 
     @classmethod
@@ -282,6 +301,11 @@ class RunSpec:
             trace=data.get("trace", False),
             profile=data.get("profile", False),
             trace_max_events=data.get("trace_max_events"),
+            faults=(
+                FaultPlan.from_dict(data["faults"])
+                if data.get("faults") is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -22,6 +22,7 @@ from .engine import (
     SweepEngine,
     SweepError,
     SweepReport,
+    retry_jitter,
     run_spec_dict,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "SweepEngine",
     "SweepError",
     "SweepReport",
+    "retry_jitter",
     "run_spec_dict",
 ]

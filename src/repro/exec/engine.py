@@ -25,6 +25,7 @@ spec).
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import time
 import traceback
@@ -35,6 +36,20 @@ from ..core import RunResult, RunSpec, run_simulation
 
 class SweepError(RuntimeError):
     """Raised when a sweep finished with failed runs and strictness is on."""
+
+
+def retry_jitter(fingerprint: str, attempt: int) -> float:
+    """Deterministic retry-backoff jitter in ``[0, 1)``.
+
+    Derived from the run's content fingerprint and the attempt number —
+    never from wall clock or a process-global RNG — so a retried sweep
+    desynchronizes its retries (the point of jitter) while remaining
+    bit-reproducible run to run.
+    """
+    digest = hashlib.sha256(
+        f"{fingerprint}:{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
 
 
 @dataclass(frozen=True)
@@ -195,7 +210,9 @@ class SweepEngine:
         Crash/timeout retries per run before it is marked failed.
         Deterministic Python exceptions are *not* retried.
     backoff:
-        Base of the exponential retry backoff (``backoff * 2**attempt``).
+        Base of the exponential retry backoff (``backoff * 2**attempt``,
+        plus up to 50% :func:`retry_jitter` seeded by the run
+        fingerprint — never by wall clock, so retried sweeps reproduce).
     progress:
         Optional callback receiving event dicts
         (``event ∈ {cached, start, ok, retry, failed}``).
@@ -412,8 +429,13 @@ class SweepEngine:
                 outcomes[task.index] = outcome
                 self._emit("failed", outcome, total)
             else:
+                # Exponential backoff with seeded jitter (up to +50%).
                 task.not_before = time.monotonic() + (
-                    self.backoff * (2 ** (task.attempts - 1))
+                    self.backoff
+                    * (2 ** (task.attempts - 1))
+                    * (1.0 + 0.5 * retry_jitter(
+                        task.fingerprint, task.attempts
+                    ))
                 )
                 waiting.append(task)
                 self._emit(

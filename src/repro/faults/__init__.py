@@ -1,0 +1,20 @@
+"""repro.faults — deterministic fault & perturbation injection.
+
+The *plan* (:class:`FaultPlan`) is pure data riding inside
+:class:`~repro.core.RunSpec`; the *injector* (:class:`FaultInjector`) is
+the per-run machinery the driver threads through the tasking runtime and
+the simulated MPI world.  See the module docstrings for the contract.
+"""
+
+from .injectors import FaultInjector, FaultRng, FaultStats, FaultyNoise
+from .plan import FaultPlan, noise_plan, straggler_plan
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRng",
+    "FaultStats",
+    "FaultyNoise",
+    "noise_plan",
+    "straggler_plan",
+]

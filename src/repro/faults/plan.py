@@ -1,0 +1,248 @@
+"""The serializable fault plan — *what* to inject, not *how*.
+
+A :class:`FaultPlan` is a frozen, JSON-round-trippable description of
+every perturbation one run should suffer:
+
+* **CPU noise** — bounded uniform stretch of every CPU charge
+  (``cpu_noise_factor``) plus rare OS-noise bursts (daemon preemptions:
+  ``cpu_burst_rate`` per CPU-second, each lasting ``cpu_burst_time``),
+  layered *on top of* the machine's calibrated baseline noise model;
+* **stragglers** — designated ranks whose every CPU charge is multiplied
+  by ``straggler_factor`` (persistent imbalance: a thermally-throttled or
+  oversubscribed node);
+* **network degradation windows** — simulated-time intervals during which
+  point-to-point latency is multiplied by ``degrade_latency_factor`` and
+  bandwidth divided by ``degrade_bandwidth_factor`` (a congested or
+  failing fabric);
+* **per-message jitter** — up to ``message_jitter`` extra seconds of
+  delivery delay per message;
+* **transient message loss** — each message is independently "lost" with
+  probability ``message_loss_rate`` per attempt and retransmitted after a
+  ``retry_timeout`` that backs off geometrically (``retry_backoff``),
+  modelling an MPI/TAMPI layer recovering over a lossy transport.
+
+Everything is driven by ``seed``: the same plan on the same
+:class:`~repro.core.RunSpec` reproduces the same run bit-for-bit (the
+injector derives independent deterministic streams per fault kind and
+rank, so enabling one fault never shifts another's draws).
+
+The plan rides inside :class:`~repro.core.RunSpec` and is emitted into
+the spec's canonical JSON — and therefore its fingerprint — only when
+present *and active*, so fault-off specs, their cache keys, and the
+committed goldens stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic, composable fault-injection parameters for one run."""
+
+    #: Master seed of every injector stream.  Two plans differing only in
+    #: seed produce different — but individually reproducible — runs.
+    seed: int = 0
+
+    # -- CPU / OS noise -----------------------------------------------
+    #: Extra uniform stretch amplitude on every CPU charge (0.1 = up to
+    #: +10% per charge, uniformly drawn).
+    cpu_noise_factor: float = 0.0
+    #: Expected injected OS-noise bursts per CPU-second of charged work
+    #: (rate-normalized like the baseline noise model, so every variant
+    #: receives the same expected noise per unit of work).
+    cpu_burst_rate: float = 0.0
+    #: Duration of one injected burst (seconds).
+    cpu_burst_time: float = 2.0e-4
+    #: Ranks slowed persistently (world ranks; out-of-range entries are
+    #: inert, so one plan can be reused across machine sizes).
+    straggler_ranks: tuple = ()
+    #: Multiplier on every straggler CPU charge (1.0 = no slowdown).
+    straggler_factor: float = 1.0
+
+    # -- Network degradation windows ----------------------------------
+    #: ``((t0, t1), ...)`` simulated-time windows of degraded fabric.
+    degrade_windows: tuple = ()
+    #: Latency multiplier inside a degradation window.
+    degrade_latency_factor: float = 1.0
+    #: Bandwidth divisor inside a degradation window.
+    degrade_bandwidth_factor: float = 1.0
+
+    # -- Per-message jitter and transient loss ------------------------
+    #: Maximum extra delivery delay per message (uniform in [0, jitter]).
+    message_jitter: float = 0.0
+    #: Per-attempt probability that a message is transiently lost and
+    #: must be retransmitted.
+    message_loss_rate: float = 0.0
+    #: Retransmission timeout after the first loss (seconds).
+    retry_timeout: float = 1.0e-4
+    #: Geometric backoff factor applied to the timeout per further loss.
+    retry_backoff: float = 2.0
+    #: Retransmission attempts before the message is delivered anyway
+    #: (the simulated transport never loses a message permanently —
+    #: resilience experiments measure *delay*, not data loss).
+    max_retries: int = 10
+
+    # ------------------------------------------------------------------
+    def __post_init__(self):
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ValueError("seed must be a non-negative int")
+        for name in ("cpu_noise_factor", "cpu_burst_rate", "cpu_burst_time",
+                     "message_jitter", "message_loss_rate", "retry_timeout"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.message_loss_rate >= 1.0:
+            raise ValueError("message_loss_rate must be < 1")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1 (a slowdown)")
+        if self.degrade_latency_factor < 1.0:
+            raise ValueError("degrade_latency_factor must be >= 1")
+        if self.degrade_bandwidth_factor < 1.0:
+            raise ValueError("degrade_bandwidth_factor must be >= 1")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        object.__setattr__(
+            self,
+            "straggler_ranks",
+            tuple(int(r) for r in self.straggler_ranks),
+        )
+        if any(r < 0 for r in self.straggler_ranks):
+            raise ValueError("straggler_ranks must be non-negative")
+        windows = []
+        for window in self.degrade_windows:
+            t0, t1 = window
+            t0, t1 = float(t0), float(t1)
+            if t0 < 0 or t1 <= t0:
+                raise ValueError(
+                    f"degrade window ({t0}, {t1}) must satisfy 0 <= t0 < t1"
+                )
+            windows.append((t0, t1))
+        object.__setattr__(self, "degrade_windows", tuple(windows))
+
+    # ------------------------------------------------------------------
+    def is_active(self) -> bool:
+        """Whether this plan perturbs anything at all.
+
+        Inactive plans are normalized to ``None`` by
+        :meth:`RunSpec.resolve`, so ``FaultPlan()`` and "no faults"
+        fingerprint identically.
+        """
+        return bool(
+            self.cpu_noise_factor > 0
+            or (self.cpu_burst_rate > 0 and self.cpu_burst_time > 0)
+            or (self.straggler_ranks and self.straggler_factor > 1.0)
+            or (
+                self.degrade_windows
+                and (
+                    self.degrade_latency_factor > 1.0
+                    or self.degrade_bandwidth_factor > 1.0
+                )
+            )
+            or self.message_jitter > 0
+            or self.message_loss_rate > 0
+        )
+
+    def with_overrides(self, **kwargs) -> "FaultPlan":
+        """A copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """The same fault *mix* at a different intensity.
+
+        Stochastic magnitudes (noise amplitude, burst rate, jitter, loss
+        probability) scale linearly; multiplicative slowdowns interpolate
+        from 1 (``factor -> 1 + intensity * (factor - 1)``).  Windows,
+        seeds, and timeouts are structural and stay fixed.  ``scaled(0)``
+        is inactive; ``scaled(1)`` is the plan itself.  This is the knob
+        the resilience experiments sweep.
+        """
+        if intensity < 0:
+            raise ValueError("intensity must be >= 0")
+
+        def interp(factor):
+            return 1.0 + intensity * (factor - 1.0)
+
+        return replace(
+            self,
+            cpu_noise_factor=self.cpu_noise_factor * intensity,
+            cpu_burst_rate=self.cpu_burst_rate * intensity,
+            straggler_factor=interp(self.straggler_factor),
+            degrade_latency_factor=interp(self.degrade_latency_factor),
+            degrade_bandwidth_factor=interp(self.degrade_bandwidth_factor),
+            message_jitter=self.message_jitter * intensity,
+            message_loss_rate=min(
+                self.message_loss_rate * intensity, 0.999
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (inverse of :meth:`from_dict`).
+
+        Every field is emitted (canonical form) — gating on *plan*
+        presence happens in :meth:`RunSpec.to_dict`, not per field.
+        """
+        return {
+            "seed": self.seed,
+            "cpu_noise_factor": self.cpu_noise_factor,
+            "cpu_burst_rate": self.cpu_burst_rate,
+            "cpu_burst_time": self.cpu_burst_time,
+            "straggler_ranks": list(self.straggler_ranks),
+            "straggler_factor": self.straggler_factor,
+            "degrade_windows": [list(w) for w in self.degrade_windows],
+            "degrade_latency_factor": self.degrade_latency_factor,
+            "degrade_bandwidth_factor": self.degrade_bandwidth_factor,
+            "message_jitter": self.message_jitter,
+            "message_loss_rate": self.message_loss_rate,
+            "retry_timeout": self.retry_timeout,
+            "retry_backoff": self.retry_backoff,
+            "max_retries": self.max_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        bad = set(data) - known
+        if bad:
+            raise ValueError(f"unknown FaultPlan fields: {sorted(bad)}")
+        kwargs = dict(data)
+        if "straggler_ranks" in kwargs:
+            kwargs["straggler_ranks"] = tuple(kwargs["straggler_ranks"])
+        if "degrade_windows" in kwargs:
+            kwargs["degrade_windows"] = tuple(
+                tuple(w) for w in kwargs["degrade_windows"]
+            )
+        return cls(**kwargs)
+
+
+def noise_plan(intensity: float = 1.0, seed: int = 2020) -> FaultPlan:
+    """The canonical "noisy cluster" mix used by resilience experiments.
+
+    At ``intensity=1``: +30% uniform CPU noise amplitude, ~80 OS-noise
+    bursts per CPU-second of 0.2 ms each, 20 µs message jitter, and 2%
+    transient message loss with a 0.1 ms retry timeout.  Sweeping
+    ``intensity`` produces the degradation curves of
+    :func:`repro.bench.resilience`.
+    """
+    return FaultPlan(
+        seed=seed,
+        cpu_noise_factor=0.30,
+        cpu_burst_rate=80.0,
+        cpu_burst_time=2.0e-4,
+        message_jitter=2.0e-5,
+        message_loss_rate=0.02,
+        retry_timeout=1.0e-4,
+        retry_backoff=2.0,
+    ).scaled(intensity)
+
+
+def straggler_plan(
+    ranks=(0,), factor: float = 2.0, seed: int = 2020
+) -> FaultPlan:
+    """A pure-imbalance plan: the named ranks run ``factor``× slower."""
+    return FaultPlan(
+        seed=seed, straggler_ranks=tuple(ranks), straggler_factor=factor
+    )

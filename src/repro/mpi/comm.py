@@ -93,7 +93,9 @@ class WorldStats:
 class World:
     """All communication state of one simulated MPI world."""
 
-    def __init__(self, env, machine, network, tracer=None, profiler=None):
+    def __init__(
+        self, env, machine, network, tracer=None, profiler=None, faults=None
+    ):
         self.env = env
         self.machine = machine
         self.network = network
@@ -101,6 +103,10 @@ class World:
         #: Optional :class:`repro.obs.Profiler` (records per-call wait
         #: intervals and per-message in-flight windows).
         self.profiler = profiler
+        #: Optional :class:`repro.faults.FaultInjector` — adds
+        #: deterministic extra in-flight delay (degradation windows,
+        #: jitter, loss retransmissions) to every point-to-point message.
+        self.faults = faults
         self.size = machine.num_ranks
         self._endpoints = {}
         self._channels = {}  # (comm_id, src, dst) -> last arrival time
@@ -155,7 +161,21 @@ class World:
             else self.network.latency_inter
         )
         key = (comm_id, src, dst)
-        arrival = max(inject_end + latency, self._channels.get(key, 0.0))
+        base_arrival = inject_end + latency
+        if self.faults is not None:
+            extra = self.faults.message_delay(
+                wsrc, wdst, nbytes, same_node, env.now
+            )
+            if extra > 0:
+                if self.profiler is not None:
+                    self.profiler.fault_delay(
+                        wsrc, wdst, base_arrival, base_arrival + extra
+                    )
+                base_arrival += extra
+        # Injected delay precedes the non-overtaking clamp: a delayed
+        # message holds back everything behind it on the same channel,
+        # like a real retransmission would.
+        arrival = max(base_arrival, self._channels.get(key, 0.0))
         self._channels[key] = arrival
 
         self.stats.messages += 1

@@ -23,7 +23,12 @@ the two numbers that *explain* a run's makespan:
   - ``network``: a message involving this rank was in flight;
   - ``dependency``: spawned tasks existed whose predecessors had not
     completed (graph-shape starvation);
-  - ``no_ready_work``: nothing outstanding — true starvation.
+  - ``no_ready_work``: nothing outstanding — true starvation;
+  - ``fault_retry`` / ``fault_noise``: the gap lines up with delay
+    injected by an active :class:`~repro.faults.FaultPlan` (message
+    retransmission/jitter/degradation, or CPU noise/straggler slowdown);
+    these take priority on coverage ties — the injected fault is the
+    root cause of the wait it manifests as.
 
   A rank's main thread also does untasked work (refinement control, the
   exchange ACK protocol); those inline charges are recorded by the
@@ -46,14 +51,23 @@ COLLECTIVE_CALLS = frozenset(
      "Reduce_scatter", "Allgather", "Alltoall", "Dup", "Split")
 )
 
-#: Idle-gap blocker categories (classification priority order).
-BLOCKERS = ("mpi_wait", "collective", "tampi_release", "network",
-            "dependency", "no_ready_work")
+#: Idle-gap blocker categories (classification priority order).  The
+#: fault classes come first: an injected delay is the *root cause* of any
+#: gap it covers as well as an MPI wait does, so on coverage ties the
+#: fault wins (strictly larger coverage still wins regardless of order).
+#: ``fault_retry`` is time lost to injected message delays (loss
+#: retransmissions, jitter, degradation windows); ``fault_noise`` is time
+#: lost waiting behind injected CPU noise/bursts/straggler slowdown
+#: anywhere in the run.  Both are empty — and unobservable — on clean
+#: runs, so the taxonomy of existing reports is unchanged.
+BLOCKERS = ("fault_retry", "fault_noise", "mpi_wait", "collective",
+            "tampi_release", "network", "dependency", "no_ready_work")
 
 #: Categories counted as "blocked on communication" for cross-variant
 #: comparison (collectives are structural and excluded; ``dependency``
-#: and ``no_ready_work`` are scheduling, not communication).
-COMM_BLOCKED = ("mpi_wait", "tampi_release", "network")
+#: and ``no_ready_work`` are scheduling, not communication;
+#: ``fault_retry`` is injected *communication* delay and counts).
+COMM_BLOCKED = ("mpi_wait", "tampi_release", "network", "fault_retry")
 
 
 def merge_intervals(intervals) -> list:
@@ -165,10 +179,29 @@ def _evidence_intervals(profiler):
             blocking[call.rank].append((call.t0, call.t1))
         elif call.name in COLLECTIVE_CALLS:
             coll[call.rank].append((call.t0, call.t1))
+    # Injected message delays block both endpoints; injected CPU faults
+    # are merged *globally* — a gap anywhere in the run that lines up
+    # with injected noise (on any rank: a slow sender, a slow sibling
+    # core) is root-caused to the fault, not to the wait it manifests as.
+    fretry = defaultdict(list)
+    for src, dst, t0, t1 in profiler.fault_delay_intervals:
+        fretry[src].append((t0, t1))
+        if dst != src:
+            fretry[dst].append((t0, t1))
+    fnoise = merge_intervals(
+        [
+            span
+            for spans in profiler.fault_cpu_intervals.values()
+            for span in spans
+        ]
+    )
     merge = merge_intervals
-    return tuple(
-        {r: merge(v) for r, v in src.items()}
-        for src in (blocking, coll, tampi, net, dep)
+    return (
+        tuple(
+            {r: merge(v) for r, v in src.items()}
+            for src in (blocking, coll, tampi, net, dep, fretry)
+        )
+        + (fnoise,)
     )
 
 
@@ -199,7 +232,9 @@ def idle_gaps(profiler, cores_by_rank, makespan) -> dict:
         ranks_with_tasks.add(rec.rank)
         busy_by_core[(rec.rank, rec.core)].append((rec.t_start, rec.t_end))
 
-    blocking, coll, tampi, net, dep = _evidence_intervals(profiler)
+    blocking, coll, tampi, net, dep, fretry, fnoise = _evidence_intervals(
+        profiler
+    )
 
     by_blocker = defaultdict(float)
     per_rank = []
@@ -214,6 +249,8 @@ def idle_gaps(profiler, cores_by_rank, makespan) -> dict:
         core_seconds += ncores * makespan
         if rank in ranks_with_tasks and makespan > 0:
             evidence = (
+                ("fault_retry", fretry.get(rank, ())),
+                ("fault_noise", fnoise),
                 ("mpi_wait", blocking.get(rank, ())),
                 ("collective", coll.get(rank, ())),
                 ("tampi_release", tampi.get(rank, ())),
@@ -253,9 +290,21 @@ def idle_gaps(profiler, cores_by_rank, makespan) -> dict:
             busy = max(ncores * makespan - wait_total - coll_total, 0.0)
             busy_seconds += busy
             row["busy"] = busy
+            # The share of blocked waits lined up with injected message
+            # delays is root-caused to the fault (so MPI-only runs
+            # reconcile against the injected ledger too).
+            retry_total = sum(
+                overlap_length((lo, hi), fretry.get(rank, ()))
+                for lo, hi in waits
+            )
+            wait_total -= retry_total
+            if retry_total > 0:
+                by_blocker["fault_retry"] += retry_total
+                row["by_blocker"]["fault_retry"] = retry_total
             if wait_total > 0:
                 by_blocker["mpi_wait"] += wait_total
                 row["by_blocker"]["mpi_wait"] = wait_total
+            if waits:
                 gap_count += len(waits)
                 max_gap = max(max_gap, max(hi - lo for lo, hi in waits))
             if coll_total > 0:

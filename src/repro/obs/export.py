@@ -201,6 +201,27 @@ def ascii_summary(report, top=8) -> str:
                 f"[{_bar(t / core_seconds)}]"
             )
         lines.append("  (* counted as comm-blocked)")
+
+    if report.faults:
+        injected = report.faults.get("injected", {})
+        observed = report.faults.get("observed", {})
+        lines.append("-- injected faults (vs observed idle) --")
+        lines.append(
+            f"  injected CPU      {injected.get('injected_cpu_seconds', 0.0):.6f} s "
+            f"({injected.get('cpu_noise_events', 0)} events, "
+            f"{injected.get('cpu_bursts', 0)} bursts)"
+        )
+        lines.append(
+            f"  injected network  "
+            f"{injected.get('injected_network_seconds', 0.0):.6f} s "
+            f"({injected.get('messages_delayed', 0)} delayed, "
+            f"{injected.get('messages_lost', 0)} lost)"
+        )
+        lines.append(
+            f"  observed idle     "
+            f"fault_noise {observed.get('fault_noise', 0.0):.6f} s, "
+            f"fault_retry {observed.get('fault_retry', 0.0):.6f} s"
+        )
     return "\n".join(lines) + "\n"
 
 

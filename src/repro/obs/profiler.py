@@ -129,6 +129,11 @@ class Profiler:
         self.messages = []  # Message
         #: Per-rank inline (untasked, main-thread) busy intervals.
         self.inline = {}  # rank -> [(t0, t1), ...]
+        #: Per-rank injected-CPU-fault intervals (the extra tail the
+        #: fault injector appended to a charge).
+        self.fault_cpu_intervals = {}  # rank -> [(t0, t1), ...]
+        #: Injected message-delay intervals, attributed to both endpoints.
+        self.fault_delay_intervals = []  # (src, dst, t0, t1)
         #: Per-rank count of currently-pending TAMPI releases.
         self._pending_releases = {}
         # Hot-path accumulators, folded into ``metrics`` by
@@ -208,6 +213,21 @@ class Profiler:
 
     def message_posted(self, src, dst, t_post, t_arrive, nbytes):
         self.messages.append(Message(src, dst, t_post, t_arrive, nbytes))
+
+    # ------------------------------------------------------------------
+    # Fault-injector hooks (called from repro.faults.injectors)
+    # ------------------------------------------------------------------
+    def fault_cpu(self, rank, t0, t1):
+        """Injected CPU-fault tail ``[t0, t1]`` on ``rank`` (evidence for
+        the ``fault_noise`` idle-gap blocker class)."""
+        if t1 > t0:
+            self.fault_cpu_intervals.setdefault(rank, []).append((t0, t1))
+
+    def fault_delay(self, src, dst, t0, t1):
+        """Injected extra in-flight window of one message (evidence for
+        the ``fault_retry`` idle-gap blocker class on both endpoints)."""
+        if t1 > t0:
+            self.fault_delay_intervals.append((src, dst, t0, t1))
 
     # ------------------------------------------------------------------
     # Application hooks (called from repro.core.app)
@@ -293,6 +313,20 @@ class Profiler:
         m.histogram("mpi.message_bytes").observe_many(
             [msg.nbytes for msg in self.messages]
         )
+        # Guarded so clean runs' metric sets are unchanged by faults
+        # existing as a feature.
+        if self.fault_cpu_intervals:
+            m.histogram("faults.cpu_extra").observe_many(
+                [
+                    t1 - t0
+                    for spans in self.fault_cpu_intervals.values()
+                    for (t0, t1) in spans
+                ]
+            )
+        if self.fault_delay_intervals:
+            m.histogram("faults.message_extra").observe_many(
+                [t1 - t0 for (_s, _d, t0, t1) in self.fault_delay_intervals]
+            )
         return m
 
     def materialize_edges(self):

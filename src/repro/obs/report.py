@@ -133,6 +133,12 @@ class ProfileReport:
     idle: dict = field(default_factory=dict)
     #: :meth:`MetricsRegistry.to_dict` dump.
     metrics: list = field(default_factory=list)
+    #: Injected-vs-observed fault accounting (empty on clean runs and
+    #: omitted from :meth:`to_dict`, keeping existing reports stable):
+    #: the injector's :class:`~repro.faults.FaultStats` ledger under
+    #: ``"injected"`` plus the observed ``fault_noise``/``fault_retry``
+    #: idle seconds under ``"observed"``.
+    faults: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -149,7 +155,7 @@ class ProfileReport:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        d = {
             "variant": self.variant,
             "num_nodes": self.num_nodes,
             "ranks_per_node": self.ranks_per_node,
@@ -164,6 +170,9 @@ class ProfileReport:
             "idle": dict(self.idle),
             "metrics": list(self.metrics),
         }
+        if self.faults:
+            d["faults"] = dict(self.faults)
+        return d
 
     @classmethod
     def from_dict(cls, data: dict) -> "ProfileReport":
@@ -183,20 +192,35 @@ class ProfileReport:
             critical_path=dict(data.get("critical_path", {})),
             idle=dict(data.get("idle", {})),
             metrics=list(data.get("metrics", [])),
+            faults=dict(data.get("faults", {})),
         )
 
 
 def build_profile_report(
-    profiler, rs, num_ranks, cores_per_rank, makespan, tracer=None
+    profiler, rs, num_ranks, cores_per_rank, makespan, tracer=None,
+    fault_injector=None,
 ) -> ProfileReport:
     """Assemble a :class:`ProfileReport` from one finished run.
 
     ``rs`` is the *resolved* :class:`~repro.core.RunSpec`; ``tracer`` is
     the run's tracer (profiled runs always carry one internally, even
-    when ``rs.trace`` is off).
+    when ``rs.trace`` is off).  ``fault_injector`` is the run's
+    :class:`~repro.faults.FaultInjector` when its fault plan was active —
+    its ledger is embedded next to the observed fault-blocker idle
+    seconds so injected and observed delay can be reconciled.
     """
     cores_by_rank = {rank: cores_per_rank for rank in range(num_ranks)}
     idle = idle_gaps(profiler, cores_by_rank, makespan)
+    faults = {}
+    if fault_injector is not None:
+        by_blocker = idle.get("by_blocker", {})
+        faults = {
+            "injected": fault_injector.stats.to_dict(),
+            "observed": {
+                "fault_noise": by_blocker.get("fault_noise", 0.0),
+                "fault_retry": by_blocker.get("fault_retry", 0.0),
+            },
+        }
     executed = sum(
         1 for r in profiler.tasks.values() if r.t_start is not None
     )
@@ -218,4 +242,5 @@ def build_profile_report(
         critical_path=critical_path(profiler),
         idle=idle,
         metrics=profiler.finalize_metrics().to_dict(),
+        faults=faults,
     )

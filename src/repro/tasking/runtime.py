@@ -81,6 +81,7 @@ class RankRuntime:
         witness=None,
         tracer=None,
         profiler=None,
+        faults=None,
     ):
         if num_cores < 1:
             raise ValueError("num_cores must be >= 1")
@@ -118,8 +119,15 @@ class RankRuntime:
         self.profiler = profiler
         self.stats = RuntimeStats()
         #: Deterministic per-rank system-noise source (shared with the
-        #: rank's main thread for its inline charges).
+        #: rank's main thread for its inline charges).  When a
+        #: :class:`~repro.faults.FaultInjector` is supplied it is layered
+        #: on top, so every CPU charge on this rank — task bodies and
+        #: inline main-thread work alike — suffers the injected faults.
         self.noise = NoiseModel(self.cost_spec, rank)
+        if faults is not None:
+            from ..faults.injectors import FaultyNoise
+
+            self.noise = FaultyNoise(self.noise, faults, rank, env)
 
         self.tracker = DependencyTracker()
         #: handle -> [holder Task or None, deque of parked tasks]

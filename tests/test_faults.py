@@ -1,0 +1,389 @@
+"""repro.faults: deterministic fault injection, end to end.
+
+The load-bearing checks:
+
+* **bit-reproducibility** — the same spec + plan yields an identical
+  :class:`RunResult` (fault ledger included); a different fault seed
+  yields a different run;
+* **fingerprint hygiene** — fault-off specs (``faults=None`` or an
+  *inactive* plan) fingerprint, cache and golden-key byte-identically
+  to pre-faults specs, so the committed ``goldens/`` never move;
+* **the resilience claim** — under the same injected noise, the TAMPI
+  data-flow variant's relative slowdown sits strictly below fork-join's
+  (the quantitative form of the paper's imbalance argument);
+* **reconciliation** — injected perturbations show up in the observed
+  idle-gap taxonomy (``fault_noise`` / ``fault_retry`` blockers) of a
+  profiled run.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import (
+    FaultPlan,
+    NetworkSpec,
+    noise_plan,
+    run_simulation,
+    straggler_plan,
+)
+from repro.bench import resilience
+from repro.cli import main
+from repro.core import RunResult
+from repro.exec import retry_jitter
+from repro.faults import FaultInjector, FaultRng, FaultStats
+from repro.obs import BLOCKERS, COMM_BLOCKED
+from repro.verify import default_golden_specs, golden_key
+
+
+@pytest.fixture(scope="module")
+def quick_specs():
+    return default_golden_specs(quick=True)
+
+
+@pytest.fixture(scope="module")
+def noisy_spec(quick_specs):
+    return replace(
+        quick_specs["tampi_dataflow_small"], faults=noise_plan(1.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def noisy_result(noisy_spec):
+    return run_simulation(noisy_spec)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: validation, activity, scaling, serialization
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bad", [
+    dict(seed=-1),
+    dict(cpu_noise_factor=-0.1),
+    dict(message_loss_rate=1.0),
+    dict(message_loss_rate=-0.5),
+    dict(straggler_factor=0.5),
+    dict(straggler_ranks=(-1,)),
+    dict(degrade_latency_factor=0.9),
+    dict(degrade_bandwidth_factor=0.0),
+    dict(degrade_windows=((0.2, 0.1),)),
+    dict(degrade_windows=((-1.0, 1.0),)),
+    dict(retry_backoff=0.5),
+    dict(max_retries=-1),
+])
+def test_plan_rejects_invalid_parameters(bad):
+    with pytest.raises(ValueError):
+        FaultPlan(**bad)
+
+
+def test_plan_activity():
+    assert not FaultPlan().is_active()
+    assert not FaultPlan(seed=7).is_active()  # seed alone injects nothing
+    assert not FaultPlan(straggler_ranks=(0,)).is_active()  # factor 1
+    assert not FaultPlan(degrade_windows=((0.0, 1.0),)).is_active()
+    assert noise_plan(1.0).is_active()
+    assert straggler_plan().is_active()
+    assert FaultPlan(
+        degrade_windows=((0.0, 1.0),), degrade_latency_factor=2.0
+    ).is_active()
+
+
+def test_plan_scaled_endpoints():
+    plan = noise_plan(1.0, seed=5)
+    assert plan.scaled(1.0) == plan
+    assert not plan.scaled(0.0).is_active()
+    half = plan.scaled(0.5)
+    assert half.cpu_noise_factor == pytest.approx(plan.cpu_noise_factor / 2)
+    assert half.message_loss_rate == pytest.approx(
+        plan.message_loss_rate / 2
+    )
+    assert half.seed == plan.seed  # structural fields stay fixed
+    assert half.retry_timeout == plan.retry_timeout
+    with pytest.raises(ValueError):
+        plan.scaled(-0.1)
+
+
+def test_plan_scaled_interpolates_factors_from_one():
+    plan = straggler_plan(ranks=(1,), factor=3.0)
+    assert plan.scaled(0.5).straggler_factor == pytest.approx(2.0)
+    assert not plan.scaled(0.0).is_active()
+
+
+def test_plan_json_round_trip():
+    plan = noise_plan(0.7, seed=5).with_overrides(
+        straggler_ranks=(0, 3), straggler_factor=1.5,
+        degrade_windows=((0.001, 0.002),), degrade_latency_factor=2.0,
+    )
+    wire = json.loads(json.dumps(plan.to_dict()))
+    assert FaultPlan.from_dict(wire) == plan
+
+
+def test_plan_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown FaultPlan fields"):
+        FaultPlan.from_dict({"seed": 1, "flux_capacitor": True})
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and goldens: fault-off must be byte-identical
+# ----------------------------------------------------------------------
+def test_inactive_plan_fingerprints_like_no_faults(quick_specs):
+    spec = quick_specs["tampi_dataflow_small"]
+    inert = replace(spec, faults=FaultPlan())
+    assert inert.fingerprint() == spec.fingerprint()
+    assert golden_key(inert) == golden_key(spec)
+    # the resolved canonical JSON is byte-identical, not merely hash-equal
+    a = json.dumps(spec.resolve().to_dict(), sort_keys=True)
+    b = json.dumps(inert.resolve().to_dict(), sort_keys=True)
+    assert a == b
+    assert "faults" not in spec.to_dict()
+
+
+def test_active_plan_changes_fingerprint(quick_specs):
+    spec = quick_specs["tampi_dataflow_small"]
+    noisy = replace(spec, faults=noise_plan(1.0))
+    assert noisy.fingerprint() != spec.fingerprint()
+    assert golden_key(noisy) != golden_key(spec)
+    reseeded = replace(spec, faults=noise_plan(1.0, seed=7))
+    assert reseeded.fingerprint() != noisy.fingerprint()
+
+
+def test_spec_round_trips_fault_plan(quick_specs):
+    from repro.core import RunSpec
+
+    noisy = replace(quick_specs["fork_join_small"], faults=noise_plan(0.5))
+    wire = json.loads(json.dumps(noisy.to_dict()))
+    assert RunSpec.from_dict(wire) == noisy
+
+
+def test_committed_golden_keys_survive_inactive_plans():
+    """The on-disk goldens' keys must match fault-off specs exactly —
+    attaching an inactive plan cannot move them either."""
+    for name, spec in default_golden_specs().items():
+        with open(f"goldens/{name}.json") as fh:
+            stored = json.load(fh)
+        assert stored["key"] == golden_key(spec)
+        assert stored["key"] == golden_key(replace(spec, faults=FaultPlan()))
+
+
+# ----------------------------------------------------------------------
+# Bit-reproducibility of faulty runs
+# ----------------------------------------------------------------------
+def test_faulty_run_is_bit_reproducible(noisy_spec, noisy_result):
+    again = run_simulation(noisy_spec)
+    assert again == noisy_result  # RunResult equality includes fault_stats
+    assert again.total_time == noisy_result.total_time
+    assert again.fault_stats == noisy_result.fault_stats
+
+
+def test_fault_seed_changes_the_run(noisy_spec, noisy_result):
+    reseeded = replace(noisy_spec, faults=noise_plan(1.0, seed=7))
+    other = run_simulation(reseeded)
+    assert other.total_time != noisy_result.total_time
+
+
+def test_inactive_plan_runs_identically_to_no_faults(quick_specs):
+    spec = quick_specs["mpi_only_small"]
+    clean = run_simulation(spec)
+    inert = run_simulation(replace(spec, faults=FaultPlan()))
+    assert inert == clean
+    assert clean.fault_stats is None
+    assert "fault_stats" not in clean.to_dict()
+
+
+def test_fault_stats_ledger_and_round_trip(noisy_result):
+    fs = noisy_result.fault_stats
+    assert fs is not None
+    assert fs["injected_cpu_seconds"] > 0
+    assert fs["cpu_noise_events"] > 0
+    assert fs["injected_network_seconds"] > 0
+    assert fs["messages_delayed"] > 0
+    assert noisy_result.total_time > 0
+    wire = json.loads(json.dumps(noisy_result.to_dict()))
+    assert RunResult.from_dict(wire).fault_stats == fs
+
+
+# ----------------------------------------------------------------------
+# Injector mechanics: streams, stragglers, degradation windows
+# ----------------------------------------------------------------------
+def test_rng_streams_are_deterministic_and_independent():
+    a = FaultRng(5, "jitter", 0)
+    b = FaultRng(5, "jitter", 0)
+    seq = [a.uniform() for _ in range(64)]
+    assert seq == [b.uniform() for _ in range(64)]
+    assert all(0.0 <= u < 1.0 for u in seq)
+    # kind and rank each select a distinct stream
+    assert seq != [FaultRng(5, "loss", 0).uniform() for _ in range(64)]
+    assert seq != [FaultRng(5, "jitter", 1).uniform() for _ in range(64)]
+    assert seq != [FaultRng(6, "jitter", 0).uniform() for _ in range(64)]
+
+
+def test_straggler_stretch_is_exact():
+    inj = FaultInjector(
+        straggler_plan(ranks=(0,), factor=2.0), NetworkSpec(), num_ranks=2
+    )
+    assert inj.cpu_stretch(0, 1.0, 0.0) == pytest.approx(2.0)
+    assert inj.cpu_stretch(1, 1.0, 0.0) == pytest.approx(1.0)
+    assert inj.stats.injected_cpu_seconds == pytest.approx(1.0)
+
+
+def test_degradation_window_is_time_gated():
+    net = NetworkSpec()
+    plan = FaultPlan(
+        degrade_windows=((0.0, 1.0),), degrade_latency_factor=2.0
+    )
+    inj = FaultInjector(plan, net, num_ranks=2)
+    inside = inj.message_delay(0, 1, 1024, False, now=0.5)
+    assert inside == pytest.approx(net.latency_inter)  # (factor-1) x latency
+    assert inj.message_delay(0, 1, 1024, False, now=2.0) == 0.0
+    assert inj.stats.messages_degraded == 1
+
+
+def test_fault_blockers_are_registered():
+    assert "fault_noise" in BLOCKERS
+    assert "fault_retry" in BLOCKERS
+    assert "fault_retry" in COMM_BLOCKED
+    assert "fault_noise" not in COMM_BLOCKED  # CPU noise is not comm
+
+
+# ----------------------------------------------------------------------
+# Observability: injected vs observed reconciliation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def profiled_noisy_report(quick_specs):
+    spec = replace(
+        quick_specs["fork_join_small"], profile=True, faults=noise_plan(1.0)
+    )
+    return run_simulation(spec).profile
+
+
+def test_profiled_run_reports_injected_vs_observed(profiled_noisy_report):
+    report = profiled_noisy_report
+    assert report.faults
+    injected = report.faults["injected"]
+    observed = report.faults["observed"]
+    assert injected["injected_cpu_seconds"] > 0
+    assert set(observed) == {"fault_noise", "fault_retry"}
+    assert all(v >= 0 for v in observed.values())
+    # observed fault idle is part of the taxonomy, not on top of it
+    by_blocker = report.idle.get("by_blocker", {})
+    for cls in ("fault_noise", "fault_retry"):
+        assert by_blocker.get(cls, 0.0) == pytest.approx(observed[cls])
+
+
+def test_profile_report_round_trips_faults(profiled_noisy_report):
+    from repro.obs import ProfileReport, ascii_summary
+
+    wire = json.loads(json.dumps(profiled_noisy_report.to_dict()))
+    back = ProfileReport.from_dict(wire)
+    assert back.faults == profiled_noisy_report.faults
+    text = ascii_summary(profiled_noisy_report)
+    assert "injected faults" in text
+
+
+def test_clean_profile_has_no_fault_section(quick_specs):
+    spec = replace(quick_specs["fork_join_small"], profile=True)
+    report = run_simulation(spec).profile
+    assert report.faults == {}
+    assert "faults" not in report.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Resilience: TAMPI+OSS must degrade less than fork-join
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def resilience_quick():
+    return resilience(intensities=(1.0,), quick=True, seed=2020)
+
+
+def test_resilience_tampi_beats_fork_join(resilience_quick):
+    res = resilience_quick
+    fj = res.slowdown_at("fork_join", 1.0)
+    td = res.slowdown_at("tampi_dataflow", 1.0)
+    assert fj > 1.0  # injected noise really hurts the bulk-sync variant
+    assert td < fj  # the data-flow pool absorbs what fork-join amplifies
+    assert res.slowdown_at("tampi_dataflow", 0.0) == pytest.approx(1.0)
+
+
+def test_resilience_structure_and_csv(resilience_quick):
+    res = resilience_quick
+    # intensity 0 is always included as the per-variant baseline
+    assert {p.intensity for p in res.points} == {0.0, 1.0}
+    for p in res.points:
+        assert p.slowdown == pytest.approx(
+            p.total_time / res.series(p.variant)[0].total_time
+        )
+        assert (p.fault_stats is None) == (p.intensity == 0.0)
+    csv = res.to_csv()
+    assert csv.splitlines()[0] == "intensity,variant,total_time,slowdown"
+    assert len(csv.splitlines()) == 1 + len(res.points)
+    assert "Resilience" in res.text
+
+
+# ----------------------------------------------------------------------
+# Seeded sweep-retry jitter
+# ----------------------------------------------------------------------
+def test_retry_jitter_is_seeded_by_fingerprint():
+    j = retry_jitter("abc123", 1)
+    assert j == retry_jitter("abc123", 1)  # no wall-clock involved
+    assert 0.0 <= j < 1.0
+    assert retry_jitter("abc123", 2) != j
+    assert retry_jitter("def456", 1) != j
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+QUICK_RUN = [
+    "--variant", "tampi_dataflow", "--preset", "laptop",
+    "--nodes", "1", "--ranks-per-node", "2", "--root", "2", "2", "1",
+    "--nx", "4", "--num-vars", "2", "--tsteps", "1", "--stages", "2",
+    "--checksum-freq", "2", "--max-refine-level", "1",
+]
+
+
+def test_cli_version(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert f"miniamr-sim {__version__}" in capsys.readouterr().out
+
+
+def test_cli_run_with_fault_noise(capsys):
+    assert main(["run", *QUICK_RUN, "--fault-noise", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "injected faults:" in out
+
+
+def test_cli_run_without_faults_stays_silent(capsys):
+    assert main(["run", *QUICK_RUN]) == 0
+    assert "injected faults" not in capsys.readouterr().out
+
+
+def test_cli_rejects_negative_fault_noise(capsys):
+    assert main(["run", *QUICK_RUN, "--fault-noise", "-1"]) == 2
+    assert "miniamr-sim: error" in capsys.readouterr().err
+
+
+def test_cli_invalid_spec_exits_2(capsys):
+    # 4 ranks cannot be laid out on a 3x3x3 root grid
+    argv = list(QUICK_RUN)
+    argv[argv.index("--root") + 1:argv.index("--root") + 4] = ["3", "3", "3"]
+    assert main(["run", *argv]) == 2
+    assert "miniamr-sim: error" in capsys.readouterr().err
+
+
+def test_cli_faults_subcommand(tmp_path, capsys):
+    csv_path = tmp_path / "curve.csv"
+    rc = main([
+        "faults", "--quick", "--intensities", "1.0", "--nodes", "1",
+        "--no-cache", "--csv", str(csv_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Resilience" in out
+    assert "tampi_dataflow" in out
+    lines = csv_path.read_text().strip().splitlines()
+    assert lines[0] == "intensity,variant,total_time,slowdown"
+    assert len(lines) == 7  # header + 3 variants x 2 intensities

@@ -1,0 +1,156 @@
+"""Property tests for the machine cost model (hypothesis).
+
+The experiments lean on the cost model's *shape*, not its absolute
+numbers — so the monotonicity laws must hold everywhere, not just at the
+calibrated defaults: more bytes or less bandwidth can never make a
+modeled transfer faster, more cells can never make a stencil cheaper,
+noise and fault injection can only stretch a charge, never shrink it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultInjector, noise_plan, straggler_plan
+from repro.machine import CostSpec, NetworkSpec
+from repro.machine.costmodel import NoiseModel
+
+sizes = st.integers(min_value=0, max_value=1 << 30)
+cells = st.integers(min_value=1, max_value=1 << 20)
+bandwidths = st.floats(min_value=1e6, max_value=1e12,
+                       allow_nan=False, allow_infinity=False)
+seconds = st.floats(min_value=1e-9, max_value=10.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+# ----------------------------------------------------------------------
+# NetworkSpec
+# ----------------------------------------------------------------------
+@given(a=sizes, b=sizes, same_node=st.booleans())
+def test_transit_time_monotone_in_message_size(a, b, same_node):
+    net = NetworkSpec()
+    lo, hi = sorted((a, b))
+    assert net.transit_time(lo, same_node) <= net.transit_time(hi, same_node)
+
+
+@given(nbytes=sizes, bw_a=bandwidths, bw_b=bandwidths)
+def test_transit_time_never_decreases_with_lower_bandwidth(
+    nbytes, bw_a, bw_b
+):
+    lo, hi = sorted((bw_a, bw_b))
+    slow = NetworkSpec(bandwidth_inter=lo, bandwidth_intra=lo)
+    fast = NetworkSpec(bandwidth_inter=hi, bandwidth_intra=hi)
+    for same_node in (False, True):
+        assert (
+            slow.transit_time(nbytes, same_node)
+            >= fast.transit_time(nbytes, same_node)
+        )
+        assert (
+            slow.injection_time(nbytes, same_node)
+            >= fast.injection_time(nbytes, same_node)
+        )
+
+
+@given(a=sizes, b=sizes, nranks=st.integers(min_value=1, max_value=4096))
+def test_collective_time_monotone_in_size_and_ranks(a, b, nranks):
+    net = NetworkSpec()
+    lo, hi = sorted((a, b))
+    assert net.collective_time(lo, nranks) <= net.collective_time(hi, nranks)
+    assert net.collective_time(lo, nranks) <= net.collective_time(
+        lo, nranks * 2
+    )
+
+
+@given(a=sizes, b=sizes)
+def test_cpu_overheads_monotone_in_message_size(a, b):
+    net = NetworkSpec()
+    lo, hi = sorted((a, b))
+    assert net.send_cpu_time(lo) <= net.send_cpu_time(hi)
+    assert net.recv_cpu_time(lo) <= net.recv_cpu_time(hi)
+
+
+@given(nodes=st.integers(min_value=1, max_value=4096), nbytes=sizes)
+def test_scaling_the_network_never_speeds_it_up(nodes, nbytes):
+    net = NetworkSpec()
+    scaled = net.scaled_to(nodes)
+    assert scaled.transit_time(nbytes, False) >= net.transit_time(
+        nbytes, False
+    )
+    # intra-node paths are unaffected by fabric size
+    assert scaled.transit_time(nbytes, True) == net.transit_time(nbytes, True)
+
+
+# ----------------------------------------------------------------------
+# CostSpec
+# ----------------------------------------------------------------------
+@given(a=cells, b=cells, nvars=st.integers(min_value=1, max_value=64))
+def test_stencil_time_monotone_in_cells(a, b, nvars):
+    spec = CostSpec()
+    lo, hi = sorted((a, b))
+    assert spec.stencil_time(lo, nvars) <= spec.stencil_time(hi, nvars)
+    # locality can only help; NUMA can only hurt
+    assert spec.stencil_time(lo, nvars, locality=True) <= spec.stencil_time(
+        lo, nvars
+    )
+    assert spec.stencil_time(lo, nvars, numa=True) >= spec.stencil_time(
+        lo, nvars
+    )
+
+
+@given(a=sizes, b=sizes)
+def test_copy_and_checksum_monotone_in_bytes(a, b):
+    spec = CostSpec()
+    lo, hi = sorted((a, b))
+    assert spec.copy_time(lo) <= spec.copy_time(hi)
+    assert spec.checksum_time(lo) <= spec.checksum_time(hi)
+    assert spec.copy_time(hi, numa=True) >= spec.copy_time(hi)
+
+
+@given(a=st.integers(min_value=1, max_value=256),
+       b=st.integers(min_value=1, max_value=256))
+def test_forkjoin_overhead_monotone_in_threads(a, b):
+    spec = CostSpec()
+    lo, hi = sorted((a, b))
+    assert spec.forkjoin_overhead(lo) <= spec.forkjoin_overhead(hi)
+
+
+# ----------------------------------------------------------------------
+# Noise and fault injection only ever stretch
+# ----------------------------------------------------------------------
+@given(rank=st.integers(min_value=0, max_value=63), t=seconds)
+@settings(max_examples=50)
+def test_noise_model_never_shrinks_a_charge(rank, t):
+    noise = NoiseModel(CostSpec(), rank)
+    stretched = noise.stretch(t)
+    spec = CostSpec()
+    bound = t * (1 + spec.noise_amplitude) + spec.noise_spike_time
+    assert t <= stretched <= bound
+
+
+@given(rank=st.integers(min_value=0, max_value=3), t=seconds,
+       intensity=st.floats(min_value=0.0, max_value=4.0,
+                           allow_nan=False, allow_infinity=False))
+@settings(max_examples=50)
+def test_fault_injection_never_shrinks_a_charge(rank, t, intensity):
+    inj = FaultInjector(noise_plan(intensity), NetworkSpec(), num_ranks=4)
+    assert inj.cpu_stretch(rank, t, now=0.0) >= t
+
+
+@given(t=seconds,
+       factor=st.floats(min_value=1.0, max_value=16.0,
+                        allow_nan=False, allow_infinity=False))
+@settings(max_examples=50)
+def test_straggler_stretch_scales_exactly(t, factor):
+    inj = FaultInjector(
+        straggler_plan(ranks=(0,), factor=factor), NetworkSpec(), num_ranks=2
+    )
+    assert inj.cpu_stretch(0, t, now=0.0) >= t * factor * (1 - 1e-12)
+    assert inj.cpu_stretch(1, t, now=0.0) == t
+
+
+@given(nbytes=sizes, same_node=st.booleans(),
+       intensity=st.floats(min_value=0.0, max_value=4.0,
+                           allow_nan=False, allow_infinity=False))
+@settings(max_examples=50)
+def test_message_delay_is_never_negative(nbytes, same_node, intensity):
+    inj = FaultInjector(noise_plan(intensity), NetworkSpec(), num_ranks=2)
+    assert inj.message_delay(0, 1, nbytes, same_node, now=0.0) >= 0.0

@@ -44,6 +44,11 @@ def bench_once(benchmark, fn, *args, **kwargs):
 #: Smaller geometries when REPRO_BENCH_QUICK=1 (used by CI/smoke runs).
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
 
+#: Paper-scale sweeps when REPRO_BENCH_FULL=1: the scaling figures extend
+#: to 256 scaled nodes (2048 MPI-only ranks), matching the published node
+#: range.  Off by default — the top points dominate the suite's wall-clock.
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
 #: Worker processes for the sweep engine (REPRO_BENCH_JOBS=N parallelizes
 #: every experiment's runs; results are identical to serial execution).
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))

@@ -7,14 +7,20 @@ throughput everywhere, its advantage over MPI-only *grows* with scale
 node counts; every variant's NR (no-refinement) efficiency exceeds its
 total efficiency.
 
-Scaled run: 8-core nodes, 1→32 nodes (see EXPERIMENTS.md for the mapping).
+Scaled run: 8-core nodes, 1→32 nodes by default, 1→256 nodes — the
+paper's full range — with REPRO_BENCH_FULL=1 (see EXPERIMENTS.md for the
+mapping and the measured 64–256-node points).
 """
 
-from conftest import QUICK, bench_once
+from conftest import FULL, QUICK, bench_once
 
 from repro.bench import weak_scaling
 
-NODES = (1, 2, 4, 8) if QUICK else (1, 2, 4, 8, 16, 32)
+NODES = (
+    (1, 2, 4, 8) if QUICK
+    else (1, 2, 4, 8, 16, 32, 64, 128, 256) if FULL
+    else (1, 2, 4, 8, 16, 32)
+)
 
 
 def test_fig4_weak_scaling(benchmark, save_result, engine):

@@ -6,14 +6,20 @@ nodes for memory reasons): TAMPI+OSS performs and scales best everywhere
 ahead of MPI-only at mid scale but its efficiency falls faster, dropping
 below MPI-only at the largest scale.
 
-Scaled run: 8-core nodes, 1→32 nodes, an 8x smaller input below 4 nodes.
+Scaled run: 8-core nodes, 1→32 nodes by default (8x smaller input below
+4 nodes), 1→256 nodes with REPRO_BENCH_FULL=1 (an 8x larger fixed mesh
+from 64 nodes up — see EXPERIMENTS.md).
 """
 
-from conftest import QUICK, bench_once
+from conftest import FULL, QUICK, bench_once
 
 from repro.bench import strong_scaling
 
-NODES = (1, 2, 4, 8) if QUICK else (1, 2, 4, 8, 16, 32)
+NODES = (
+    (1, 2, 4, 8) if QUICK
+    else (1, 2, 4, 8, 16, 32, 64, 128, 256) if FULL
+    else (1, 2, 4, 8, 16, 32)
+)
 
 
 def test_fig5_strong_scaling(benchmark, save_result, engine):

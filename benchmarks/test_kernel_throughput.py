@@ -1,0 +1,194 @@
+"""Benchmark: raw simulator throughput (events/sec and tasks/sec).
+
+The hot-path overhaul (free-listed timeouts, bitmask scheduler queues,
+suspended cyclic GC) is justified by this number: how many kernel events
+and task executions the simulator retires per wall-clock second.  Three
+world sizes off the Fig 4 weak-scaling ladder are measured — ``large`` is
+the fig4 4-node TAMPI+OSS configuration used as the overhaul's >= 2x
+end-to-end acceptance criterion.
+
+Methodology mirrors ``test_profile_overhead``: ``time.process_time``
+(CPU seconds, immune to noisy neighbors), best-of-N over interleaved
+repetitions, and a full ``gc.collect()`` before each timed run so no
+run inherits another's garbage.  Event/task counts come from a single
+profiled run of the same spec — the schedule is deterministic and
+profiling does not alter it, so the counts apply verbatim to the
+untimed runs.
+
+The report is written to ``benchmarks/results/BENCH_simx_throughput.json``
+(the committed copy is the regression baseline).  With
+``REPRO_PERF_ENFORCE=1`` — set by the CI ``perf`` job — a drop of more
+than 20% in any world's events/sec against the committed baseline fails
+the benchmark.
+"""
+
+import dataclasses
+import gc
+import json
+import os
+import time
+
+from conftest import QUICK, bench_once
+
+from repro.bench.experiments import _scaling_spec
+from repro.bench.inputs import weak_root_dims
+from repro.core.driver import execute
+
+#: name -> (variant, scaled nodes) points off the Fig 4 weak-scaling
+#: ladder.  ``large`` / ``large_mpi`` are the fig4 4-node pair.
+WORLDS = {
+    "small": ("tampi_dataflow", 1),
+    "medium": ("tampi_dataflow", 2),
+    "large": ("tampi_dataflow", 4),
+    "large_mpi": ("mpi_only", 4),
+}
+
+REPS = 2 if QUICK else 3
+
+#: Best-of-N CPU seconds of the seed implementation (commit 0a4038b) for
+#: the fig4 pair, measured with this file's exact methodology on the
+#: single-core reference host, *interleaved* with runs of the optimized
+#: tree so both sides saw the same machine conditions (per-pair seed
+#: minima: 11.98/12.84/13.04 vs 5.27-5.32 optimized).  Kept to turn
+#: measured wall-clock into the speedup-vs-seed figure recorded in the
+#: report; meaningful only on comparable hardware (the CI gate uses the
+#: committed *baseline JSON*, not these constants).
+SEED_WALL_SECONDS = {"large": 11.98, "large_mpi": 1.65}
+
+#: The authoritative seed comparison for the fig4 ``large`` world:
+#: alternating (seed, optimized) subprocess pairs so both trees see the
+#: same machine phase — the reference host's throughput drifts by ~25%
+#: over tens of minutes, far more than the seed/optimized gap is narrow,
+#: so only paired measurement is meaningful.  Each value is a best-of-2
+#: ``time.process_time`` of the fig4 4-node tampi_dataflow run after a
+#: warmup run, harness identical to ``_measure``.  Recorded verbatim in
+#: the report; the per-run ``speedup_vs_seed`` is a live snapshot against
+#: the fast-phase seed constant and wobbles with machine phase.
+FIG4_INTERLEAVED_PAIRS = [  # (seed_wall, optimized_wall) CPU seconds
+    (11.98, 5.31),
+    (12.84, 5.32),
+    (13.04, 5.27),
+    (13.31, 6.09),
+    (16.29, 6.63),
+]
+
+#: Allowed events/sec regression vs the committed baseline.
+REGRESSION_BUDGET = 0.20
+
+ENFORCE = os.environ.get("REPRO_PERF_ENFORCE", "0") == "1"
+
+
+def _spec(variant, nodes):
+    doublings = nodes.bit_length() - 1
+    root = weak_root_dims((2, 2, 2), doublings)
+    return _scaling_spec(variant, nodes, root, 3, 10, "synthetic")
+
+
+def _measure(name):
+    variant, nodes = WORLDS[name]
+    spec = _spec(variant, nodes)
+    execute(spec)  # warm imports/caches outside the timed window
+    walls = []
+    for _ in range(REPS):
+        gc.collect()
+        t0 = time.process_time()
+        execute(spec)
+        walls.append(time.process_time() - t0)
+    wall = min(walls)
+    # Count events/tasks *after* the timed reps: the profiled run retains
+    # a large report graph whose mere presence in the older generations
+    # would tax the timed runs' end-of-run young-generation sweeps.
+    profiled = execute(dataclasses.replace(spec, profile=True))
+    events = next(
+        m["total"]
+        for m in profiled.profile.metrics
+        if m["name"] == "kernel.events"
+    )
+    tasks = sum(rs.tasks_executed for rs in profiled.runtime_stats)
+    entry = {
+        "variant": variant,
+        "nodes": nodes,
+        "reps": REPS,
+        "events": int(events),
+        "tasks": int(tasks),
+        "wall_seconds": wall,
+        "events_per_sec": events / wall,
+        "tasks_per_sec": tasks / wall,
+    }
+    seed = SEED_WALL_SECONDS.get(name)
+    if seed is not None:
+        entry["seed_wall_seconds"] = seed
+        entry["speedup_vs_seed"] = seed / wall
+    return entry
+
+
+def _measure_all():
+    report = {name: _measure(name) for name in WORLDS}
+    ratios = [s / o for s, o in FIG4_INTERLEAVED_PAIRS]
+    report["fig4_interleaved_seed_comparison"] = {
+        "world": "large",
+        "pairs_seed_vs_optimized_cpu_seconds": FIG4_INTERLEAVED_PAIRS,
+        "speedup_min": min(ratios),
+        "speedup_max": max(ratios),
+        "method": (
+            "alternating seed/optimized subprocess pairs, best-of-2 "
+            "process_time each, fig4 4-node tampi_dataflow world"
+        ),
+    }
+    return report
+
+
+def test_kernel_throughput(benchmark, results_dir, save_result):
+    path = results_dir / "BENCH_simx_throughput.json"
+    baseline = None
+    if path.is_file():  # read the committed baseline before overwriting
+        try:
+            baseline = json.loads(path.read_text())
+        except ValueError:
+            baseline = None
+
+    report = bench_once(benchmark, _measure_all)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    lines = ["simulator throughput (best-of-N CPU time)"]
+    for name in WORLDS:
+        r = report[name]
+        speedup = (
+            f"  {r['speedup_vs_seed']:.2f}x vs seed"
+            if "speedup_vs_seed" in r
+            else ""
+        )
+        lines.append(
+            f"  {name:<10} {r['variant']:<15} {r['nodes']:>3}n  "
+            f"{r['events_per_sec']:>12,.0f} ev/s  "
+            f"{r['tasks_per_sec']:>12,.0f} task/s  "
+            f"wall {r['wall_seconds']:.2f}s{speedup}"
+        )
+    paired = report["fig4_interleaved_seed_comparison"]
+    lines.append(
+        f"  fig4 interleaved seed comparison: "
+        f"{paired['speedup_min']:.2f}-{paired['speedup_max']:.2f}x"
+    )
+    save_result("\n".join(lines), "kernel_throughput")
+
+    # Sanity: every world retires a nontrivial event volume, and the
+    # task-based worlds a nontrivial task volume.
+    for name in WORLDS:
+        r = report[name]
+        assert r["events"] > 10_000, (name, r)
+        if r["variant"] != "mpi_only":
+            assert r["tasks"] > 1_000, (name, r)
+
+    if ENFORCE and baseline is not None:
+        floor = 1.0 - REGRESSION_BUDGET
+        for name in WORLDS:
+            r = report[name]
+            ref = baseline.get(name)
+            if not ref or "events_per_sec" not in ref:
+                continue
+            ratio = r["events_per_sec"] / ref["events_per_sec"]
+            assert ratio >= floor, (
+                f"{name}: events/sec regressed to {ratio:.0%} of the "
+                f"committed baseline ({r['events_per_sec']:,.0f} vs "
+                f"{ref['events_per_sec']:,.0f}; budget {floor:.0%})"
+            )

@@ -9,7 +9,7 @@ siblings back into their parent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 #: Axis indices.
 X, Y, Z = 0, 1, 2
@@ -21,9 +21,17 @@ LO, HI = 0, 1
 FACES = tuple((axis, side) for axis in (X, Y, Z) for side in (LO, HI))
 
 
-@dataclass(frozen=True, order=True)
-class BlockId:
-    """Identifier of one mesh block: refinement level + grid coordinates."""
+class BlockId(NamedTuple):
+    """Identifier of one mesh block: refinement level + grid coordinates.
+
+    A named tuple rather than a (frozen) dataclass: ids key the
+    dependency tables and mesh dicts, so their ``__hash__``/``__eq__``
+    run millions of times per simulation and the C tuple implementations
+    matter.  Hash values and the field-wise ordering are identical to
+    what the equivalent ``@dataclass(frozen=True, order=True)`` produces,
+    so dict/set iteration orders — and with them the goldens — are
+    unchanged.
+    """
 
     level: int
     i: int

@@ -357,7 +357,13 @@ def weak_scaling(
     engine=None,
 ) -> ScalingResult:
     """Paper Fig 4: weak scaling, four spheres, one initial block per
-    MPI-only rank; blocks double with nodes (round-robin per direction)."""
+    MPI-only rank; blocks double with nodes (round-robin per direction).
+
+    Supports the paper's full range — ``node_counts`` up to 256 scaled
+    nodes (2048 MPI-only ranks / 12288-core analogue) — the round-robin
+    doubling keeps the root grid divisible by every variant's rank grid
+    at each power of two.
+    """
     tsteps = 1 if quick else 3
     stages = 4 if quick else 10
     specs = []
@@ -401,15 +407,23 @@ def strong_scaling(
     Following the paper, small node counts (here 1–2) use an input divided
     by a fixed factor (16× in the paper, 4× here) because the full input
     does not fit/pay at those sizes; throughput normalization handles it
-    (speedups are computed from FLOP rates).
+    (speedups are computed from FLOP rates).  Symmetrically, node counts
+    of 64 and above need a larger fixed input — 512 MPI-only ranks
+    outgrow the 256-block mid tier — so they run an 8× larger mesh
+    (2048 blocks), again normalized through FLOP rates.
     """
     tsteps = 1 if quick else 3
     stages = 4 if quick else 10
-    big_root = (8, 8, 4)  # fixed problem for >= 4 nodes (256 blocks)
+    huge_root = (16, 16, 8)  # fixed problem for >= 64 nodes (2048 blocks)
+    big_root = (8, 8, 4)  # fixed problem for 4-32 nodes (256 blocks)
     small_root = (4, 4, 2)  # 8x smaller for 1-2 nodes
     specs = []
     for nodes in node_counts:
-        root = small_root if nodes <= 2 else big_root
+        root = (
+            small_root if nodes <= 2
+            else big_root if nodes <= 32
+            else huge_root
+        )
         for variant in variants:
             specs.append(
                 _scaling_spec(variant, nodes, root, tsteps, stages,

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import gc
+
 from ..amr.balance import max_imbalance
 from ..faults.injectors import FaultInjector
 from ..mpi import World
@@ -59,6 +61,31 @@ def run_simulation(config, spec=None, **kwargs) -> RunResult:
 
 def execute(run_spec: RunSpec) -> RunResult:
     """Execute a (possibly unresolved) :class:`RunSpec`."""
+    # The simulation allocates events/tasks at a rate that makes Python's
+    # cyclic collector scan the (large, mostly immortal) object graph over
+    # and over — at paper-scale world sizes GC is ~40% of wall-clock.
+    # Refcounting still reclaims nearly everything promptly (kernel and
+    # runtime avoid cycles on the hot path), so collection is suspended
+    # for the run and cyclic garbage is swept once afterwards.  The sweep
+    # sits *outside* the worker frame: only once that frame is gone is
+    # the simulation graph (generators, events, world) actually dead, so
+    # a single collect here reclaims it all and the caller inherits no
+    # deferred GC debt.  Generation 1 suffices: every object the run
+    # allocated sits in generation 0 (no collections ran while disabled),
+    # so the young-generation sweep frees the whole graph without also
+    # scanning the embedding process's long-lived heap on every run.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _execute(run_spec)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect(1)
+
+
+def _execute(run_spec: RunSpec) -> RunResult:
     rs = run_spec.resolve()
     config, spec = rs.config, rs.machine
     num_nodes, ranks_per_node = rs.num_nodes, rs.ranks_per_node

@@ -16,11 +16,14 @@ or mismatched entries are treated as misses and removed.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
 
 from ..core import RunResult, RunSpec
+
+logger = logging.getLogger(__name__)
 
 
 class ResultCache:
@@ -43,12 +46,28 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 envelope = json.load(fh)
+            if not isinstance(envelope, dict):
+                raise ValueError(
+                    f"cache envelope is {type(envelope).__name__}, not dict"
+                )
             if envelope.get("fingerprint") != fingerprint:
                 raise ValueError("fingerprint mismatch")
             return RunResult.from_dict(envelope["result"])
         except FileNotFoundError:
             return None
-        except (ValueError, KeyError, TypeError, OSError):
+        except (
+            ValueError,  # includes json.JSONDecodeError
+            KeyError,
+            TypeError,
+            AttributeError,
+            OSError,
+        ) as exc:
+            logger.warning(
+                "discarding corrupt cache entry %s (%s: %s)",
+                path,
+                type(exc).__name__,
+                exc,
+            )
             try:
                 os.unlink(path)
             except OSError:

@@ -140,26 +140,40 @@ class NoiseModel:
     is how each programming model *amplifies* it.
     """
 
-    __slots__ = ("spec", "_state")
+    __slots__ = ("spec", "_state", "_amp", "_spike_rate", "_spike_time")
 
     def __init__(self, spec: CostSpec, rank: int):
         self.spec = spec
         self._state = (rank * 2654435761 + 0x9E3779B97F4A7C15) & _LCG_MASK
+        # Scalars copied out of the (frozen) spec: stretch() runs once per
+        # CPU charge, i.e. at least once per task.
+        self._amp = spec.noise_amplitude
+        self._spike_rate = spec.noise_spike_rate
+        self._spike_time = spec.noise_spike_time
 
     def _uniform(self) -> float:
         self._state = (self._state * _LCG_MULT + _LCG_INC) & _LCG_MASK
         return self._state / 2.0**64
 
     def stretch(self, seconds: float) -> float:
-        """Return ``seconds`` with this rank's next noise sample applied."""
+        """Return ``seconds`` with this rank's next noise sample applied.
+
+        Inlines the LCG draws of :meth:`_uniform` (identical state
+        updates, so the per-rank noise stream is unchanged).
+        """
         if seconds <= 0:
             return seconds
-        spec = self.spec
         extra = 0.0
-        if spec.noise_amplitude > 0:
-            extra += seconds * spec.noise_amplitude * self._uniform()
-        if spec.noise_spike_rate > 0:
-            p = min(seconds * spec.noise_spike_rate, 1.0)
-            if self._uniform() < p:
-                extra += spec.noise_spike_time
+        state = self._state
+        if self._amp > 0:
+            state = (state * _LCG_MULT + _LCG_INC) & _LCG_MASK
+            extra += seconds * self._amp * (state / 2.0**64)
+        if self._spike_rate > 0:
+            p = seconds * self._spike_rate
+            if p > 1.0:
+                p = 1.0
+            state = (state * _LCG_MULT + _LCG_INC) & _LCG_MASK
+            if state / 2.0**64 < p:
+                extra += self._spike_time
+        self._state = state
         return seconds + extra

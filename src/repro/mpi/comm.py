@@ -109,8 +109,14 @@ class World:
         self.faults = faults
         self.size = machine.num_ranks
         self._endpoints = {}
-        self._channels = {}  # (comm_id, src, dst) -> last arrival time
-        self._nic_free = {}  # rank -> injection port free time
+        #: Non-overtaking clamp per directed channel.  Keyed by the packed
+        #: int ``(comm_id << 32) | (src << 16) | dst`` instead of a
+        #: 3-tuple: one small-int hash per message rather than a tuple
+        #: allocation + tuple hash on the hottest send path.
+        self._channels = {}
+        #: Injection-port free time per world rank (dense list — every
+        #: message indexes it, a dict would rehash the rank each time).
+        self._nic_free = [0.0] * self.size
         self._pending_colls = {}  # (comm_id, index, kind-insensitive) -> op
         self._coll_seq = {}  # (comm_id, rank) -> next collective index
         self._comm_sizes = {0: self.size}
@@ -146,25 +152,28 @@ class World:
         monotonic for MPI's non-overtaking guarantee.
         """
         env = self.env
+        now = env._now
         wmap = self._comm_ranks.get(comm_id)
         wsrc = wmap[src] if wmap else src
         wdst = wmap[dst] if wmap else dst
         same_node = self.machine.same_node(wsrc, wdst)
-        inject_start = max(env.now, self._nic_free.get(wsrc, 0.0))
+        nic_free = self._nic_free
+        free = nic_free[wsrc]
+        inject_start = free if free > now else now
         inject_end = inject_start + self.network.injection_time(
             nbytes, same_node
         )
-        self._nic_free[wsrc] = inject_end
+        nic_free[wsrc] = inject_end
         latency = (
             self.network.latency_intra
             if same_node
             else self.network.latency_inter
         )
-        key = (comm_id, src, dst)
+        key = (comm_id << 32) | (src << 16) | dst
         base_arrival = inject_end + latency
         if self.faults is not None:
             extra = self.faults.message_delay(
-                wsrc, wdst, nbytes, same_node, env.now
+                wsrc, wdst, nbytes, same_node, now
             )
             if extra > 0:
                 if self.profiler is not None:
@@ -175,27 +184,30 @@ class World:
         # Injected delay precedes the non-overtaking clamp: a delayed
         # message holds back everything behind it on the same channel,
         # like a real retransmission would.
-        arrival = max(base_arrival, self._channels.get(key, 0.0))
-        self._channels[key] = arrival
+        channels = self._channels
+        clamp = channels.get(key, 0.0)
+        arrival = base_arrival if base_arrival > clamp else clamp
+        channels[key] = arrival
 
-        self.stats.messages += 1
-        self.stats.bytes_sent += nbytes
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes_sent += nbytes
         if same_node:
-            self.stats.intra_node_messages += 1
+            stats.intra_node_messages += 1
         else:
-            self.stats.inter_node_messages += 1
+            stats.inter_node_messages += 1
 
         if self.profiler is not None:
             self.profiler.message_posted(
-                wsrc, wdst, env.now, arrival, nbytes
+                wsrc, wdst, now, arrival, nbytes
             )
 
         msg = _Message(src, tag, nbytes, payload, req)
-        timer = env.timeout(arrival - env.now)
+        timer = env.timeout(arrival - now)
         timer.callbacks.append(
             lambda _ev: self._deliver(comm_id, dst, msg)
         )
-        return arrival - env.now
+        return arrival - now
 
     def _deliver(self, comm_id, dst, msg):
         ep = self._endpoint(comm_id, dst)

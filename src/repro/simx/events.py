@@ -85,6 +85,10 @@ class Event:
 
     def trigger(self, event):
         """Trigger this event with the state of another event (chaining)."""
+        if event._value is _PENDING:
+            raise NotTriggeredError(
+                f"cannot chain from untriggered source event {event!r}"
+            )
         if event._ok:
             self.succeed(event._value)
         else:
@@ -103,7 +107,16 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    Timeouts dominate the event mix (every CPU charge is one), so the
+    kernel free-lists them: a processed Timeout that no simulation code
+    still references is reinitialized in place by
+    :meth:`~repro.simx.kernel.Environment.timeout` instead of allocated
+    fresh.  Reuse is only attempted when the object's refcount proves the
+    kernel holds the sole reference, so holding on to a Timeout (e.g. to
+    read its ``value`` later) always remains safe.
+    """
 
     __slots__ = ("delay",)
 
@@ -115,6 +128,13 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         env._schedule_event(self, delay)
+
+    def _reinit(self, delay, value):
+        """Reset a recycled Timeout for its next firing (free-list path)."""
+        self.callbacks = []
+        self.delay = delay
+        self._value = value
+        self.defused = False
 
     def __repr__(self):
         return f"<Timeout delay={self.delay}>"

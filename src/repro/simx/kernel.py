@@ -10,6 +10,7 @@ simultaneous events are processed in (priority, schedule-order).
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from sys import getrefcount
 
 from .errors import EmptySchedule
 from .events import AllOf, AnyOf, Event, Timeout
@@ -19,6 +20,11 @@ from .process import Process
 URGENT = 0
 #: Default priority for ordinary events.
 NORMAL = 1
+
+#: Upper bound on the Timeout free list (bounds idle memory; in steady
+#: state the pool holds roughly one Timeout per concurrently sleeping
+#: process).
+_TIMEOUT_POOL_CAP = 1024
 
 
 class Environment:
@@ -35,6 +41,7 @@ class Environment:
         # With metrics on, the per-event cost is one plain-int increment;
         # flush_metrics() folds the count into the registry at run end.
         self._events_processed = 0
+        self._timeout_pool = []
 
     # ------------------------------------------------------------------
     # Clock & scheduling
@@ -50,8 +57,9 @@ class Environment:
         return self._active_proc
 
     def _schedule_event(self, event, delay=0.0, priority=NORMAL):
-        self._seq += 1
-        heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     # ------------------------------------------------------------------
     # Factories
@@ -61,7 +69,23 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay, value=None):
-        """Create an event that fires after ``delay`` simulated seconds."""
+        """Create an event that fires after ``delay`` simulated seconds.
+
+        Recycles a free-listed :class:`Timeout` when one is available —
+        scheduling order (and thus determinism) is identical either way,
+        because the recycled path consumes the same sequence number the
+        fresh path would.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            to = pool.pop()
+            to._reinit(delay, value)
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(self._queue, (self._now + delay, NORMAL, seq, to))
+            return to
         return Timeout(self, delay, value)
 
     def process(self, generator, name=None):
@@ -103,6 +127,13 @@ class Environment:
             exc = event._value
             raise exc
 
+        # Free-list processed Timeouts nobody else references (refcount 2
+        # = this frame's local + getrefcount's argument).
+        if type(event) is Timeout and getrefcount(event) == 2:
+            pool = self._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_CAP:
+                pool.append(event)
+
     def flush_metrics(self):
         """Fold the processed-event count into the metrics registry.
 
@@ -136,16 +167,47 @@ class Environment:
                     f"until ({stop_time}) is in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if stop_time is not None and self._queue[0][0] > stop_time:
+        # The event loop is inlined (rather than calling step()) and works
+        # on local bindings: at paper-scale world sizes it executes
+        # millions of iterations, so every attribute load per event counts.
+        # The until-a-time check only exists in the stop_time flavor of
+        # the loop head, keeping the (dominant) run-to-event mode free of
+        # the extra heap peek per iteration.
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heappop
+        refcount = getrefcount
+        metered = self.metrics is not None
+        timed = stop_time is not None
+        while queue:
+            if timed and queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
-            if stop_event is not None and stop_event.processed:
-                if not stop_event._ok:
-                    stop_event.defused = True
-                    raise stop_event._value
-                return stop_event._value
+            when, _prio, _seq, event = pop(queue)
+            self._now = when
+            if metered:
+                self._events_processed += 1
+            callbacks = event.callbacks
+            event.callbacks = None
+            for cb in callbacks:
+                cb(event)
+            if not event._ok and not event.defused:
+                raise event._value
+            # An event becomes `processed` exactly when this loop pops it,
+            # so comparing identities replaces the per-event
+            # `stop_event.processed` property probe of the generic step().
+            if type(event) is Timeout:
+                if event is stop_event:
+                    return event._value
+                # Free-list the Timeout when this frame holds the only
+                # reference (refcount 2: the local + getrefcount's arg).
+                if refcount(event) == 2 and len(pool) < _TIMEOUT_POOL_CAP:
+                    pool.append(event)
+            elif event is stop_event:
+                if not event._ok:
+                    event.defused = True
+                    raise event._value
+                return event._value
 
         if stop_event is not None:
             raise RuntimeError(

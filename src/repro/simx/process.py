@@ -57,10 +57,13 @@ class Process(Event):
     def _resume(self, event):
         env = self.env
         env._active_proc = self
+        # Resume runs once per processed event — locals for the generator
+        # methods keep the hot ok-path to one C call per step.
+        send = self._generator.send
         while True:
             if event._ok:
                 try:
-                    target = self._generator.send(event._value)
+                    target = send(event._value)
                 except StopIteration as exc:
                     self._finish(True, exc.value)
                     break
@@ -92,8 +95,7 @@ class Process(Event):
                     self._finish(False, err)
                 break
 
-            if target.processed:
-                # Already fired: loop and feed its value immediately.
+            if target.callbacks is None:  # processed: feed it immediately
                 event = target
                 continue
 

@@ -16,7 +16,13 @@ sequential thread creating tasks would register them.
 from __future__ import annotations
 
 from .regions import Region, RegionSpace
-from .task import AccessMode, Task
+from .task import AccessMode, Task, TaskState
+
+# Hoisted enum members: register() runs once per task access and enum
+# attribute lookups are comparatively slow.
+_IN = AccessMode.IN
+_COMMUTATIVE = AccessMode.COMMUTATIVE
+_COMPLETED = TaskState.COMPLETED
 
 
 class _HandleState:
@@ -64,44 +70,84 @@ class DependencyTracker:
 
         Side effects: wires ``pred.successors`` edges and sets
         ``task.npred``.
+
+        The scalar-handle path is inlined (no per-access list through
+        :meth:`_states_for`) and completion is probed through
+        ``t.state is COMPLETED`` rather than the ``completed`` property —
+        this method runs once per access of every task spawned.
         """
-        preds = set()
-        for mode, handle in task.accesses:
-            for state in self._states_for(handle):
-                if mode is AccessMode.IN:
-                    writer = state.last_writer
-                    if writer is not None and not writer.completed:
-                        preds.add(writer)
+        accesses = task.accesses
+        if not accesses:
+            task.npred = 0
+            return 0
+        # Predecessors are deduplicated through a list, not a set: tasks
+        # compare by identity, so membership tests are C-level pointer
+        # scans, and predecessor counts are tiny (a handful of tasks).
+        preds = []
+        scalar = self._scalar
+        for mode, handle in accesses:
+            if isinstance(handle, Region):
+                space = self._region_spaces.get(handle.base)
+                if space is None:
+                    space = self._region_spaces[handle.base] = RegionSpace()
+                states = space.segments_for(
+                    handle.start, handle.stop, _HandleState
+                )
+            else:
+                state = scalar.get(handle)
+                if state is None:
+                    state = scalar[handle] = _HandleState()
+                states = (state,)
+            for state in states:
+                writer = state.last_writer
+                if (
+                    writer is not None
+                    and writer.state is not _COMPLETED
+                    and writer is not task
+                    and writer not in preds
+                ):
+                    preds.append(writer)
+                if mode is _IN:
                     for c in state.commuters:
-                        if not c.completed:
-                            preds.add(c)
+                        if (
+                            c.state is not _COMPLETED
+                            and c is not task
+                            and c not in preds
+                        ):
+                            preds.append(c)
                     state.readers.append(task)
-                elif mode is AccessMode.COMMUTATIVE:
+                elif mode is _COMMUTATIVE:
                     # Ordered against writers and earlier readers, but NOT
                     # against the other members of the commutative group —
                     # those are mutually excluded by the runtime lock.
-                    writer = state.last_writer
-                    if writer is not None and not writer.completed:
-                        preds.add(writer)
                     for reader in state.readers:
-                        if not reader.completed:
-                            preds.add(reader)
+                        if (
+                            reader.state is not _COMPLETED
+                            and reader is not task
+                            and reader not in preds
+                        ):
+                            preds.append(reader)
                     state.commuters.append(task)
                 else:  # OUT and INOUT are both treated as writes
-                    writer = state.last_writer
-                    if writer is not None and not writer.completed:
-                        preds.add(writer)
                     for reader in state.readers:
-                        if not reader.completed:
-                            preds.add(reader)
+                        if (
+                            reader.state is not _COMPLETED
+                            and reader is not task
+                            and reader not in preds
+                        ):
+                            preds.append(reader)
                     for c in state.commuters:
-                        if not c.completed:
-                            preds.add(c)
+                        if (
+                            c.state is not _COMPLETED
+                            and c is not task
+                            and c not in preds
+                        ):
+                            preds.append(c)
                     state.last_writer = task
                     state.readers = []
                     state.commuters = []
-        preds.discard(task)
+        npred = len(preds)
         for pred in preds:
             pred.successors.append(task)
-        task.npred = len(preds)
-        return task.npred
+        task.npred = npred
+        return npred

@@ -21,7 +21,6 @@ One :class:`RankRuntime` manages the cores of one MPI rank:
 
 from __future__ import annotations
 
-import inspect
 import random
 from collections import deque
 from dataclasses import dataclass, field
@@ -29,6 +28,10 @@ from dataclasses import dataclass, field
 from ..machine.costmodel import CostSpec, NoiseModel
 from .deps import DependencyTracker
 from .task import Task, TaskState, normalize_accesses
+
+# Hoisted enum members for the per-task-execution paths.
+_RUNNING = TaskState.RUNNING
+_EXECUTED = TaskState.EXECUTED
 
 #: The task schedulers the runtime implements.  This tuple is the single
 #: source of truth — :class:`~repro.core.RunSpec` validation and the CLI
@@ -133,11 +136,28 @@ class RankRuntime:
         #: handle -> [holder Task or None, deque of parked tasks]
         self._comm_locks = {}
         self._ready = [deque() for _ in range(num_cores)]
-        self._waiters = deque()  # entries [core, event]
+        #: Bit ``c`` set iff ``self._ready[c]`` is nonempty.  Lets the pop
+        #: paths skip the per-queue probing entirely when nothing is ready
+        #: (the common case for idle workers) and pick steal victims /
+        #: fuzz targets without rebuilding a core list per pop.
+        self._ready_mask = 0
+        self._all_cores_mask = (1 << num_cores) - 1
+        #: core -> wakeup Event of the idle thread parked on that core.
+        #: A core parks at most one thread (the main thread on core 0, the
+        #: worker on cores 1..N-1), so a dict keyed by core gives O(1)
+        #: preferred-core lookup while insertion order preserves the FIFO
+        #: fallback of the old deque-of-entries representation.
+        self._waiters = {}
         self._drain_events = []
         self._last_affinity = [None] * num_cores
         self._outstanding = 0
         self._rr = 0
+        # Cost-spec scalars pulled out of the dataclass once: spawn and
+        # dispatch overheads are read on every task.
+        self._spawn_overhead = self.cost_spec.task_spawn_overhead
+        self._dispatch_overhead = self.cost_spec.task_dispatch_overhead
+        #: Immediate-successor policy flag (checked once per completion).
+        self._immediate_successor = scheduler == "locality"
 
         for core in range(1, num_cores):
             env.process(self._worker(core), name=f"r{rank}-worker{core}")
@@ -167,7 +187,7 @@ class RankRuntime:
         phase=None,
     ):
         """Create a task; charges spawn overhead to the calling thread."""
-        overhead = self.cost_spec.task_spawn_overhead
+        overhead = self._spawn_overhead
         if overhead > 0:
             yield self.env.timeout(overhead)
         task = Task(
@@ -205,12 +225,11 @@ class RankRuntime:
                 yield from self._execute(task, 0)
                 continue
             event = self.env.event()
-            entry = [0, event]
-            self._waiters.append(entry)
+            self._waiters[0] = event
             self._drain_events.append(event)
             got = yield event
-            if entry in self._waiters:
-                self._waiters.remove(entry)
+            if self._waiters.get(0) is event:
+                del self._waiters[0]
             if event in self._drain_events:
                 self._drain_events.remove(event)
             if isinstance(got, Task):
@@ -242,14 +261,13 @@ class RankRuntime:
                 yield from self._execute(ready, 0)
                 continue
             event = self.env.event()
-            entry = [0, event]
-            self._waiters.append(entry)
+            self._waiters[0] = event
             task.done_event.callbacks.append(
                 lambda _ev, e=event: None if e.triggered else e.succeed(None)
             )
             got = yield event
-            if entry in self._waiters:
-                self._waiters.remove(entry)
+            if self._waiters.get(0) is event:
+                del self._waiters[0]
             if isinstance(got, Task):
                 yield from self._execute(got, 0)
         return task
@@ -278,7 +296,7 @@ class RankRuntime:
             front = rng.random() < 0.5
         waiter = self._pick_waiter(preferred)
         if waiter is not None:
-            waiter[1].succeed(task)
+            waiter.succeed(task)
             return
         if rng is not None:
             core = preferred
@@ -287,10 +305,13 @@ class RankRuntime:
             self._rr = (self._rr + 1) % self.num_cores
         else:
             core = preferred
+        dq = self._ready[core]
+        if not dq:
+            self._ready_mask |= 1 << core
         if front:
-            self._ready[core].appendleft(task)
+            dq.appendleft(task)
         else:
-            self._ready[core].append(task)
+            dq.append(task)
 
     def _lock_entry(self, handle):
         entry = self._comm_locks.get(handle)
@@ -331,48 +352,89 @@ class RankRuntime:
             self._make_ready(waiting, preferred=core, front=False)
 
     def _pick_waiter(self, preferred):
-        """Pop an idle-worker entry, preferring one on ``preferred``."""
+        """Pop an idle thread's wakeup event, preferring ``preferred``.
+
+        Stale entries — events already triggered by the drain or
+        taskwait-with-deps wakeup paths, which succeed without
+        unregistering — are pruned as the scan meets them, so the table
+        stays bounded by the core count instead of accumulating across a
+        taskwait-heavy run.
+        """
+        waiters = self._waiters
+        if not waiters:
+            return None
+        if preferred is not None:
+            event = waiters.get(preferred)
+            if event is not None:
+                del waiters[preferred]
+                if not event.triggered:
+                    return event
         chosen = None
-        for entry in self._waiters:
-            if entry[1].triggered:
-                continue
-            if chosen is None:
-                chosen = entry
-            if preferred is not None and entry[0] == preferred:
-                chosen = entry
+        prune = []
+        for core, event in waiters.items():
+            prune.append(core)
+            if not event.triggered:
+                chosen = event
                 break
-        if chosen is not None:
-            self._waiters.remove(chosen)
+        for core in prune:
+            del waiters[core]
         return chosen
 
     def _pop_task_for(self, core):
         if self._rng is not None:
             return self._pop_task_fuzz(core)
+        mask = self._ready_mask
+        if not mask:
+            return None
         dq = self._ready[core]
         if dq:
+            task = dq.popleft()
+            if not dq:
+                self._ready_mask = mask & ~(1 << core)
             if self.profiler is not None:
                 self.profiler.pop_decision(self.rank, False)
-            return dq.popleft()
-        for i in range(1, self.num_cores):
-            victim = (core + i) % self.num_cores
-            if self._ready[victim]:
-                self.stats.steals += 1
-                if self.profiler is not None:
-                    self.profiler.pop_decision(self.rank, True)
-                return self._ready[victim].pop()
-        return None
+            return task
+        # Steal from the next nonempty queue in ring order: rotate the
+        # mask so this core is bit 0, then take the lowest set bit.  Own
+        # bit is clear (the deque probe above failed), and the mask is
+        # nonzero, so a victim always exists.
+        n = self.num_cores
+        rot = ((mask >> core) | (mask << (n - core))) & self._all_cores_mask
+        victim = core + (rot & -rot).bit_length() - 1
+        if victim >= n:
+            victim -= n
+        dq = self._ready[victim]
+        self.stats.steals += 1
+        task = dq.pop()
+        if not dq:
+            self._ready_mask = mask & ~(1 << victim)
+        if self.profiler is not None:
+            self.profiler.pop_decision(self.rank, True)
+        return task
 
     def _pop_task_fuzz(self, core):
         """Fuzz-scheduler pop: a uniformly random ready task of any queue."""
-        nonempty = [c for c in range(self.num_cores) if self._ready[c]]
-        if not nonempty:
+        mask = self._ready_mask
+        if not mask:
             return None
-        victim = self._rng.choice(nonempty)
+        rng = self._rng
+        # randrange(n) and the old choice() over the nonempty-core list
+        # both reduce to one _randbelow(n) draw, so the perturbation
+        # stream — and with it every committed fuzz schedule — is
+        # unchanged by the bitmask representation.
+        j = rng.randrange(bin(mask).count("1"))
+        m = mask
+        while j:
+            m &= m - 1
+            j -= 1
+        victim = (m & -m).bit_length() - 1
         dq = self._ready[victim]
-        idx = self._rng.randrange(len(dq))
+        idx = rng.randrange(len(dq))
         dq.rotate(-idx)
         task = dq.popleft()
         dq.rotate(idx)
+        if not dq:
+            self._ready_mask = mask & ~(1 << victim)
         if victim != core:
             self.stats.steals += 1
         if self.profiler is not None:
@@ -385,10 +447,10 @@ class RankRuntime:
             task = self._pop_task_for(core)
             if task is None:
                 event = env.event()
-                self._waiters.append(event_entry := [core, event])
+                self._waiters[core] = event
                 task = yield event
-                if event_entry in self._waiters:  # pragma: no cover
-                    self._waiters.remove(event_entry)
+                if self._waiters.get(core) is event:  # pragma: no cover
+                    del self._waiters[core]
             if task is not None:
                 yield from self._execute(task, core)
 
@@ -397,8 +459,8 @@ class RankRuntime:
     # ------------------------------------------------------------------
     def _execute(self, task, core):
         env = self.env
-        task.state = TaskState.RUNNING
-        t0 = env.now
+        task.state = _RUNNING
+        t0 = env._now
 
         locality = (
             task.affinity is not None
@@ -415,9 +477,7 @@ class RankRuntime:
                 stats.hits_by_phase.get(task.phase, 0) + 1
             )
             cost = cost / task.locality_factor
-        total = self.noise.stretch(
-            cost + self.cost_spec.task_dispatch_overhead
-        )
+        total = self.noise.stretch(cost + self._dispatch_overhead)
         if total > 0:
             yield env.timeout(total)
 
@@ -429,7 +489,7 @@ class RankRuntime:
             if record:
                 witness.task_begin(task, self.rank, self.timestep)
             try:
-                if inspect.isgeneratorfunction(task.body):
+                if task.gen_body:
                     yield from task.body(TaskContext(self, task, core))
                 else:
                     task.body()
@@ -438,9 +498,9 @@ class RankRuntime:
                     witness.task_end(task)
 
         self._last_affinity[core] = task.affinity
-        self.stats.tasks_executed += 1
-        t1 = env.now
-        phase_times = self.stats.per_phase_time
+        stats.tasks_executed += 1
+        t1 = env._now
+        phase_times = stats.per_phase_time
         phase_times[task.phase] = phase_times.get(task.phase, 0.0) + (t1 - t0)
         if self.tracer is not None:
             self.tracer.task_event(
@@ -449,7 +509,7 @@ class RankRuntime:
         if self.profiler is not None:
             self.profiler.task_ran(task, core, t0, t1)
 
-        task.state = TaskState.EXECUTED
+        task.state = _EXECUTED
         if task.pending_requests == 0:
             self._complete(task, core)
 
@@ -471,7 +531,7 @@ class RankRuntime:
         task.pending_requests -= 1
         if self.profiler is not None:
             self.profiler.request_released(task, self.rank, self.env.now)
-        if task.pending_requests == 0 and task.state is TaskState.EXECUTED:
+        if task.pending_requests == 0 and task.state is _EXECUTED:
             self._complete(task, core=None)
 
     def _complete(self, task, core):
@@ -489,7 +549,7 @@ class RankRuntime:
             if succ.npred == 0 and succ.state is TaskState.CREATED:
                 released.append(succ)
 
-        if self.scheduler == "locality" and core is not None:
+        if self._immediate_successor and core is not None:
             # Immediate-successor policy: released tasks stay on the
             # completing core, in release order (depth-first execution
             # that reuses the block still in cache; idle cores steal).
@@ -505,7 +565,9 @@ class RankRuntime:
             for succ in released:
                 self._make_ready(succ, preferred=None)
 
-        task.done_event.succeed(task)
+        done = task._done_event
+        if done is not None:
+            done.succeed(task)
 
         if self._outstanding == 0 and self._drain_events:
             events, self._drain_events = self._drain_events, []

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
+import inspect
 from enum import Enum
+
+from ..simx.events import Event
+
+#: Code-object flag marking a generator function (``inspect.CO_GENERATOR``).
+_CO_GENERATOR = inspect.CO_GENERATOR
 
 
 class AccessMode(Enum):
@@ -22,6 +28,10 @@ class TaskState(Enum):
     RUNNING = "running"  # body executing on a core
     EXECUTED = "executed"  # body done, waiting on bound MPI requests
     COMPLETED = "completed"  # dependencies released
+
+
+#: Hoisted member for the per-spawn commutative scan in Task.__init__.
+_COMMUTATIVE = AccessMode.COMMUTATIVE
 
 
 class Task:
@@ -52,9 +62,11 @@ class Task:
 
     __slots__ = (
         "tid",
+        "env",
         "label",
         "cost",
         "body",
+        "gen_body",
         "accesses",
         "affinity",
         "locality_factor",
@@ -63,7 +75,7 @@ class Task:
         "npred",
         "successors",
         "pending_requests",
-        "done_event",
+        "_done_event",
         "is_sync",
         "commutative_handles",
         "unchecked",
@@ -86,12 +98,25 @@ class Task:
             raise ValueError("task cost must be >= 0")
         if locality_factor < 1.0:
             raise ValueError("locality_factor must be >= 1.0")
-        Task._counter += 1
-        self.tid = Task._counter
+        tid = Task._counter + 1
+        Task._counter = tid
+        self.tid = tid
+        self.env = env
         self.label = label
         self.cost = cost
         self.body = body
-        self.accesses = tuple(accesses)
+        #: Whether ``body`` is a generator function (resolved once here;
+        #: the executor dispatches on this instead of re-inspecting the
+        #: body every run).
+        if body is None:
+            self.gen_body = False
+        else:
+            code = getattr(body, "__code__", None)
+            if code is not None:
+                self.gen_body = bool(code.co_flags & _CO_GENERATOR)
+            else:  # exotic callables (partials, callables without code)
+                self.gen_body = inspect.isgeneratorfunction(body)
+        self.accesses = accesses = tuple(accesses)
         self.affinity = affinity
         self.locality_factor = locality_factor
         self.phase = phase or label
@@ -99,7 +124,9 @@ class Task:
         self.npred = 0
         self.successors = []
         self.pending_requests = 0
-        self.done_event = env.event()
+        #: Completion event, materialized on first access (most tasks are
+        #: joined through counters/dependencies and never need one).
+        self._done_event = None
         #: True for the zero-cost marker tasks used by taskwait-with-deps.
         self.is_sync = False
         #: Exempt from access-witness checking (set by layers like the
@@ -107,10 +134,34 @@ class Task:
         #: declared dependencies).
         self.unchecked = False
         #: Handles this task accesses commutatively (runtime mutual
-        #: exclusion; populated from ``accesses``).
-        self.commutative_handles = tuple(
-            h for mode, h in self.accesses if mode is AccessMode.COMMUTATIVE
-        )
+        #: exclusion; populated from ``accesses``).  Plain loop, no
+        #: comprehension: most tasks have none, and this runs per spawn.
+        comm = None
+        for access in accesses:
+            if access[0] is _COMMUTATIVE:
+                if comm is None:
+                    comm = [access[1]]
+                else:
+                    comm.append(access[1])
+        self.commutative_handles = () if comm is None else tuple(comm)
+
+    @property
+    def done_event(self) -> Event:
+        """Event triggered at completion (lazily created).
+
+        Accessing it on an already-completed task returns an event in the
+        processed-success state — exactly what an eagerly-created event
+        would have reached by then — so late subscribers resume
+        immediately instead of waiting forever.
+        """
+        ev = self._done_event
+        if ev is None:
+            ev = self._done_event = Event(self.env)
+            if self.state is TaskState.COMPLETED:
+                ev._ok = True
+                ev._value = self
+                ev.callbacks = None
+        return ev
 
     @property
     def completed(self) -> bool:
@@ -121,14 +172,21 @@ class Task:
 
 
 def normalize_accesses(ins=(), outs=(), inouts=(), commutatives=()):
-    """Build an access list from in/out/inout/commutative iterables."""
+    """Build an access tuple from in/out/inout/commutative iterables.
+
+    Returns a tuple so :class:`Task` can adopt it without another copy.
+    """
     accesses = []
+    append = accesses.append
+    mode = AccessMode.IN
     for handle in ins:
-        accesses.append((AccessMode.IN, handle))
+        append((mode, handle))
+    mode = AccessMode.OUT
     for handle in outs:
-        accesses.append((AccessMode.OUT, handle))
+        append((mode, handle))
+    mode = AccessMode.INOUT
     for handle in inouts:
-        accesses.append((AccessMode.INOUT, handle))
+        append((mode, handle))
     for handle in commutatives:
-        accesses.append((AccessMode.COMMUTATIVE, handle))
-    return accesses
+        append((_COMMUTATIVE, handle))
+    return tuple(accesses)

@@ -61,6 +61,29 @@ def test_corrupt_entry_is_a_miss_and_removed(tmp_path, spec, result):
     assert not cache.path(fp).exists()
 
 
+def test_non_dict_envelope_is_a_miss_and_removed(tmp_path, spec, result):
+    """A JSON file whose top level is not an object (a list here) must be
+    treated as a corrupt entry, not crash with AttributeError."""
+    cache = ResultCache(tmp_path / "cache")
+    fp = spec.fingerprint()
+    cache.put(fp, spec, result)
+    cache.path(fp).write_text(json.dumps([1, 2, 3]))
+    assert cache.get(fp) is None
+    assert not cache.path(fp).exists()
+
+
+def test_corrupt_entry_logs_a_warning(tmp_path, spec, result, caplog):
+    import logging
+
+    cache = ResultCache(tmp_path / "cache")
+    fp = spec.fingerprint()
+    cache.put(fp, spec, result)
+    cache.path(fp).write_text("{ not json !!!")
+    with caplog.at_level(logging.WARNING, logger="repro.exec.cache"):
+        assert cache.get(fp) is None
+    assert any("corrupt cache entry" in r.message for r in caplog.records)
+
+
 def test_truncated_entry_is_a_miss(tmp_path, spec, result):
     cache = ResultCache(tmp_path / "cache")
     fp = spec.fingerprint()

@@ -55,11 +55,11 @@ def test_task_rejects_sublinear_locality_factor():
 
 def test_normalize_accesses_modes():
     acc = normalize_accesses(ins=["a"], outs=["b"], inouts=["c"])
-    assert acc == [
+    assert acc == (
         (AccessMode.IN, "a"),
         (AccessMode.OUT, "b"),
         (AccessMode.INOUT, "c"),
-    ]
+    )
 
 
 # ----------------------------------------------------------------------
@@ -270,6 +270,60 @@ def test_sequential_taskwaits():
         assert env.now == pytest.approx(first + 1.0)
 
     run_main(env, main())
+
+
+def test_pick_waiter_prunes_stale_entries():
+    """Triggered (stale) wakeup events left by the drain/taskwait-with-deps
+    paths must be pruned during the scan, not accumulate or get returned."""
+    env, rt = make_runtime(num_cores=4)
+    stale = {}
+    for core in (1, 2):
+        ev = env.event()
+        ev.succeed(None)  # already triggered: stale
+        stale[core] = ev
+        rt._waiters[core] = ev
+    live = env.event()
+    rt._waiters[3] = live
+
+    picked = rt._pick_waiter(None)
+    assert picked is live
+    assert rt._waiters == {}
+
+    # A stale entry on the preferred slot is also discarded, falling
+    # through to the FIFO scan.
+    ev = env.event()
+    ev.succeed(None)
+    rt._waiters[2] = ev
+    live2 = env.event()
+    rt._waiters[1] = live2
+    assert rt._pick_waiter(2) is live2
+    assert rt._waiters == {}
+
+
+def test_waiter_table_bounded_under_taskwait_stress():
+    """A taskwait-heavy run must keep the waiter table within the core
+    count at all times (the pre-fix list grew with every blocked wait)."""
+    env, rt = make_runtime(num_cores=4)
+    high_water = [0]
+
+    def probe():
+        high_water[0] = max(high_water[0], len(rt._waiters))
+
+    def main():
+        for i in range(30):
+            yield from rt.spawn(f"w{i}", cost=0.5, outs=[("h", i % 3)])
+            yield from rt.spawn(f"p{i}", cost=0.0, body=probe,
+                                ins=[("h", i % 3)])
+            if i % 3 == 0:
+                yield from rt.taskwait_with_deps(ins=[("h", i % 3)])
+            if i % 5 == 0:
+                yield from rt.taskwait()
+            high_water[0] = max(high_water[0], len(rt._waiters))
+        yield from rt.taskwait()
+
+    run_main(env, main())
+    assert 0 < high_water[0] <= rt.num_cores
+    assert len(rt._waiters) <= rt.num_cores
 
 
 def test_generator_body_can_wait_on_events():

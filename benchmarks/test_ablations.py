@@ -15,7 +15,7 @@ cost on a fixed mid-size workload:
 import pytest
 from conftest import QUICK, bench_once
 
-from repro import marenostrum4_scaled, run_simulation
+from repro import RunSpec, marenostrum4_scaled, run_simulation
 from repro.bench import TAMPI_OPTS, build_config, four_spheres
 
 NODES = 2 if QUICK else 4
@@ -33,10 +33,11 @@ def tampi_run(checksum_freq=5, **kwargs):
         num_tsteps=TSTEPS, stages_per_ts=10, refine_freq=1,
         checksum_freq=checksum_freq, max_refine_level=2, **cfg_opts,
     )
-    return run_simulation(
-        cfg, marenostrum4_scaled(8), variant="tampi_dataflow",
-        num_nodes=NODES, ranks_per_node=rpn, **kwargs,
-    )
+    return run_simulation(RunSpec(
+        config=cfg, machine=marenostrum4_scaled(8),
+        variant="tampi_dataflow", num_nodes=NODES, ranks_per_node=rpn,
+        **kwargs,
+    ))
 
 
 _baseline = {}

@@ -14,7 +14,7 @@ Run:  python examples/custom_machine.py
 
 import dataclasses
 
-from repro import marenostrum4_scaled, run_simulation
+from repro import RunSpec, marenostrum4_scaled, run_simulation
 from repro.bench import TAMPI_OPTS, build_config, four_spheres
 from repro.machine import MachineSpec
 
@@ -30,10 +30,10 @@ def run_pair(spec, label, cost_overrides=None):
             num_tsteps=2, stages_per_ts=8, refine_freq=1,
             checksum_freq=8, max_refine_level=2, **opts,
         )
-        results[variant] = run_simulation(
-            cfg, spec, variant=variant, num_nodes=num_nodes,
+        results[variant] = run_simulation(RunSpec(
+            config=cfg, machine=spec, variant=variant, num_nodes=num_nodes,
             ranks_per_node=rpn, cost_overrides=cost_overrides,
-        )
+        ))
     ratio = (
         results["tampi_dataflow"].gflops / results["mpi_only"].gflops
     )

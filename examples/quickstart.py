@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import AmrConfig, laptop, run_simulation, sphere
+from repro import AmrConfig, RunSpec, laptop, run_simulation, sphere
 
 
 def main():
@@ -56,9 +56,10 @@ def main():
     checksums = {}
     for variant, cfg in configs.items():
         rpn = 4 if variant == "mpi_only" else 2
-        res = run_simulation(
-            cfg, laptop(), variant=variant, num_nodes=1, ranks_per_node=rpn
-        )
+        res = run_simulation(RunSpec(
+            config=cfg, machine=laptop(), variant=variant, num_nodes=1,
+            ranks_per_node=rpn,
+        ))
         checksums[variant] = res.checksums
         print(
             f"{variant:<16} {res.total_time * 1000:>10.3f} "

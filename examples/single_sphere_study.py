@@ -18,7 +18,7 @@ Things to observe in the output (the paper's findings):
 Run:  python examples/single_sphere_study.py
 """
 
-from repro import marenostrum4, run_simulation
+from repro import RunSpec, marenostrum4, run_simulation
 from repro.bench import TAMPI_OPTS, build_config, single_sphere
 
 
@@ -41,10 +41,10 @@ def main():
                 nx=12, num_vars=24, num_tsteps=tsteps, stages_per_ts=6,
                 refine_freq=1, checksum_freq=6, max_refine_level=2, **opts,
             )
-            res = run_simulation(
-                cfg, spec, variant=variant,
+            res = run_simulation(RunSpec(
+                config=cfg, machine=spec, variant=variant,
                 num_nodes=num_nodes, ranks_per_node=rpn,
-            )
+            ))
             spans = spec.machine(num_nodes, rpn).placement(0).spans_numa
             print(
                 f"{rpn:>10} {variant:<16} {res.total_time * 1e3:>10.2f} "

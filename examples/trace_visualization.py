@@ -13,7 +13,7 @@ Run:  python examples/trace_visualization.py [output_dir]
 import sys
 from pathlib import Path
 
-from repro import marenostrum4, run_simulation
+from repro import RunSpec, marenostrum4, run_simulation
 from repro.bench import TAMPI_OPTS, build_config, four_spheres
 from repro.trace import (
     core_utilization,
@@ -42,10 +42,10 @@ def main():
             num_tsteps=tsteps, stages_per_ts=4,
             refine_freq=2, checksum_freq=4, max_refine_level=1, **opts,
         )
-        res = run_simulation(
-            cfg, spec, variant=variant,
+        res = run_simulation(RunSpec(
+            config=cfg, machine=spec, variant=variant,
             num_nodes=num_nodes, ranks_per_node=rpn, trace=True,
-        )
+        ))
         results[variant] = res
         prv = outdir / f"{variant}.prv"
         write_prv(res.tracer, prv, cfg.num_ranks, res.total_time)

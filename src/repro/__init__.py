@@ -8,17 +8,18 @@ deterministic discrete-event cluster simulator to run them on.
 
 Quickstart::
 
-    from repro import AmrConfig, marenostrum4, run_simulation, sphere
+    from repro import AmrConfig, RunSpec, run_simulation, sphere
 
     cfg = AmrConfig(
         npx=2, npy=2, npz=1, nx=8, ny=8, nz=8, num_vars=8,
         num_tsteps=4, stages_per_ts=4,
         objects=(sphere(center=(0.4, 0.4, 0.4), radius=0.2),),
     )
-    result = run_simulation(
-        cfg, marenostrum4(), variant="tampi_dataflow",
+    spec = RunSpec(
+        config=cfg, machine="marenostrum4", variant="tampi_dataflow",
         num_nodes=1, ranks_per_node=4,
     )
+    result = run_simulation(spec)
     print(result.total_time, result.gflops)
 """
 

@@ -6,9 +6,14 @@ cluster: :func:`table1` (ranks-per-node study), :func:`table2`
 :func:`strong_scaling` (Fig 5), and :func:`trace_runs` (Figs 1–3).
 :func:`resilience` goes beyond the paper: the degradation curve of every
 variant under identical injected noise (see :mod:`repro.faults`).
+
+:func:`paper_pipeline` packages the calibrate → {Fig 4, Fig 5} → report
+flow as a :class:`~repro.pipeline.PipelineSpec` diamond; importing this
+module registers the ``bench.*`` node generators it uses.
 """
 
 from .experiments import (
+    PIPELINES,
     SCALED_RPN,
     TAMPI_OPTS,
     ResiliencePoint,
@@ -20,6 +25,8 @@ from .experiments import (
     TraceExperiment,
     build_config,
     format_table,
+    get_pipeline,
+    paper_pipeline,
     resilience,
     run_specs,
     strong_scaling,
@@ -37,6 +44,7 @@ from .inputs import (
 )
 
 __all__ = [
+    "PIPELINES",
     "SCALED_RPN",
     "TAMPI_OPTS",
     "ResiliencePoint",
@@ -51,6 +59,8 @@ __all__ = [
     "fit_grid",
     "format_table",
     "four_spheres",
+    "get_pipeline",
+    "paper_pipeline",
     "resilience",
     "run_specs",
     "single_sphere",

@@ -18,6 +18,7 @@ from dataclasses import dataclass, replace
 from ..amr.config import AmrConfig
 from ..core import RunSpec
 from ..faults import noise_plan
+from ..pipeline import PipelineNode, PipelineSpec, register_generator
 from .inputs import fit_grid, four_spheres, single_sphere, weak_root_dims
 
 #: TAMPI+OSS options used throughout the evaluation (Section V).
@@ -636,3 +637,140 @@ def trace_runs(quick=False, engine=None) -> TraceExperiment:
     )
     exp.text = "\n".join(lines)
     return exp
+
+
+# ======================================================================
+# The fig4 -> fig5 flow as a committed pipeline (calibrate -> sweep)
+# ======================================================================
+@register_generator("bench.fig4_point")
+def fig4_point(params, deps):
+    """One weak-scaling (Fig 4) point, built when ``calibrate`` is done.
+
+    Parameters: ``num_nodes`` (power of two) and ``quick``.  The
+    ``calibrate`` dependency orders the node behind the baseline run (and
+    keeps the diamond shape); the weak-scaling doubling itself is purely
+    parametric, mirroring :func:`weak_scaling`.
+    """
+    quick = bool(params.get("quick", True))
+    nodes = int(params.get("num_nodes", 2))
+    tsteps = 1 if quick else 3
+    stages = 4 if quick else 10
+    doublings = nodes.bit_length() - 1
+    root = weak_root_dims((2, 2, 2), doublings)
+    return _scaling_spec(
+        "tampi_dataflow", nodes, root, tsteps, stages, "synthetic"
+    )
+
+
+@register_generator("bench.fig5_point")
+def fig5_point(params, deps):
+    """One strong-scaling (Fig 5) point, sized from the measured baseline.
+
+    This is the genuine calibrate → sweep dependency: the strong-scaling
+    input tier (the paper's divided-input rule for small node counts) is
+    chosen from the **measured** time of the ``calibrate`` predecessor,
+    not hard-coded.  The baseline time is projected to the big fixed mesh
+    by block count; if the projection blows the per-run budget
+    (``budget_seconds``), the smaller divided input is used instead —
+    exactly the decision the paper makes offline.
+    """
+    quick = bool(params.get("quick", True))
+    nodes = int(params.get("num_nodes", 2))
+    budget = float(params.get("budget_seconds", 1.0))
+    baseline = deps["calibrate"]  # RunResult of the calibrate node
+    tsteps = 1 if quick else 3
+    stages = 4 if quick else 10
+    big_root = (8, 8, 4)  # 256 root blocks (the mid strong-scaling tier)
+    small_root = (4, 4, 2)  # the paper's divided input for small counts
+    big_blocks = big_root[0] * big_root[1] * big_root[2]
+    projected = (
+        baseline.total_time
+        * big_blocks
+        / max(baseline.num_blocks, 1)
+        / nodes
+    )
+    root = small_root if projected > budget else big_root
+    return _scaling_spec(
+        "tampi_dataflow", nodes, root, tsteps, stages, "synthetic"
+    )
+
+
+@register_generator("bench.scaling_report")
+def scaling_report(params, deps):
+    """Join node: reduce the diamond's runs to a JSON scaling summary.
+
+    An *analysis* node — it returns a plain JSON value, completes
+    in-process the moment its predecessors finish, and is cached under a
+    fingerprint derived from its inputs' fingerprints.
+    """
+    base = deps["calibrate"]
+    points = {}
+    for name in sorted(deps):
+        if name == "calibrate":
+            continue
+        res = deps[name]
+        points[name] = {
+            "num_nodes": res.num_nodes,
+            "gflops": res.gflops,
+            "total_time": res.total_time,
+            "speedup_vs_calibrate": res.gflops / base.gflops,
+        }
+    return {
+        "baseline": {
+            "num_nodes": base.num_nodes,
+            "gflops": base.gflops,
+            "total_time": base.total_time,
+        },
+        "points": points,
+    }
+
+
+def paper_pipeline(quick=True) -> PipelineSpec:
+    """The committed diamond: calibrate → {fig4, fig5} → report.
+
+    A 1-node tampi_dataflow baseline run calibrates the flow; the Fig 4
+    weak-scaling and Fig 5 strong-scaling points fan out from it (Fig 5
+    sizes its input from the measured baseline) and the report node joins
+    them into a JSON scaling summary.  ``miniamr-sim pipeline paper``
+    runs it end-to-end.
+    """
+    tsteps = 1 if quick else 3
+    stages = 4 if quick else 10
+    calibrate = _scaling_spec(
+        "tampi_dataflow", 1, (2, 2, 2), tsteps, stages, "synthetic"
+    )
+    return PipelineSpec(
+        name="paper-diamond" + ("-quick" if quick else ""),
+        nodes=(
+            PipelineNode("calibrate", run=calibrate),
+            PipelineNode(
+                "fig4", generator="bench.fig4_point",
+                params={"quick": quick, "num_nodes": 2},
+                after=("calibrate",),
+            ),
+            PipelineNode(
+                "fig5", generator="bench.fig5_point",
+                params={"quick": quick, "num_nodes": 2},
+                after=("calibrate",),
+            ),
+            PipelineNode(
+                "report", generator="bench.scaling_report",
+                after=("calibrate", "fig4", "fig5"),
+            ),
+        ),
+    )
+
+
+#: Named pipelines runnable via ``miniamr-sim pipeline <name>``.
+PIPELINES = {"paper": paper_pipeline}
+
+
+def get_pipeline(name, quick=False) -> PipelineSpec:
+    """Build a registered pipeline by CLI name."""
+    try:
+        builder = PIPELINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pipeline {name!r}; choose from {sorted(PIPELINES)}"
+        ) from None
+    return builder(quick=quick)

@@ -11,9 +11,11 @@ Examples::
         --json tampi.json --chrome-trace tampi.trace.json
     miniamr-sim report mpi_only.json tampi.json
     miniamr-sim faults --intensities 0.5 1.0 --quick
+    miniamr-sim pipeline paper --quick --jobs 2
+    miniamr-sim pipeline paper --quick --show-dag
 
-Exit codes: 0 success, 1 failed runs (sweep/bench/verify), 2 invalid
-spec or argument combination.
+Exit codes: 0 success, 1 failed runs (sweep/bench/pipeline/verify),
+2 invalid spec or argument combination.
 """
 
 from __future__ import annotations
@@ -43,6 +45,11 @@ from .tasking.runtime import SCHEDULERS
 #: Default on-disk result cache for ``bench``/``sweep`` (override with
 #: --cache-dir / REPRO_CACHE_DIR; disable with --no-cache).
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+#: Default duration-statistics store feeding the DAG scheduler's cost
+#: predictions (override with --stats-file / REPRO_STATS_FILE; disable
+#: with --no-stats).
+DEFAULT_STATS_FILE = os.environ.get("REPRO_STATS_FILE", ".repro-stats.json")
 
 
 def _add_geometry_options(p):
@@ -87,6 +94,11 @@ def _add_engine_options(p):
                    help="per-run timeout in seconds (parallel runs only)")
     p.add_argument("--retries", type=int, default=2,
                    help="crash/timeout retries per run before it fails")
+    p.add_argument("--stats-file", default=DEFAULT_STATS_FILE,
+                   help="duration-statistics store used for predicted-"
+                        "cost scheduling (default: %(default)s)")
+    p.add_argument("--no-stats", action="store_true",
+                   help="neither read nor record run-duration statistics")
 
 
 def _add_fault_options(p):
@@ -180,6 +192,31 @@ def _add_faults_parser(sub):
                    help="smaller geometry for a fast look")
     p.add_argument("--csv", default=None, metavar="PATH",
                    help="write the degradation curve as CSV here")
+    _add_engine_options(p)
+    return p
+
+
+def _add_pipeline_parser(sub):
+    p = sub.add_parser(
+        "pipeline",
+        help="run a DAG-structured experiment pipeline: nodes launch as "
+             "soon as their own predecessors finish, ordered "
+             "critical-path-first by predicted cost",
+    )
+    p.add_argument("name", nargs="?", default=None,
+                   help="registered pipeline (e.g. 'paper': the "
+                        "calibrate -> {fig4, fig5} -> report diamond)")
+    p.add_argument("--file", default=None, metavar="PATH",
+                   help="load a PipelineSpec JSON instead of a "
+                        "registered name")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller geometry for a fast look")
+    p.add_argument("--show-dag", action="store_true",
+                   help="print the DAG with predicted per-node costs and "
+                        "makespans, then exit without running anything")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write per-node results as JSON (timing-free: "
+                        "byte-identical across cached re-runs)")
     _add_engine_options(p)
     return p
 
@@ -285,12 +322,13 @@ def _build_cfg(args, num_ranks):
 
 
 def _make_engine(args):
-    from .exec import ResultCache, SweepEngine
+    from .exec import ResultCache, RunStatsStore, SweepEngine
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    stats = None if args.no_stats else RunStatsStore(args.stats_file)
 
     def progress(event):
-        if event["event"] in ("ok", "cached", "failed", "retry"):
+        if event["event"] in ("ok", "cached", "failed", "blocked", "retry"):
             print(
                 f"[{event['index'] + 1}/{event['total']}] "
                 f"{event['label']}: {event['status']}"
@@ -304,17 +342,24 @@ def _make_engine(args):
         timeout=args.timeout,
         retries=args.retries,
         progress=progress if args.jobs > 1 else None,
+        stats=stats,
     )
 
 
-def cmd_run(args) -> int:
-    spec = get_preset(args.preset)()
+def spec_from_args(args, **extra) -> RunSpec:
+    """The one canonical :class:`RunSpec` of a run/profile-style namespace.
+
+    Shared by ``run``, ``profile``, and fault-injected runs so every
+    entry point resolves geometry, machine, and ranks-per-node the same
+    way.  ``extra`` passes command-specific fields (``profile=True``,
+    ``trace_max_events=...``).
+    """
+    machine = get_preset(args.preset)()
     ranks_per_node = resolve_ranks_per_node(
-        args.variant, spec, args.ranks_per_node
+        args.variant, machine, args.ranks_per_node
     )
-    num_ranks = args.nodes * ranks_per_node
-    cfg = _build_cfg(args, num_ranks)
-    res = run_simulation(RunSpec(
+    cfg = _build_cfg(args, args.nodes * ranks_per_node)
+    return RunSpec(
         config=cfg,
         machine=args.preset,
         variant=args.variant,
@@ -322,14 +367,20 @@ def cmd_run(args) -> int:
         ranks_per_node=ranks_per_node,
         scheduler=args.scheduler,
         sched_seed=args.sched_seed,
-        check_access=args.check_access,
+        check_access=getattr(args, "check_access", False),
         faults=_fault_plan(args),
-    ))
+        **extra,
+    )
+
+
+def cmd_run(args) -> int:
+    spec = spec_from_args(args)
+    res = run_simulation(spec)
     if args.check_access:
         print("access check:     clean (no undeclared task accesses)")
     print(f"variant:          {res.variant}")
-    print(f"machine:          {spec.name}, {args.nodes} nodes x "
-          f"{ranks_per_node} ranks")
+    print(f"machine:          {spec.machine_spec().name}, "
+          f"{spec.num_nodes} nodes x {spec.ranks_per_node} ranks")
     print(f"total time:       {res.total_time:.6f} s (simulated)")
     print(f"refinement time:  {res.refine_time:.6f} s")
     print(f"throughput:       {res.gflops:.2f} GFLOPS")
@@ -354,23 +405,8 @@ def cmd_profile(args) -> int:
 
     from .obs import ascii_summary, metrics_csv, write_chrome_trace
 
-    spec = get_preset(args.preset)()
-    ranks_per_node = resolve_ranks_per_node(
-        args.variant, spec, args.ranks_per_node
-    )
-    num_ranks = args.nodes * ranks_per_node
-    cfg = _build_cfg(args, num_ranks)
-    res = run_simulation(RunSpec(
-        config=cfg,
-        machine=args.preset,
-        variant=args.variant,
-        num_nodes=args.nodes,
-        ranks_per_node=ranks_per_node,
-        scheduler=args.scheduler,
-        sched_seed=args.sched_seed,
-        profile=True,
-        trace_max_events=args.trace_max_events,
-        faults=_fault_plan(args),
+    res = run_simulation(spec_from_args(
+        args, profile=True, trace_max_events=args.trace_max_events,
     ))
     report = res.profile
     # Write every requested export before printing: stdout may be a pipe
@@ -508,6 +544,38 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_pipeline(args) -> int:
+    import json
+
+    from . import bench  # noqa: F401 — registers the bench.* generators
+    from .obs import pipeline_summary
+    from .pipeline import JobGraph, PipelineSpec, run_pipeline
+
+    if (args.name is None) == (args.file is None):
+        raise ValueError(
+            "pass exactly one of a pipeline name or --file PATH"
+        )
+    if args.file:
+        with open(args.file) as fh:
+            pipeline = PipelineSpec.from_json(fh.read())
+    else:
+        pipeline = bench.get_pipeline(args.name, quick=args.quick)
+    engine = _make_engine(args)
+    if args.show_dag:
+        graph = JobGraph.from_pipeline(pipeline)
+        print(graph.ascii(
+            costs=engine.predict_costs(graph), workers=args.jobs,
+        ))
+        return 0
+    report = run_pipeline(pipeline, engine=engine)
+    print(pipeline_summary(report), end="")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.results_dict(), fh, indent=2, sort_keys=True)
+        print(f"node results written: {args.json}")
+    return 1 if report.sweep.failed else 0
+
+
 def cmd_verify(args) -> int:
     from dataclasses import replace
 
@@ -602,6 +670,7 @@ def main(argv=None) -> int:
     _add_sweep_parser(sub)
     _add_bench_parser(sub)
     _add_faults_parser(sub)
+    _add_pipeline_parser(sub)
     _add_verify_parser(sub)
     _add_profile_parser(sub)
     _add_report_parser(sub)
@@ -611,6 +680,7 @@ def main(argv=None) -> int:
         "sweep": cmd_sweep,
         "bench": cmd_bench,
         "faults": cmd_faults,
+        "pipeline": cmd_pipeline,
         "verify": cmd_verify,
         "profile": cmd_profile,
         "report": cmd_report,

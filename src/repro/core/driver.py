@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import gc
+import warnings
 
 from ..amr.balance import max_imbalance
 from ..faults.injectors import FaultInjector
@@ -31,16 +32,18 @@ assert set(VARIANTS) == set(VARIANT_NAMES)
 def run_simulation(config, spec=None, **kwargs) -> RunResult:
     """Simulate one miniAMR execution.
 
-    The canonical form takes a single :class:`~repro.core.RunSpec`::
+    The one canonical form takes a single :class:`~repro.core.RunSpec`::
 
         run_simulation(RunSpec(config=cfg, machine="marenostrum4", ...))
 
     The legacy form — ``run_simulation(config, machine_spec, variant=...,
     num_nodes=..., ranks_per_node=..., scheduler=..., delayed_checksum=...,
-    stage_barrier=..., trace=..., cost_overrides=...)`` — is kept as a thin
-    shim that builds the equivalent :class:`RunSpec`.  Defaults (notably
-    ranks-per-node: all cores for MPI-only, 4 for the hybrids) are resolved
-    by :meth:`RunSpec.resolve` either way.
+    stage_barrier=..., trace=..., cost_overrides=...)`` — is **deprecated**
+    and will be removed next release: it emits a
+    :class:`DeprecationWarning` and builds the equivalent
+    :class:`RunSpec`.  Defaults (notably ranks-per-node: all cores for
+    MPI-only, 4 for the hybrids) are resolved by :meth:`RunSpec.resolve`
+    either way.
     """
     if isinstance(config, RunSpec):
         if spec is not None or kwargs:
@@ -55,6 +58,13 @@ def run_simulation(config, spec=None, **kwargs) -> RunResult:
                 "run_simulation(config, machine_spec, ...) requires a "
                 "machine spec (or pass a single RunSpec)"
             )
+        warnings.warn(
+            "run_simulation(config, machine_spec, ...) is deprecated and "
+            "will be removed in the next release; pass a single RunSpec: "
+            "run_simulation(RunSpec(config=cfg, machine=machine, ...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         run_spec = RunSpec(config=config, machine=spec, **kwargs)
     return execute(run_spec)
 

@@ -1,21 +1,26 @@
-"""``repro.exec`` — parallel, cached execution of simulation sweeps.
+"""``repro.exec`` — parallel, cached execution of experiment job graphs.
 
 Every paper artifact (Tables I–II, Figs 1–5, the ablations) is a sweep of
-independent deterministic runs.  This package turns a collection of
-:class:`~repro.core.RunSpec`s into results: dispatch across a worker-process
-pool, a content-addressed on-disk result cache keyed by spec fingerprint,
+deterministic runs — flat and independent in the simplest case, a
+dependency DAG (see :mod:`repro.pipeline`) in the general one.  This
+package turns :class:`~repro.core.RunSpec`\\ s into results: dispatch
+across a worker-process pool with no level barriers and
+critical-path-first ready ordering, a content-addressed on-disk result
+cache keyed by spec fingerprint, a persistent run-duration stats store
+keyed by *normalized* spec signature (drives the duration predictions),
 per-run timeout and crash retry with exponential backoff, and structured
 progress reporting.  ``repro.bench`` and the CLI execute through it.
 
-    from repro.exec import ResultCache, SweepEngine
+    from repro.exec import ResultCache, RunStatsStore, SweepEngine
 
-    engine = SweepEngine(jobs=4, cache=ResultCache(".repro-cache"))
-    report = engine.run([spec1, spec2, ...])
+    engine = SweepEngine(jobs=4, cache=ResultCache(".repro-cache"),
+                         stats=RunStatsStore(".repro-stats.json"))
+    report = engine.run([spec1, spec2, ...])   # or a PipelineSpec
     report.raise_failures()
     results = report.results          # RunResults, input order
 """
 
-from .cache import ResultCache
+from .cache import CacheEntry, ResultCache
 from .engine import (
     RunOutcome,
     Sweep,
@@ -25,14 +30,19 @@ from .engine import (
     retry_jitter,
     run_spec_dict,
 )
+from .stats import RunStatsStore, fallback_cost, spec_signature
 
 __all__ = [
+    "CacheEntry",
     "ResultCache",
     "RunOutcome",
+    "RunStatsStore",
     "Sweep",
     "SweepEngine",
     "SweepError",
     "SweepReport",
+    "fallback_cost",
     "retry_jitter",
     "run_spec_dict",
+    "spec_signature",
 ]

@@ -5,7 +5,20 @@ Layout: ``<root>/<fp[:2]>/<fp>.json`` where ``fp`` is the run's
 spec plus the package version).  Each entry is a self-describing JSON
 envelope::
 
-    {"fingerprint": ..., "version": ..., "spec": ..., "result": ...}
+    {"fingerprint": ..., "version": ..., "spec": ..., "result": ...,
+     "wall_time": ...}
+
+``wall_time`` records how long the original *execution* took on the host;
+a cache hit feeds it back into the :class:`~repro.exec.stats.RunStatsStore`
+so served-from-cache runs still contribute duration history ("updated
+from every completed run, including cached ones").  Entries written
+before the field existed simply read back as ``wall_time=None``.
+
+Pipeline *analysis* nodes (builders that reduce predecessor results to a
+plain JSON value instead of launching a run) store under the same layout
+with ``"kind": "analysis"`` and a ``value`` payload instead of
+``spec``/``result``; their fingerprint is derived from the builder, its
+parameters, and the predecessors' fingerprints.
 
 Invalidation is automatic by construction: any change to any spec field,
 to the machine description, or to the package version changes the
@@ -19,11 +32,25 @@ import json
 import logging
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..core import RunResult, RunSpec
 
 logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One decoded cache envelope: the payload plus its metadata."""
+
+    #: ``"result"`` (a run) or ``"analysis"`` (a pipeline reduce node).
+    kind: str
+    #: :class:`RunResult` for runs, the stored JSON value for analyses.
+    value: object
+    #: Host wall seconds of the original execution (``None`` for entries
+    #: written before durations were recorded).
+    wall_time: float = None
 
 
 class ResultCache:
@@ -40,8 +67,17 @@ class ResultCache:
         """The cached :class:`RunResult`, or ``None`` on a miss.
 
         A corrupt, unreadable, or mismatched entry is deleted and reported
-        as a miss — one bad file must never poison a sweep.
+        as a miss — one bad file must never poison a sweep.  Analysis
+        entries are not run results and read as a miss here; use
+        :meth:`get_entry` for kind-aware lookups.
         """
+        entry = self.get_entry(fingerprint)
+        if entry is None or entry.kind != "result":
+            return None
+        return entry.value
+
+    def get_entry(self, fingerprint: str):
+        """The decoded :class:`CacheEntry`, or ``None`` on a miss."""
         path = self.path(fingerprint)
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -52,7 +88,21 @@ class ResultCache:
                 )
             if envelope.get("fingerprint") != fingerprint:
                 raise ValueError("fingerprint mismatch")
-            return RunResult.from_dict(envelope["result"])
+            wall_time = envelope.get("wall_time")
+            kind = envelope.get("kind", "result")
+            if kind == "analysis":
+                return CacheEntry(
+                    kind="analysis",
+                    value=envelope["value"],
+                    wall_time=wall_time,
+                )
+            if kind != "result":
+                raise ValueError(f"unknown cache entry kind {kind!r}")
+            return CacheEntry(
+                kind="result",
+                value=RunResult.from_dict(envelope["result"]),
+                wall_time=wall_time,
+            )
         except FileNotFoundError:
             return None
         except (
@@ -74,18 +124,40 @@ class ResultCache:
                 pass
             return None
 
-    def put(self, fingerprint: str, spec: RunSpec, result: RunResult):
+    def put(self, fingerprint: str, spec: RunSpec, result: RunResult,
+            *, wall_time=None):
         """Atomically store one result (write-to-temp + rename)."""
+        envelope = {
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        self._write(fingerprint, envelope, wall_time)
+
+    def put_value(self, fingerprint: str, meta: dict, value, *,
+                  wall_time=None):
+        """Atomically store one pipeline-analysis value.
+
+        ``meta`` describes how the value was produced (builder name,
+        parameters, predecessor fingerprints) — the same role the spec
+        plays in a result envelope.
+        """
+        envelope = {
+            "kind": "analysis",
+            "meta": dict(meta),
+            "value": value,
+        }
+        self._write(fingerprint, envelope, wall_time)
+
+    def _write(self, fingerprint: str, envelope: dict, wall_time):
         from .. import __version__
 
         path = self.path(fingerprint)
         path.parent.mkdir(parents=True, exist_ok=True)
-        envelope = {
-            "fingerprint": fingerprint,
-            "version": __version__,
-            "spec": spec.to_dict(),
-            "result": result.to_dict(),
-        }
+        envelope = dict(envelope)
+        envelope["fingerprint"] = fingerprint
+        envelope["version"] = __version__
+        if wall_time is not None:
+            envelope["wall_time"] = float(wall_time)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )

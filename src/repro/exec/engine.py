@@ -1,18 +1,31 @@
-"""Parallel, cached, fault-isolated execution of simulation sweeps.
+"""Parallel, cached, fault-isolated execution of experiment job graphs.
 
-Every paper artifact is a *sweep* of independent deterministic runs, so
-the engine's contract is simple:
+Every paper artifact is a *job graph*: a flat sweep of independent runs
+in the simplest case, a dependency DAG (calibrate → sweep → report) in
+the general one.  Both flow through one scheduler with one contract:
 
+* a node is **launched the moment its own predecessors complete** — no
+  level barriers, so an unrelated slow node never holds back a ready
+  branch (the RushTI model);
+* the ready set is ordered **critical-path-first** using predicted
+  durations from the persistent :class:`~repro.exec.stats.RunStatsStore`
+  (falling back to a conservative cost-model estimate when history is
+  cold) — longest remaining chain starts first;
 * runs are dispatched across a pool of worker **processes** (``jobs``);
   results come back as serialized dicts and are bit-identical to serial
   execution (the simulator is deterministic and ``RunResult`` round-trips
   losslessly through JSON);
 * each run is looked up in / stored to a content-addressed
-  :class:`~repro.exec.cache.ResultCache` by its spec fingerprint;
-* a worker crash or timeout is retried with exponential backoff and, after
-  ``retries`` retries, fails *that one run* — never the sweep;
-* progress (completed / cached / failed, wall-time per run) is reported
-  through a callback.
+  :class:`~repro.exec.cache.ResultCache` by its spec fingerprint —
+  lookups happen when the node becomes *ready*, so a cached calibrate
+  node unblocks its dependents instantly;
+* a worker crash or timeout is retried with exponential backoff and,
+  after ``retries`` retries, fails *that one run* — never the sweep; its
+  transitive dependents finish as ``blocked`` (a distinct terminal
+  status, so "skipped because upstream failed" is never reported as a
+  failure of the node itself);
+* progress (cached / start / ok / retry / failed / blocked, wall-time
+  per run) is reported through a callback.
 
 Trace runs (``spec.trace=True``) are live-only: the tracer cannot cross a
 process boundary or live in the JSON cache, so they always execute
@@ -26,12 +39,14 @@ spec).
 from __future__ import annotations
 
 import hashlib
+import json
 import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
 
 from ..core import RunResult, RunSpec, run_simulation
+from .stats import FALLBACK_CONSERVATISM, fallback_cost, spec_signature
 
 
 class SweepError(RuntimeError):
@@ -54,7 +69,7 @@ def retry_jitter(fingerprint: str, attempt: int) -> float:
 
 @dataclass(frozen=True)
 class Sweep:
-    """An ordered collection of runs, optionally labelled."""
+    """An ordered collection of independent runs, optionally labelled."""
 
     specs: tuple
     name: str = "sweep"
@@ -83,18 +98,29 @@ class Sweep:
 
 @dataclass
 class RunOutcome:
-    """What happened to one run of a sweep."""
+    """What happened to one node of a job graph."""
 
     index: int
     spec: RunSpec
     fingerprint: str
     label: str
-    #: "ok" (executed), "cached" (served from cache), or "failed".
+    #: "ok" (executed), "cached" (served from cache), "failed", or
+    #: "blocked" (never attempted: a predecessor failed).
     status: str
-    result: RunResult = None
+    #: :class:`RunResult` for run nodes; the builder's JSON value for
+    #: pipeline analysis nodes.
+    result: object = None
     error: str = None
     attempts: int = 0
     wall_time: float = 0.0
+    #: Node name inside its pipeline (== ``label`` for flat sweeps).
+    name: str = None
+    #: Seconds between "all predecessors done" and first launch.
+    wait_time: float = 0.0
+    #: Host seconds of the *successful attempt* alone — what the stats
+    #: store learns from (``wall_time`` also accumulates failed attempts
+    #: and backoff).  ``None`` when the run never succeeded.
+    exec_time: float = None
 
     @property
     def ok(self) -> bool:
@@ -103,14 +129,14 @@ class RunOutcome:
 
 @dataclass
 class SweepReport:
-    """Structured outcome of one sweep (input order preserved)."""
+    """Structured outcome of one job graph (input order preserved)."""
 
     outcomes: list = field(default_factory=list)
     wall_time: float = 0.0
 
     @property
     def results(self) -> list:
-        """Run results in input order (``None`` for failed runs)."""
+        """Node results in input order (``None`` for failed/blocked)."""
         return [o.result for o in self.outcomes]
 
     @property
@@ -126,14 +152,25 @@ class SweepReport:
         return sum(1 for o in self.outcomes if o.status == "failed")
 
     @property
+    def blocked(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "blocked")
+
+    @property
     def completed(self) -> int:
         return self.executed + self.cached
 
     def raise_failures(self):
-        """Raise :class:`SweepError` listing every failed run."""
+        """Raise :class:`SweepError` listing every failed run.
+
+        Blocked nodes are counted but not listed: they carry no error of
+        their own — fixing the failed predecessor unblocks them.
+        """
         bad = [o for o in self.outcomes if o.status == "failed"]
         if bad:
-            lines = [f"{len(bad)} of {len(self.outcomes)} runs failed:"]
+            head = f"{len(bad)} of {len(self.outcomes)} runs failed"
+            if self.blocked:
+                head += f" ({self.blocked} blocked downstream)"
+            lines = [head + ":"]
             for o in bad:
                 first = (o.error or "unknown error").strip().splitlines()
                 lines.append(
@@ -143,10 +180,15 @@ class SweepReport:
             raise SweepError("\n".join(lines))
 
     def summary(self) -> str:
+        parts = (
+            f"{self.executed} executed, {self.cached} cached, "
+            f"{self.failed} failed"
+        )
+        if self.blocked:
+            parts += f", {self.blocked} blocked"
         return (
             f"{self.completed}/{len(self.outcomes)} runs "
-            f"({self.executed} executed, {self.cached} cached, "
-            f"{self.failed} failed) in {self.wall_time:.2f}s"
+            f"({parts}) in {self.wall_time:.2f}s"
         )
 
 
@@ -175,26 +217,43 @@ def _child_main(conn, runner, spec_dict):
 # Engine
 # ----------------------------------------------------------------------
 class _Pending:
-    __slots__ = ("index", "spec", "fingerprint", "label", "attempts",
-                 "not_before", "started", "deadline", "proc", "conn",
+    __slots__ = ("index", "spec", "fingerprint", "label", "name",
+                 "priority", "ready_at", "attempts", "not_before",
+                 "started", "first_started", "deadline", "proc", "conn",
                  "wall_time")
 
-    def __init__(self, index, spec, fingerprint, label):
+    def __init__(self, index, spec, fingerprint, label, name, priority,
+                 ready_at):
         self.index = index
         self.spec = spec
         self.fingerprint = fingerprint
         self.label = label
+        self.name = name
+        self.priority = priority
+        self.ready_at = ready_at
         self.attempts = 0
         self.not_before = 0.0
         self.started = 0.0
+        self.first_started = None
         self.deadline = None
         self.proc = None
         self.conn = None
         self.wall_time = 0.0
 
+    @property
+    def wait_time(self):
+        if self.first_started is None:
+            return 0.0
+        return max(0.0, self.first_started - self.ready_at)
+
 
 class SweepEngine:
-    """Executes :class:`Sweep`s; see the module docstring for the contract.
+    """Executes job graphs; see the module docstring for the contract.
+
+    ``run`` accepts a flat :class:`Sweep` (or iterable of specs) or a
+    :class:`~repro.pipeline.PipelineSpec`; both are lowered to the same
+    internal :class:`~repro.pipeline.JobGraph`.  All constructor
+    parameters are keyword-only.
 
     Parameters
     ----------
@@ -214,18 +273,24 @@ class SweepEngine:
         plus up to 50% :func:`retry_jitter` seeded by the run
         fingerprint — never by wall clock, so retried sweeps reproduce).
     progress:
-        Optional callback receiving event dicts
-        (``event ∈ {cached, start, ok, retry, failed}``).
+        Optional callback receiving event dicts (``event ∈ {cached,
+        start, ok, retry, failed, blocked}``).
     mp_context:
         ``multiprocessing`` start method (default: ``fork`` where
         available, else ``spawn``).
     runner:
         Picklable ``spec_dict -> result_dict`` executed in workers
         (test/instrumentation hook; defaults to :func:`run_spec_dict`).
+    stats:
+        A :class:`~repro.exec.stats.RunStatsStore` (or ``None``).  Every
+        completed run — including cache hits whose original duration
+        rides in the cache envelope — updates it; predictions from it
+        drive the critical-path-first ordering of the ready set.
     """
 
-    def __init__(self, jobs=1, cache=None, timeout=None, retries=2,
-                 backoff=0.25, progress=None, mp_context=None, runner=None):
+    def __init__(self, *, jobs=1, cache=None, timeout=None, retries=2,
+                 backoff=0.25, progress=None, mp_context=None, runner=None,
+                 stats=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
@@ -237,6 +302,7 @@ class SweepEngine:
         self.backoff = backoff
         self.progress = progress
         self.runner = runner or run_spec_dict
+        self.stats = stats
         if mp_context is None:
             mp_context = (
                 "fork"
@@ -247,102 +313,242 @@ class SweepEngine:
 
     # ------------------------------------------------------------------
     def run(self, sweep) -> SweepReport:
-        """Execute every spec; outcomes come back in input order."""
+        """Execute a sweep or pipeline; outcomes come back in node order."""
+        graph = self._as_graph(sweep)
+        try:
+            return self._run_graph(graph)
+        finally:
+            if self.stats is not None:
+                self.stats.flush()
+
+    @staticmethod
+    def _as_graph(sweep):
+        # Imported lazily: repro.pipeline layers *on top of* repro.exec,
+        # so the module-level dependency must point only one way.
+        from ..pipeline.graph import JobGraph
+        from ..pipeline.spec import PipelineSpec
+
+        if isinstance(sweep, JobGraph):
+            return sweep
+        if isinstance(sweep, PipelineSpec):
+            return JobGraph.from_pipeline(sweep)
         if not isinstance(sweep, Sweep):
             sweep = Sweep(tuple(sweep))
-        t0 = time.monotonic()
-        outcomes = [None] * len(sweep)
-        pending = []
+        return JobGraph.from_sweep(sweep)
 
-        # Phase 1: cache lookups and live-only (trace) runs.
-        for index, spec in enumerate(sweep):
-            label = sweep.label(index)
-            fingerprint = spec.fingerprint()
-            if spec.trace:
-                outcomes[index] = self._run_inline(
-                    index, spec, fingerprint, label, cacheable=False
-                )
+    # ------------------------------------------------------------------
+    def predict_costs(self, graph) -> list:
+        """Predicted host seconds per node, for scheduling.
+
+        Measured history (EWMA per normalized signature) wins; cold
+        nodes get the cost-model fallback rescaled by the median
+        measured/fallback ratio of the warm nodes (host time and
+        simulated work are different units) times
+        :data:`~repro.exec.stats.FALLBACK_CONSERVATISM`.  Generator
+        nodes have no spec before their predecessors finish, so they
+        conservatively assume the most expensive concrete node.
+        """
+        costs = [None] * len(graph)
+        fallbacks, measured = {}, {}
+        for i, node in enumerate(graph.nodes):
+            if node.spec is None:
                 continue
-            if self.cache is not None:
-                hit = self.cache.get(fingerprint)
-                if hit is not None:
-                    outcomes[index] = RunOutcome(
-                        index=index, spec=spec, fingerprint=fingerprint,
-                        label=label, status="cached", result=hit,
-                    )
-                    self._emit("cached", outcomes[index], len(sweep))
-                    continue
-            pending.append(_Pending(index, spec, fingerprint, label))
-
-        # Phase 2: execute the misses.
-        if self.jobs == 1:
-            for task in pending:
-                outcomes[task.index] = self._run_inline(
-                    task.index, task.spec, task.fingerprint, task.label,
-                    cacheable=True, total=len(sweep),
-                )
-        elif pending:
-            self._run_pool(pending, outcomes, len(sweep))
-
-        report = SweepReport(
-            outcomes=outcomes, wall_time=time.monotonic() - t0
+            fallbacks[i] = fallback_cost(node.spec)
+            if self.stats is not None:
+                pred = self.stats.predict(spec_signature(node.spec))
+                if pred is not None:
+                    measured[i] = pred
+        ratios = sorted(
+            measured[i] / fallbacks[i]
+            for i in measured
+            if fallbacks[i] > 0
         )
-        return report
-
-    # ------------------------------------------------------------------
-    def _emit(self, event, outcome, total, **extra):
-        if self.progress is None:
-            return
-        payload = {
-            "event": event,
-            "index": outcome.index,
-            "total": total,
-            "label": outcome.label,
-            "fingerprint": outcome.fingerprint,
-            "status": outcome.status,
-            "attempts": outcome.attempts,
-            "wall_time": outcome.wall_time,
-        }
-        payload.update(extra)
-        self.progress(payload)
-
-    def _store(self, spec, fingerprint, result):
-        if self.cache is not None:
-            self.cache.put(fingerprint, spec, result)
-
-    # ------------------------------------------------------------------
-    def _run_inline(self, index, spec, fingerprint, label, cacheable,
-                    total=None):
-        start = time.monotonic()
-        try:
-            result = run_simulation(spec)
-        except Exception:
-            outcome = RunOutcome(
-                index=index, spec=spec, fingerprint=fingerprint,
-                label=label, status="failed",
-                error=traceback.format_exc(), attempts=1,
-                wall_time=time.monotonic() - start,
+        scale = ratios[len(ratios) // 2] if ratios else 1.0
+        for i in fallbacks:
+            costs[i] = measured.get(
+                i, fallbacks[i] * scale * FALLBACK_CONSERVATISM
             )
-            self._emit("failed", outcome, total or 0)
-            return outcome
-        if cacheable:
-            self._store(spec, fingerprint, result)
-        outcome = RunOutcome(
-            index=index, spec=spec, fingerprint=fingerprint, label=label,
-            status="ok", result=result, attempts=1,
-            wall_time=time.monotonic() - start,
+        known = [c for c in costs if c is not None]
+        default = max(known) if known else 1.0
+        return [default if c is None else c for c in costs]
+
+    @staticmethod
+    def _node_fingerprint(node, dep_fingerprints) -> str:
+        """Content address of a generator node's *analysis* value.
+
+        Mixes the builder identity, its parameters, the predecessors'
+        result fingerprints, and the package version — so an analysis
+        entry is reused exactly when everything it was derived from is.
+        """
+        from .. import __version__
+
+        blob = json.dumps(
+            {
+                "analysis": node.generator,
+                "params": node.params or {},
+                "deps": list(dep_fingerprints),
+                "version": __version__,
+            },
+            sort_keys=True, separators=(",", ":"), allow_nan=False,
         )
-        self._emit("ok", outcome, total or 0)
-        return outcome
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
-    # Process-pool scheduler: one process per attempt, no shared pool to
-    # break — a dying worker can only ever take its own run down.
-    # ------------------------------------------------------------------
-    def _run_pool(self, pending, outcomes, total):
-        waiting = list(pending)
+    def _run_graph(self, graph) -> SweepReport:
+        t0 = time.monotonic()
+        total = len(graph)
+        outcomes = [None] * total
+        results = {}        # index -> result payload for dependents
+        fingerprints = {}   # index -> fingerprint for analysis hashing
+        remaining = [len(p) for p in graph.preds]
+        state = {"finished": 0}
+        costs = self.predict_costs(graph)
+        priority = graph.critical_path_priorities(costs)
+
+        launchable = []     # admitted _Pending tasks awaiting a slot
         running = []
 
+        def finish(outcome, payload):
+            """Record a terminal outcome and wake/block dependents."""
+            index = outcome.index
+            outcomes[index] = outcome
+            results[index] = payload
+            state["finished"] += 1
+            if outcome.ok:
+                self._record_stats(outcome)
+                for s in graph.succs[index]:
+                    if outcomes[s] is not None:
+                        continue
+                    remaining[s] -= 1
+                    if remaining[s] == 0:
+                        admit(s)
+            else:
+                cascade_block(index)
+
+        def cascade_block(index):
+            """Terminally block every not-yet-finished transitive dependent."""
+            stack = list(graph.succs[index])
+            while stack:
+                s = stack.pop()
+                if outcomes[s] is not None:
+                    continue
+                node = graph.nodes[s]
+                blocker = graph.nodes[index].name
+                outcome = RunOutcome(
+                    index=s, spec=node.spec, fingerprint=None,
+                    label=node.label, name=node.name, status="blocked",
+                    error=(
+                        f"blocked: predecessor {blocker!r} "
+                        f"{outcomes[index].status}"
+                    ),
+                )
+                outcomes[s] = outcome
+                state["finished"] += 1
+                self._emit("blocked", outcome, total)
+                stack.extend(graph.succs[s])
+
+        def admit(index):
+            """A node's predecessors are all done: resolve and enqueue it.
+
+            Cache lookups, generator builds, analysis reductions, and
+            live-only trace runs all happen here, synchronously — a
+            cached or analytic node unblocks its dependents without ever
+            occupying a worker slot.
+            """
+            node = graph.nodes[index]
+            ready_at = time.monotonic()
+            spec = node.spec
+            if node.builder is not None:
+                deps = {
+                    graph.nodes[p].name: results[p]
+                    for p in graph.preds[index]
+                }
+                nfp = self._node_fingerprint(
+                    node, [fingerprints[p] for p in graph.preds[index]]
+                )
+                if self.cache is not None:
+                    entry = self.cache.get_entry(nfp)
+                    if entry is not None and entry.kind == "analysis":
+                        fingerprints[index] = nfp
+                        outcome = RunOutcome(
+                            index=index, spec=None, fingerprint=nfp,
+                            label=node.label, name=node.name,
+                            status="cached", result=entry.value,
+                        )
+                        self._emit("cached", outcome, total)
+                        finish(outcome, entry.value)
+                        return
+                try:
+                    built = node.builder(dict(node.params or {}), deps)
+                except Exception:
+                    fingerprints[index] = nfp
+                    outcome = RunOutcome(
+                        index=index, spec=None, fingerprint=nfp,
+                        label=node.label, name=node.name, status="failed",
+                        error=traceback.format_exc(), attempts=1,
+                        wall_time=time.monotonic() - ready_at,
+                    )
+                    self._emit("failed", outcome, total)
+                    finish(outcome, None)
+                    return
+                if not isinstance(built, RunSpec):
+                    # Analysis node: the value *is* the result.
+                    wall = time.monotonic() - ready_at
+                    fingerprints[index] = nfp
+                    if self.cache is not None:
+                        self.cache.put_value(
+                            nfp,
+                            {
+                                "generator": node.generator,
+                                "params": node.params or {},
+                                "deps": [
+                                    fingerprints[p]
+                                    for p in graph.preds[index]
+                                ],
+                            },
+                            built,
+                            wall_time=wall,
+                        )
+                    outcome = RunOutcome(
+                        index=index, spec=None, fingerprint=nfp,
+                        label=node.label, name=node.name, status="ok",
+                        result=built, attempts=1, wall_time=wall,
+                    )
+                    self._emit("ok", outcome, total)
+                    finish(outcome, built)
+                    return
+                spec = built
+            fingerprint = spec.fingerprint()
+            fingerprints[index] = fingerprint
+            if spec.trace:
+                outcome = self._run_inline(
+                    index, spec, fingerprint, node.label, cacheable=False,
+                    total=total, name=node.name,
+                )
+                finish(outcome, outcome.result)
+                return
+            if self.cache is not None:
+                entry = self.cache.get_entry(fingerprint)
+                if entry is not None and entry.kind == "result":
+                    outcome = RunOutcome(
+                        index=index, spec=spec, fingerprint=fingerprint,
+                        label=node.label, name=node.name, status="cached",
+                        result=entry.value,
+                    )
+                    self._emit("cached", outcome, total)
+                    if self.stats is not None:
+                        self.stats.record(
+                            spec_signature(spec), entry.wall_time,
+                            cached=True,
+                        )
+                    finish(outcome, entry.value)
+                    return
+            launchable.append(_Pending(
+                index, spec, fingerprint, node.label, node.name,
+                priority[index], ready_at,
+            ))
+
+        # Pool-side helpers ------------------------------------------------
         def launch(task):
             parent, child = self._ctx.Pipe(duplex=False)
             proc = self._ctx.Process(
@@ -352,6 +558,8 @@ class SweepEngine:
             )
             task.attempts += 1
             task.started = time.monotonic()
+            if task.first_started is None:
+                task.first_started = task.started
             task.deadline = (
                 task.started + self.timeout if self.timeout else None
             )
@@ -365,21 +573,24 @@ class SweepEngine:
                     RunOutcome(
                         index=task.index, spec=task.spec,
                         fingerprint=task.fingerprint, label=task.label,
-                        status="running", attempts=task.attempts,
+                        name=task.name, status="running",
+                        attempts=task.attempts,
+                        wait_time=task.wait_time,
                     ),
                     total,
                 )
 
-        def finalize(task, status, result=None, error=None):
-            task.wall_time += time.monotonic() - task.started
+        def finalize(task, status, result=None, error=None,
+                     exec_time=None):
             outcome = RunOutcome(
                 index=task.index, spec=task.spec,
                 fingerprint=task.fingerprint, label=task.label,
-                status=status, result=result, error=error,
+                name=task.name, status=status, result=result, error=error,
                 attempts=task.attempts, wall_time=task.wall_time,
+                wait_time=task.wait_time, exec_time=exec_time,
             )
-            outcomes[task.index] = outcome
             self._emit("ok" if status == "ok" else "failed", outcome, total)
+            finish(outcome, result)
 
         def reap(task):
             """Collect one finished/overdue subprocess attempt."""
@@ -403,31 +614,32 @@ class SweepEngine:
             # Either a message arrived or the process died silently.
             task.proc.join()
             self._close(task)
+            attempt_time = time.monotonic() - task.started
+            task.wall_time += attempt_time
             if msg is None:
                 return _requeue_or_fail(
-                    task, f"worker died (exit code {task.proc.exitcode})"
+                    task,
+                    f"worker died (exit code {task.proc.exitcode})",
+                    charged=True,
                 )
             kind, payload = msg
             if kind == "ok":
                 result = RunResult.from_dict(payload)
-                self._store(task.spec, task.fingerprint, result)
-                finalize(task, "ok", result=result)
+                self._store(
+                    task.spec, task.fingerprint, result,
+                    wall_time=attempt_time,
+                )
+                finalize(task, "ok", result=result, exec_time=attempt_time)
             else:
                 # Deterministic Python exception: retrying cannot help.
                 finalize(task, "failed", error=payload)
             return True
 
-        def _requeue_or_fail(task, reason):
-            task.wall_time += time.monotonic() - task.started
+        def _requeue_or_fail(task, reason, charged=False):
+            if not charged:
+                task.wall_time += time.monotonic() - task.started
             if task.attempts > self.retries:
-                outcome = RunOutcome(
-                    index=task.index, spec=task.spec,
-                    fingerprint=task.fingerprint, label=task.label,
-                    status="failed", error=reason, attempts=task.attempts,
-                    wall_time=task.wall_time,
-                )
-                outcomes[task.index] = outcome
-                self._emit("failed", outcome, total)
+                finalize(task, "failed", error=reason)
             else:
                 # Exponential backoff with seeded jitter (up to +50%).
                 task.not_before = time.monotonic() + (
@@ -437,32 +649,131 @@ class SweepEngine:
                         task.fingerprint, task.attempts
                     ))
                 )
-                waiting.append(task)
+                launchable.append(task)
                 self._emit(
                     "retry",
                     RunOutcome(
                         index=task.index, spec=task.spec,
                         fingerprint=task.fingerprint, label=task.label,
-                        status="retrying", error=reason,
+                        name=task.name, status="retrying", error=reason,
                         attempts=task.attempts, wall_time=task.wall_time,
                     ),
                     total,
                 )
             return True
 
-        while waiting or running:
+        # Admit every root (in node order, so flat-sweep cache hits keep
+        # their historical event ordering); admission cascades through
+        # cached/analytic chains synchronously.
+        for index in range(total):
+            if remaining[index] == 0 and outcomes[index] is None:
+                admit(index)
+
+        # Main scheduling loop: launch critical-path-first, reap, repeat.
+        while state["finished"] < total:
             now = time.monotonic()
-            for task in [t for t in waiting if t.not_before <= now]:
-                if len(running) >= self.jobs:
-                    break
-                waiting.remove(task)
-                launch(task)
+            launchable.sort(key=lambda t: (-t.priority, t.index))
+            task = next(
+                (t for t in launchable if t.not_before <= now), None
+            )
+            if task is not None and len(running) < self.jobs:
+                launchable.remove(task)
+                if self.jobs == 1:
+                    task.first_started = time.monotonic()
+                    outcome = self._run_inline(
+                        task.index, task.spec, task.fingerprint,
+                        task.label, cacheable=True, total=total,
+                        name=task.name, wait_time=task.wait_time,
+                    )
+                    finish(outcome, outcome.result)
+                else:
+                    launch(task)
+                continue  # keep launching while slots and ready work last
             for task in list(running):
-                done = reap(task)
-                if done:
+                if reap(task):
                     running.remove(task)
-            if waiting or running:
+            if state["finished"] >= total:
+                break
+            if not running and not launchable:
+                raise RuntimeError(
+                    f"job graph {graph.name!r}: no runnable work but "
+                    f"{total - state['finished']} node(s) unfinished"
+                )
+            if not running and launchable:
+                # Everything runnable is backing off; nap until the
+                # soonest retry.
+                soonest = min(t.not_before for t in launchable)
+                time.sleep(max(0.0, min(0.05, soonest - now)))
+            else:
                 time.sleep(0.005)
+
+        return SweepReport(
+            outcomes=outcomes, wall_time=time.monotonic() - t0
+        )
+
+    # ------------------------------------------------------------------
+    def _record_stats(self, outcome):
+        """Fold one executed run node into the duration history."""
+        if (
+            self.stats is None
+            or outcome.status != "ok"
+            or outcome.spec is None
+        ):
+            return
+        wall = (
+            outcome.exec_time
+            if outcome.exec_time is not None
+            else outcome.wall_time
+        )
+        self.stats.record(spec_signature(outcome.spec), wall)
+
+    def _emit(self, event, outcome, total, **extra):
+        if self.progress is None:
+            return
+        payload = {
+            "event": event,
+            "index": outcome.index,
+            "total": total,
+            "label": outcome.label,
+            "name": outcome.name,
+            "fingerprint": outcome.fingerprint,
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "wall_time": outcome.wall_time,
+            "wait_time": outcome.wait_time,
+        }
+        payload.update(extra)
+        self.progress(payload)
+
+    def _store(self, spec, fingerprint, result, wall_time=None):
+        if self.cache is not None:
+            self.cache.put(fingerprint, spec, result, wall_time=wall_time)
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, index, spec, fingerprint, label, cacheable,
+                    total=None, name=None, wait_time=0.0):
+        start = time.monotonic()
+        try:
+            result = run_simulation(spec)
+        except Exception:
+            outcome = RunOutcome(
+                index=index, spec=spec, fingerprint=fingerprint,
+                label=label, name=name, status="failed",
+                error=traceback.format_exc(), attempts=1,
+                wall_time=time.monotonic() - start, wait_time=wait_time,
+            )
+            self._emit("failed", outcome, total or 0)
+            return outcome
+        wall = time.monotonic() - start
+        if cacheable:
+            self._store(spec, fingerprint, result, wall_time=wall)
+        outcome = RunOutcome(
+            index=index, spec=spec, fingerprint=fingerprint, label=label,
+            name=name, status="ok", result=result, attempts=1,
+            wall_time=wall, wait_time=wait_time, exec_time=wall,
+        )
+        self._emit("ok", outcome, total or 0)
+        return outcome
 
     @staticmethod
     def _close(task):

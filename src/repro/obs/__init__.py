@@ -22,6 +22,7 @@ from .export import (
     compare_reports,
     metrics_csv,
     metrics_json,
+    pipeline_summary,
     write_chrome_trace,
 )
 from .metrics import MetricsRegistry
@@ -48,5 +49,6 @@ __all__ = [
     "metrics_json",
     "overlap_length",
     "phase_overlap_fraction",
+    "pipeline_summary",
     "write_chrome_trace",
 ]

@@ -4,7 +4,7 @@ stencil, uniform refinement, comm-variable groups, and mesh metrics."""
 import numpy as np
 import pytest
 
-from repro import AmrConfig, laptop, run_simulation, sphere
+from repro import AmrConfig, RunSpec, laptop, run_simulation, sphere
 from repro.amr import (
     BlockId,
     MeshStructure,
@@ -36,9 +36,10 @@ def hybrid_cfg(**kw):
 
 
 def run(cfg, variant="tampi_dataflow"):
-    return run_simulation(
-        cfg, laptop(), variant=variant, num_nodes=1, ranks_per_node=2
-    )
+    return run_simulation(RunSpec(
+        config=cfg, machine=laptop(), variant=variant, num_nodes=1,
+        ranks_per_node=2,
+    ))
 
 
 # ----------------------------------------------------------------------

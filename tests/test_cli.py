@@ -205,6 +205,78 @@ def test_profile_with_bounded_tracer_warns_on_drops(capsys):
     assert "ring buffer dropped" in out
 
 
+def _pipeline_argv(tmp_path, extra=()):
+    return [
+        "pipeline", "paper", "--quick",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--stats-file", str(tmp_path / "stats.json"),
+    ] + list(extra)
+
+
+def test_pipeline_show_dag_dry_runs(capsys, tmp_path):
+    rc = main(_pipeline_argv(tmp_path, ["--show-dag"]))
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "paper-diamond-quick" in out
+    assert "calibrate" in out and "fig4" in out and "fig5" in out
+    assert "predicted makespan" in out
+    assert "critical-path-first" in out
+    # A dry run executes nothing and writes no stats.
+    assert not (tmp_path / "stats.json").exists()
+
+
+def test_pipeline_runs_caches_and_writes_stable_json(capsys, tmp_path):
+    import json
+
+    out1, out2 = tmp_path / "r1.json", tmp_path / "r2.json"
+    rc = main(_pipeline_argv(tmp_path, ["--json", str(out1)]))
+    assert rc == 0
+    first = capsys.readouterr().out
+    assert "== pipeline: paper-diamond-quick ==" in first
+    assert "4 executed, 0 cached" in first
+    assert (tmp_path / "stats.json").exists()
+
+    rc = main(_pipeline_argv(tmp_path, ["--json", str(out2)]))
+    assert rc == 0
+    second = capsys.readouterr().out
+    assert "0 executed, 4 cached" in second
+    assert out1.read_bytes() == out2.read_bytes()
+    doc = json.loads(out1.read_text())
+    assert set(doc) == {"calibrate", "fig4", "fig5", "report"}
+    assert "points" in doc["report"]
+
+
+def test_pipeline_from_json_file(capsys, tmp_path):
+    from repro.bench import paper_pipeline
+
+    path = tmp_path / "pipe.json"
+    path.write_text(paper_pipeline(quick=True).to_json())
+    rc = main([
+        "pipeline", "--file", str(path),
+        "--cache-dir", str(tmp_path / "cache"), "--no-stats",
+    ])
+    assert rc == 0
+    assert "paper-diamond-quick" in capsys.readouterr().out
+
+
+def test_pipeline_requires_exactly_one_source(capsys, tmp_path):
+    assert main(["pipeline", "--no-stats", "--no-cache"]) == 2
+    err = capsys.readouterr().err
+    assert "exactly one" in err
+
+
+def test_pipeline_unknown_name_is_a_clean_error(capsys):
+    assert main(["pipeline", "nope", "--no-stats", "--no-cache"]) == 2
+    assert "unknown pipeline" in capsys.readouterr().err
+
+
+def test_help_lists_pipeline_subcommand(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    assert "pipeline" in capsys.readouterr().out
+
+
 def test_unknown_variant_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--variant", "nope"])

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import AmrConfig, laptop, run_simulation, sphere
+from repro import AmrConfig, RunSpec, laptop, run_simulation, sphere
 
 
 def base_cfg(**kw):
@@ -22,10 +22,10 @@ def base_cfg(**kw):
 
 
 def run(variant="tampi_dataflow", cfg=None, **kw):
-    return run_simulation(
-        cfg or base_cfg(), laptop(), variant=variant,
-        num_nodes=1, ranks_per_node=2, **kw
-    )
+    return run_simulation(RunSpec(
+        config=cfg or base_cfg(), machine=laptop(), variant=variant,
+        num_nodes=1, ranks_per_node=2, **kw,
+    ))
 
 
 def test_refinement_runs_every_refine_freq():
@@ -98,8 +98,10 @@ def test_refinement_identical_across_variants():
         if variant == "mpi_only":
             cfg = base_cfg(npx=2, npy=2, npz=1, init_x=1, init_y=1,
                            init_z=2)
-            res = run_simulation(cfg, laptop(), variant=variant,
-                                 num_nodes=1, ranks_per_node=4)
+            res = run_simulation(RunSpec(
+                config=cfg, machine=laptop(), variant=variant,
+                num_nodes=1, ranks_per_node=4,
+            ))
         else:
             res = run(variant)
         per_variant[variant] = res.num_blocks

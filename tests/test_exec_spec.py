@@ -204,15 +204,24 @@ def test_rejects_unknown_preset():
 
 
 # ----------------------------------------------------------------------
-# Back-compat shim
+# Back-compat shim (deprecated; removed next release)
 # ----------------------------------------------------------------------
-def test_legacy_call_form_matches_spec_form():
-    legacy = run_simulation(
-        small_config(), laptop(), variant="tampi_dataflow",
-        num_nodes=1, ranks_per_node=2,
-    )
+def test_legacy_call_form_warns_and_matches_spec_form():
+    with pytest.warns(DeprecationWarning, match="pass a single RunSpec"):
+        legacy = run_simulation(
+            small_config(), laptop(), variant="tampi_dataflow",
+            num_nodes=1, ranks_per_node=2,
+        )
     via_spec = run_simulation(base_spec())
     assert legacy == via_spec
+
+
+def test_spec_form_does_not_warn():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        run_simulation(base_spec())
 
 
 def test_legacy_form_requires_machine_spec():

@@ -4,7 +4,7 @@ trace exports."""
 import numpy as np
 import pytest
 
-from repro import AmrConfig, laptop, run_simulation, sphere
+from repro import AmrConfig, RunSpec, laptop, run_simulation, sphere
 from repro.trace import Tracer
 
 
@@ -24,10 +24,10 @@ def cfg(**kw):
 
 
 def run(c, **kw):
-    return run_simulation(
-        c, laptop(), variant="tampi_dataflow", num_nodes=1,
-        ranks_per_node=2, **kw
-    )
+    return run_simulation(RunSpec(
+        config=c, machine=laptop(), variant="tampi_dataflow", num_nodes=1,
+        ranks_per_node=2, **kw,
+    ))
 
 
 # ----------------------------------------------------------------------

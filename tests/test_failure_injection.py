@@ -4,7 +4,7 @@ propagated — the purpose of miniAMR's checksum machinery."""
 import numpy as np
 import pytest
 
-from repro import AmrConfig, laptop, run_simulation, sphere
+from repro import AmrConfig, RunSpec, laptop, run_simulation, sphere
 from repro.amr import ChecksumError
 
 
@@ -36,16 +36,16 @@ def test_overtight_tolerance_detected_as_failure():
     the validation path actually fires.  (A refining mesh makes the
     drift non-trivial: cross-level ghost averaging is not conservative.)"""
     with pytest.raises(ChecksumError, match="drift"):
-        run_simulation(
-            mpi_cfg(
+        run_simulation(RunSpec(
+            config=mpi_cfg(
                 checksum_tolerance=1e-12,
                 max_refine_level=1,
                 refine_freq=1,
                 objects=(sphere(center=(0.3, 0.3, 0.3), radius=0.25),),
             ),
-            laptop(),
+            machine=laptop(),
             variant="mpi_only", num_nodes=1, ranks_per_node=4,
-        )
+        ))
 
 
 def test_corrupted_block_data_detected():
@@ -65,10 +65,10 @@ def test_corrupted_block_data_detected():
     MpiOnlyProgram.stencil = sabotaged
     try:
         with pytest.raises(ChecksumError, match="finite"):
-            run_simulation(
-                mpi_cfg(), laptop(), variant="mpi_only",
+            run_simulation(RunSpec(
+                config=mpi_cfg(), machine=laptop(), variant="mpi_only",
                 num_nodes=1, ranks_per_node=4,
-            )
+            ))
     finally:
         MpiOnlyProgram.stencil = original
 
@@ -78,18 +78,18 @@ def test_lost_ghost_exchange_changes_checksums():
     proving the communication path matters to the result."""
     from repro.core.app import BaseRankProgram
 
-    healthy = run_simulation(
-        mpi_cfg(), laptop(), variant="mpi_only", num_nodes=1,
-        ranks_per_node=4,
-    )
+    healthy = run_simulation(RunSpec(
+        config=mpi_cfg(), machine=laptop(), variant="mpi_only",
+        num_nodes=1, ranks_per_node=4,
+    ))
 
     original = BaseRankProgram.copy_local_face
     BaseRankProgram.copy_local_face = lambda self, t, vs: None
     try:
-        broken = run_simulation(
-            mpi_cfg(), laptop(), variant="mpi_only",
+        broken = run_simulation(RunSpec(
+            config=mpi_cfg(), machine=laptop(), variant="mpi_only",
             num_nodes=1, ranks_per_node=4,
-        )
+        ))
     finally:
         BaseRankProgram.copy_local_face = original
 
@@ -115,9 +115,10 @@ def test_delayed_checksum_eventually_detects_corruption():
     TampiDataflowProgram.stencil = sabotaged
     try:
         with pytest.raises(ChecksumError):
-            run_simulation(
-                cfg(num_tsteps=3), laptop(), variant="tampi_dataflow",
-                num_nodes=1, ranks_per_node=2, delayed_checksum=True,
-            )
+            run_simulation(RunSpec(
+                config=cfg(num_tsteps=3), machine=laptop(),
+                variant="tampi_dataflow", num_nodes=1, ranks_per_node=2,
+                delayed_checksum=True,
+            ))
     finally:
         TampiDataflowProgram.stencil = original

@@ -10,7 +10,7 @@ characteristics.
 import numpy as np
 import pytest
 
-from repro import AmrConfig, laptop, run_simulation, sphere
+from repro import AmrConfig, RunSpec, laptop, run_simulation, sphere
 from repro.machine import MachineSpec, NetworkSpec, NodeSpec, CostSpec
 
 BASE = dict(
@@ -38,9 +38,10 @@ def hybrid_config(**kw):
 def run(variant, cfg=None, **kw):
     rpn = kw.pop("ranks_per_node", 4 if variant == "mpi_only" else 2)
     cfg = cfg or (mpi_config() if variant == "mpi_only" else hybrid_config())
-    return run_simulation(
-        cfg, laptop(), variant=variant, num_nodes=1, ranks_per_node=rpn, **kw
-    )
+    return run_simulation(RunSpec(
+        config=cfg, machine=laptop(), variant=variant, num_nodes=1,
+        ranks_per_node=rpn, **kw,
+    ))
 
 
 @pytest.fixture(scope="module")
@@ -138,29 +139,33 @@ def test_synthetic_mode_same_simulated_time():
 # ----------------------------------------------------------------------
 def test_unknown_variant_rejected():
     with pytest.raises(ValueError, match="unknown variant"):
-        run_simulation(mpi_config(), laptop(), variant="magic", num_nodes=1)
+        run_simulation(RunSpec(
+            config=mpi_config(), machine=laptop(), variant="magic",
+            num_nodes=1,
+        ))
 
 
 def test_rank_grid_mismatch_rejected():
     with pytest.raises(ValueError, match="rank grid"):
-        run_simulation(
-            mpi_config(), laptop(), variant="mpi_only",
+        run_simulation(RunSpec(
+            config=mpi_config(), machine=laptop(), variant="mpi_only",
             num_nodes=1, ranks_per_node=2,
-        )
+        ))
 
 
 def test_mpi_only_defaults_to_one_rank_per_core():
-    res = run_simulation(
-        mpi_config(), laptop(), variant="mpi_only", num_nodes=1
-    )
+    res = run_simulation(RunSpec(
+        config=mpi_config(), machine=laptop(), variant="mpi_only",
+        num_nodes=1,
+    ))
     assert res.ranks_per_node == 4
 
 
 def test_cost_overrides_change_timing():
-    slow = run_simulation(
-        mpi_config(), laptop(), variant="mpi_only", num_nodes=1,
-        cost_overrides={"stencil_flops_per_sec": 1.0e9},
-    )
+    slow = run_simulation(RunSpec(
+        config=mpi_config(), machine=laptop(), variant="mpi_only",
+        num_nodes=1, cost_overrides={"stencil_flops_per_sec": 1.0e9},
+    ))
     fast = run("mpi_only")
     assert slow.total_time > fast.total_time
 
@@ -243,11 +248,12 @@ def test_numa_penalty_slows_numa_spanning_rank():
     cfg = AmrConfig(**dict(
         BASE, npx=1, npy=1, npz=1, init_x=2, init_y=2, init_z=2,
         nx=10, ny=10, nz=10, num_vars=8))
-    penalized = run_simulation(
-        cfg, spec, variant="tampi_dataflow", num_nodes=1, ranks_per_node=1
-    )
-    unpenalized = run_simulation(
-        cfg, spec, variant="tampi_dataflow", num_nodes=1, ranks_per_node=1,
-        cost_overrides={"numa_penalty": 1.0},
-    )
+    penalized = run_simulation(RunSpec(
+        config=cfg, machine=spec, variant="tampi_dataflow", num_nodes=1,
+        ranks_per_node=1,
+    ))
+    unpenalized = run_simulation(RunSpec(
+        config=cfg, machine=spec, variant="tampi_dataflow", num_nodes=1,
+        ranks_per_node=1, cost_overrides={"numa_penalty": 1.0},
+    ))
     assert penalized.total_time > unpenalized.total_time * 1.1

@@ -35,9 +35,10 @@ def test_property_variants_agree_for_random_objects(cx, cy, cz, r, mx):
             cfg = AmrConfig(npx=2, npy=1, npz=1, init_x=1, init_y=2,
                             init_z=2, **base)
             rpn = 2
-        results[variant] = run_simulation(
-            cfg, laptop(), variant=variant, num_nodes=1, ranks_per_node=rpn
-        )
+        results[variant] = run_simulation(RunSpec(
+            config=cfg, machine=laptop(), variant=variant, num_nodes=1,
+            ranks_per_node=rpn,
+        ))
 
     blocks = {v: r_.num_blocks for v, r_ in results.items()}
     assert len(set(blocks.values())) == 1, blocks

@@ -3,7 +3,7 @@ paper describes (phases, task types, message counts)."""
 
 import pytest
 
-from repro import AmrConfig, laptop, run_simulation, sphere
+from repro import AmrConfig, RunSpec, laptop, run_simulation, sphere
 from repro.trace import task_time_by_phase
 
 
@@ -21,9 +21,10 @@ def cfg(**kw):
 
 def run(variant, c=None, **kw):
     kw.setdefault("ranks_per_node", 2)
-    return run_simulation(
-        c or cfg(), laptop(), variant=variant, num_nodes=1, trace=True, **kw
-    )
+    return run_simulation(RunSpec(
+        config=c or cfg(), machine=laptop(), variant=variant, num_nodes=1,
+        trace=True, **kw,
+    ))
 
 
 def test_tampi_task_phases_match_algorithm3():
@@ -87,10 +88,10 @@ def test_refine_phase_markers_present_in_all_variants():
             else cfg()
         )
         rpn = 4 if variant == "mpi_only" else 2
-        res = run_simulation(
-            c, laptop(), variant=variant, num_nodes=1,
+        res = run_simulation(RunSpec(
+            config=c, machine=laptop(), variant=variant, num_nodes=1,
             ranks_per_node=rpn, trace=True,
-        )
+        ))
         spans = res.tracer.phases("refine")
         assert spans, variant
         assert sum(s.duration for s in spans if s.rank == 0) == (

@@ -307,7 +307,8 @@ class ScalingResult:
 SCALED_RPN = {"mpi_only": 8, "fork_join": 2, "tampi_dataflow": 2}
 
 
-def _scaling_spec(variant, num_nodes, root, tsteps, stages, payload):
+def _scaling_spec(variant, num_nodes, root, tsteps, stages, payload,
+                  pdes_workers=1):
     """One weak/strong-scaling point as a :class:`RunSpec`."""
     rpn = SCALED_RPN[variant]
     opts = TAMPI_OPTS if variant == "tampi_dataflow" else {}
@@ -329,6 +330,7 @@ def _scaling_spec(variant, num_nodes, root, tsteps, stages, payload):
         variant=variant,
         num_nodes=num_nodes,
         ranks_per_node=rpn,
+        pdes_workers=pdes_workers,
     )
 
 
@@ -356,6 +358,7 @@ def weak_scaling(
     variants=("mpi_only", "fork_join", "tampi_dataflow"),
     quick=False,
     engine=None,
+    pdes_workers=1,
 ) -> ScalingResult:
     """Paper Fig 4: weak scaling, four spheres, one initial block per
     MPI-only rank; blocks double with nodes (round-robin per direction).
@@ -375,7 +378,7 @@ def weak_scaling(
         for variant in variants:
             specs.append(
                 _scaling_spec(variant, nodes, root, tsteps, stages,
-                              "synthetic")
+                              "synthetic", pdes_workers=pdes_workers)
             )
     points = _scaling_points(specs, engine, "weak_scaling")
     result = ScalingResult(points=points)
@@ -402,6 +405,7 @@ def strong_scaling(
     variants=("mpi_only", "fork_join", "tampi_dataflow"),
     quick=False,
     engine=None,
+    pdes_workers=1,
 ) -> ScalingResult:
     """Paper Fig 5: strong scaling, fixed total mesh.
 
@@ -428,7 +432,7 @@ def strong_scaling(
         for variant in variants:
             specs.append(
                 _scaling_spec(variant, nodes, root, tsteps, stages,
-                              "synthetic")
+                              "synthetic", pdes_workers=pdes_workers)
             )
     points = _scaling_points(specs, engine, "strong_scaling")
     result = ScalingResult(points=points)

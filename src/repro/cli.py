@@ -112,6 +112,18 @@ def _add_fault_options(p):
                    help="fault-injection seed (default: %(default)s)")
 
 
+def _add_pdes_options(p):
+    """Partitioned-kernel options shared by ``run`` and ``bench``."""
+    p.add_argument("--pdes-workers", type=int, default=1, metavar="N",
+                   help="partition the simulated ranks across N worker "
+                        "processes running the event kernel in parallel "
+                        "(results stay byte-identical; default: serial)")
+    p.add_argument("--pdes-partition", choices=("node", "contiguous"),
+                   default=None,
+                   help="rank->worker policy for --pdes-workers > 1 "
+                        "(default: whole nodes per worker)")
+
+
 def _fault_plan(args):
     """The :class:`~repro.faults.FaultPlan` of ``--fault-noise`` (or None)."""
     if args.fault_noise < 0:
@@ -133,6 +145,7 @@ def _add_run_parser(sub):
                         "undeclared task data access)")
     _add_geometry_options(p)
     _add_fault_options(p)
+    _add_pdes_options(p)
     return p
 
 
@@ -169,6 +182,7 @@ def _add_bench_parser(sub):
     p.add_argument("--quick", action="store_true",
                    help="smaller geometry for a fast look")
     _add_engine_options(p)
+    _add_pdes_options(p)
     return p
 
 
@@ -369,6 +383,8 @@ def spec_from_args(args, **extra) -> RunSpec:
         sched_seed=args.sched_seed,
         check_access=getattr(args, "check_access", False),
         faults=_fault_plan(args),
+        pdes_workers=getattr(args, "pdes_workers", 1),
+        pdes_partition=getattr(args, "pdes_partition", None),
         **extra,
     )
 
@@ -521,6 +537,8 @@ def cmd_bench(args) -> int:
         kwargs = {"quick": args.quick, "engine": engine}
         if args.nodes:
             kwargs["node_counts"] = tuple(args.nodes)
+        if args.pdes_workers > 1:
+            kwargs["pdes_workers"] = args.pdes_workers
         result = fn(**kwargs)
         print(result.text)
     return 0

@@ -95,18 +95,26 @@ def execute(run_spec: RunSpec) -> RunResult:
             gc.collect(1)
 
 
-def _execute(run_spec: RunSpec) -> RunResult:
-    rs = run_spec.resolve()
-    config, spec = rs.config, rs.machine
-    num_nodes, ranks_per_node = rs.num_nodes, rs.ranks_per_node
+class _Sim:
+    """The constructed pieces of one run (or one PDES worker's share)."""
 
-    machine = spec.machine(num_nodes=num_nodes, ranks_per_node=ranks_per_node)
-    if config.num_ranks != machine.num_ranks:
-        raise ValueError(
-            f"config rank grid {config.npx}x{config.npy}x{config.npz} = "
-            f"{config.num_ranks} ranks, but the machine has "
-            f"{machine.num_ranks} ({num_nodes} nodes x {ranks_per_node})"
-        )
+    __slots__ = (
+        "machine", "env", "world", "shared", "programs", "procs",
+        "profiler", "tracer", "witness", "injector", "cores_per_rank",
+    )
+
+
+def _build_simulation(rs, machine, local_ranks=None, partition=None):
+    """Construct the full simulation state of one run.
+
+    ``rs`` must already be resolved and consistent with ``machine``.
+    When ``local_ranks``/``partition`` are given (one PDES worker of a
+    partitioned run, :mod:`repro.simx.parallel`), the World and the
+    shared application state still span *all* ranks — replicated state
+    evolves identically on every worker — but rank programs and their
+    simulation processes are instantiated only for the local subset.
+    """
+    config, spec = rs.config, rs.machine
 
     profiler = Profiler() if rs.profile else None
     env = Environment(
@@ -121,9 +129,11 @@ def _execute(run_spec: RunSpec) -> RunResult:
         else None
     )
     witness = AccessWitness(env) if rs.check_access else None
-    network = spec.network.scaled_to(num_nodes)
+    network = spec.network.scaled_to(rs.num_nodes)
     # resolve() normalized inactive plans away, so a non-None plan here
-    # always perturbs something.
+    # always perturbs something.  Fault streams are keyed per rank, so a
+    # worker instantiating all of them but drawing only from its local
+    # ranks' streams reproduces the serial draws exactly.
     injector = (
         FaultInjector(
             rs.faults, network, machine.num_ranks, profiler=profiler
@@ -133,14 +143,15 @@ def _execute(run_spec: RunSpec) -> RunResult:
     )
     world = World(
         env, machine, network, tracer=tracer, profiler=profiler,
-        faults=injector,
+        faults=injector, partition=partition,
     )
     shared = SharedState(config, machine, spec, world, tracer=tracer)
 
     cores_per_rank = 1 if rs.variant == "mpi_only" else machine.cores_per_rank
     program_cls = VARIANTS[rs.variant]
+    ranks = range(machine.num_ranks) if local_ranks is None else local_ranks
     programs = []
-    for rank in range(machine.num_ranks):
+    for rank in ranks:
         runtime = RankRuntime(
             env,
             rank=rank,
@@ -162,22 +173,62 @@ def _execute(run_spec: RunSpec) -> RunResult:
         program.stage_barrier = rs.stage_barrier
         programs.append(program)
 
-    procs = [
+    sim = _Sim()
+    sim.machine = machine
+    sim.env = env
+    sim.world = world
+    sim.shared = shared
+    sim.programs = programs
+    sim.procs = [
         env.process(p.run(), name=f"rank{p.rank}") for p in programs
     ]
-    for proc in procs:
+    sim.profiler = profiler
+    sim.tracer = tracer
+    sim.witness = witness
+    sim.injector = injector
+    sim.cores_per_rank = cores_per_rank
+    return sim
+
+
+def _execute(run_spec: RunSpec) -> RunResult:
+    rs = run_spec.resolve()
+    config, spec = rs.config, rs.machine
+    num_nodes, ranks_per_node = rs.num_nodes, rs.ranks_per_node
+
+    machine = spec.machine(num_nodes=num_nodes, ranks_per_node=ranks_per_node)
+    if config.num_ranks != machine.num_ranks:
+        raise ValueError(
+            f"config rank grid {config.npx}x{config.npy}x{config.npz} = "
+            f"{config.num_ranks} ranks, but the machine has "
+            f"{machine.num_ranks} ({num_nodes} nodes x {ranks_per_node})"
+        )
+
+    if rs.pdes_workers > 1:
+        from ..simx.parallel.runner import (
+            can_partition,
+            effective_workers,
+            run_partitioned,
+        )
+
+        if can_partition() and effective_workers(rs, machine) > 1:
+            return run_partitioned(rs)
+
+    sim = _build_simulation(rs, machine)
+    env, programs = sim.env, sim.programs
+    for proc in sim.procs:
         env.run(until=proc)
 
-    if witness is not None:
-        witness.check()  # raises AccessRaceError on undeclared accesses
+    if sim.witness is not None:
+        sim.witness.check()  # raises AccessRaceError on undeclared accesses
 
     env.flush_metrics()
+    profiler, tracer, injector = sim.profiler, sim.tracer, sim.injector
     profile = (
         build_profile_report(
             profiler,
             rs,
             num_ranks=machine.num_ranks,
-            cores_per_rank=cores_per_rank,
+            cores_per_rank=sim.cores_per_rank,
             makespan=env.now,
             tracer=tracer,
             fault_injector=injector,
@@ -192,11 +243,11 @@ def _execute(run_spec: RunSpec) -> RunResult:
         ranks_per_node=ranks_per_node,
         total_time=env.now,
         refine_time=programs[0].refine_seconds,
-        flops=shared.flops,
-        num_blocks=shared.structure.num_blocks(),
-        imbalance=max_imbalance(shared.structure),
-        checksums=list(shared.checksum_log),
-        comm_stats=CommStats.from_world(world.stats),
+        flops=sim.shared.flops,
+        num_blocks=sim.shared.structure.num_blocks(),
+        imbalance=max_imbalance(sim.shared.structure),
+        checksums=list(sim.shared.checksum_log),
+        comm_stats=CommStats.from_world(sim.world.stats),
         runtime_stats=[RuntimeStats.from_runtime(p.rt.stats) for p in programs],
         phase_summary=(
             PhaseSummary.from_tracer(tracer) if tracer is not None else None

@@ -162,6 +162,22 @@ class RunSpec:
     #: ``None``, so fault-off fingerprints, cache keys, and goldens are
     #: byte-identical to pre-faults specs.
     faults: FaultPlan = None
+    #: Conservative-PDES worker processes (:mod:`repro.simx.parallel`):
+    #: partition the simulated ranks across this many OS processes, each
+    #: running its own event kernel, synchronized in lookahead windows.
+    #: ``1`` (the default, omitted from :meth:`to_dict` so pre-existing
+    #: fingerprints/goldens/cache keys are byte-identical) runs the
+    #: classic single-process kernel.  Results are bitwise identical
+    #: either way — the differential suite in
+    #: ``tests/test_pdes_equivalence.py`` enforces it.
+    pdes_workers: int = 1
+    #: Rank→worker partition policy: ``"node"`` (default when ``None``)
+    #: keeps whole nodes on one worker (falling back to a contiguous rank
+    #: split when there are fewer nodes than workers) so the lookahead is
+    #: the inter-node latency; ``"contiguous"`` splits the rank range
+    #: evenly regardless of node boundaries.  Omitted from
+    #: :meth:`to_dict` when ``None``.
+    pdes_partition: str = None
 
     def __post_init__(self):
         if not isinstance(self.config, AmrConfig):
@@ -201,6 +217,13 @@ class RunSpec:
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise TypeError(
                 f"faults must be a FaultPlan or None, got {self.faults!r}"
+            )
+        if not isinstance(self.pdes_workers, int) or self.pdes_workers < 1:
+            raise ValueError("pdes_workers must be an int >= 1")
+        if self.pdes_partition not in (None, "node", "contiguous"):
+            raise ValueError(
+                f"unknown pdes_partition {self.pdes_partition!r}; choose "
+                "'node' or 'contiguous'"
             )
 
     # ------------------------------------------------------------------
@@ -279,6 +302,10 @@ class RunSpec:
             d["trace_max_events"] = self.trace_max_events
         if self.faults is not None:
             d["faults"] = self.faults.to_dict()
+        if self.pdes_workers != 1:
+            d["pdes_workers"] = self.pdes_workers
+        if self.pdes_partition is not None:
+            d["pdes_partition"] = self.pdes_partition
         return d
 
     @classmethod
@@ -306,6 +333,8 @@ class RunSpec:
                 if data.get("faults") is not None
                 else None
             ),
+            pdes_workers=data.get("pdes_workers", 1),
+            pdes_partition=data.get("pdes_partition"),
         )
 
     # ------------------------------------------------------------------

@@ -220,10 +220,10 @@ class _Pending:
     __slots__ = ("index", "spec", "fingerprint", "label", "name",
                  "priority", "ready_at", "attempts", "not_before",
                  "started", "first_started", "deadline", "proc", "conn",
-                 "wall_time")
+                 "wall_time", "slots")
 
     def __init__(self, index, spec, fingerprint, label, name, priority,
-                 ready_at):
+                 ready_at, slots=1):
         self.index = index
         self.spec = spec
         self.fingerprint = fingerprint
@@ -239,6 +239,10 @@ class _Pending:
         self.proc = None
         self.conn = None
         self.wall_time = 0.0
+        #: Pool slots this run occupies while it executes.  A partitioned
+        #: run (``pdes_workers > 1``) spawns that many worker processes,
+        #: so the scheduler bin-packs it as that many jobs.
+        self.slots = slots
 
     @property
     def wait_time(self):
@@ -546,15 +550,20 @@ class SweepEngine:
             launchable.append(_Pending(
                 index, spec, fingerprint, node.label, node.name,
                 priority[index], ready_at,
+                slots=max(1, min(spec.pdes_workers or 1, self.jobs)),
             ))
 
         # Pool-side helpers ------------------------------------------------
         def launch(task):
             parent, child = self._ctx.Pipe(duplex=False)
+            # Partitioned runs (slots > 1) spawn their own PDES worker
+            # processes, which daemonic children may not do — those
+            # workers are daemons of the child, so they still die with
+            # it; plain runs keep the stronger daemon cleanup guarantee.
             proc = self._ctx.Process(
                 target=_child_main,
                 args=(child, self.runner, task.spec.to_dict()),
-                daemon=True,
+                daemon=task.slots == 1,
             )
             task.attempts += 1
             task.started = time.monotonic()
@@ -673,10 +682,18 @@ class SweepEngine:
         while state["finished"] < total:
             now = time.monotonic()
             launchable.sort(key=lambda t: (-t.priority, t.index))
+            # A partitioned run claims ``slots`` pool slots; narrower
+            # tasks may backfill around a wide one that does not fit yet
+            # (``not running`` guarantees progress for a task wider than
+            # what ever frees up).
+            used = sum(t.slots for t in running)
             task = next(
-                (t for t in launchable if t.not_before <= now), None
+                (t for t in launchable
+                 if t.not_before <= now
+                 and (used + t.slots <= self.jobs or not running)),
+                None,
             )
-            if task is not None and len(running) < self.jobs:
+            if task is not None:
                 launchable.remove(task)
                 if self.jobs == 1:
                     task.first_started = time.monotonic()

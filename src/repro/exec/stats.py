@@ -42,11 +42,28 @@ from ..core.spec import RunSpec
 logger = logging.getLogger(__name__)
 
 #: ``RunSpec`` fields stripped from the signature: they change how a run
-#: is *observed* (profiling hooks, tracer retention), not what it
-#: computes or — beyond a bounded overhead — how long it takes.
-#: Inactive fault plans need no entry here: :meth:`RunSpec.resolve`
-#: already normalizes them to ``None``.
-OBSERVATIONAL_FIELDS = ("profile", "trace", "trace_max_events")
+#: is *observed* or *hosted* (profiling hooks, tracer retention, the
+#: partitioned-kernel worker layout), not what it computes.  The
+#: ``pdes_*`` knobs do shift host wall time, but they leave the simulated
+#: behaviour byte-identical, and one EWMA-smoothed history per simulation
+#: beats fragmenting it per worker count.  Inactive fault plans need no
+#: entry here: :meth:`RunSpec.resolve` already normalizes them to
+#: ``None``.
+OBSERVATIONAL_FIELDS = (
+    "profile", "trace", "trace_max_events", "pdes_workers",
+    "pdes_partition",
+)
+
+#: Every other ``RunSpec`` field: these define *what* is simulated, so
+#: they stay in the signature.  The two tuples must jointly cover the
+#: full ``RunSpec`` — a completeness test enforces it, so a new spec
+#: field cannot silently leak into (or out of) duration-history keys
+#: the way ``profile`` once did.
+SEMANTIC_FIELDS = (
+    "config", "machine", "variant", "num_nodes", "ranks_per_node",
+    "scheduler", "sched_seed", "check_access", "delayed_checksum",
+    "stage_barrier", "cost_overrides", "faults",
+)
 
 #: Safety factor applied to :func:`fallback_cost` estimates when mixing
 #: them with measured history (cold nodes are assumed expensive, so the

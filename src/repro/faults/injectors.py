@@ -29,7 +29,8 @@ attribution (blocker classes ``fault_noise`` / ``fault_retry``).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+import math
+from dataclasses import dataclass, field
 
 _LCG_MULT = 6364136223846793005
 _LCG_INC = 1442695040888963407
@@ -63,26 +64,76 @@ class FaultRng:
 
 @dataclass
 class FaultStats:
-    """The injected-delay ledger of one faulted run (JSON-safe)."""
+    """The injected-delay ledger of one faulted run (JSON-safe).
 
-    #: Extra CPU seconds injected (noise + bursts + straggler slowdown).
-    injected_cpu_seconds: float = 0.0
+    The float totals accumulate *per rank* and fold with ``math.fsum``,
+    which is correctly rounded regardless of summation order.  That
+    makes the ledger partition-invariant: a run split across PDES
+    workers (:mod:`repro.simx.parallel`) accumulates each rank's stream
+    on the worker that owns it, merges the per-rank dicts, and reports
+    bit-identical totals to the serial run.  Event counters are plain
+    ints (order-free) and sum on :meth:`merge`.
+    """
+
     #: CPU charges that received any injected extra time.
     cpu_noise_events: int = 0
     #: Injected OS-noise bursts.
     cpu_bursts: int = 0
-    #: Extra in-flight seconds injected into messages (degradation +
-    #: jitter + loss-retry delays).
-    injected_network_seconds: float = 0.0
     #: Messages that received any injected delay.
     messages_delayed: int = 0
     #: Messages that crossed a degradation window.
     messages_degraded: int = 0
     #: Transient losses (= retransmissions) across all messages.
     messages_lost: int = 0
+    #: Injected CPU seconds keyed by the stretched rank.
+    cpu_seconds_by_rank: dict = field(default_factory=dict)
+    #: Injected in-flight seconds keyed by the *sending* rank.
+    network_seconds_by_rank: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def injected_cpu_seconds(self) -> float:
+        """Extra CPU seconds injected (noise + bursts + stragglers)."""
+        return math.fsum(self.cpu_seconds_by_rank.values())
+
+    @property
+    def injected_network_seconds(self) -> float:
+        """Extra in-flight seconds injected into messages (degradation
+        + jitter + loss-retry delays)."""
+        return math.fsum(self.network_seconds_by_rank.values())
+
+    def add_cpu(self, rank: int, extra: float):
+        d = self.cpu_seconds_by_rank
+        d[rank] = d.get(rank, 0.0) + extra
+
+    def add_network(self, rank: int, extra: float):
+        d = self.network_seconds_by_rank
+        d[rank] = d.get(rank, 0.0) + extra
+
+    def merge(self, other: "FaultStats"):
+        """Fold another worker's ledger in (per-rank streams live on one
+        worker each, so the dicts are disjoint — but plain addition keeps
+        this correct even if they were not)."""
+        self.cpu_noise_events += other.cpu_noise_events
+        self.cpu_bursts += other.cpu_bursts
+        self.messages_delayed += other.messages_delayed
+        self.messages_degraded += other.messages_degraded
+        self.messages_lost += other.messages_lost
+        for rank, v in other.cpu_seconds_by_rank.items():
+            self.add_cpu(rank, v)
+        for rank, v in other.network_seconds_by_rank.items():
+            self.add_network(rank, v)
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        return {
+            "injected_cpu_seconds": self.injected_cpu_seconds,
+            "cpu_noise_events": self.cpu_noise_events,
+            "cpu_bursts": self.cpu_bursts,
+            "injected_network_seconds": self.injected_network_seconds,
+            "messages_delayed": self.messages_delayed,
+            "messages_degraded": self.messages_degraded,
+            "messages_lost": self.messages_lost,
+        }
 
 
 class FaultInjector:
@@ -147,7 +198,7 @@ class FaultInjector:
                 self.stats.cpu_bursts += 1
         if extra <= 0:
             return seconds
-        self.stats.injected_cpu_seconds += extra
+        self.stats.add_cpu(rank, extra)
         self.stats.cpu_noise_events += 1
         if self.profiler is not None:
             self.profiler.fault_cpu(
@@ -203,7 +254,7 @@ class FaultInjector:
             if lost:
                 self.stats.messages_lost += lost
         if extra > 0:
-            self.stats.injected_network_seconds += extra
+            self.stats.add_network(src, extra)
             self.stats.messages_delayed += 1
         return extra
 

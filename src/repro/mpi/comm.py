@@ -49,6 +49,22 @@ class _Message:
         self.send_req = send_req
 
 
+class _RemoteSent:
+    """Stand-in send request of a message ingressed from another worker.
+
+    The sending worker completes the real send request on its own clock
+    (:meth:`World._post_send`), so on the receiving side ``_deliver``
+    must only skip its completion step — a permanently-completed stub
+    does exactly that without shipping the live request across workers.
+    """
+
+    __slots__ = ()
+    completed = True
+
+
+_REMOTE_SENT = _RemoteSent()
+
+
 class _Endpoint:
     """Matching state of one (communicator, rank) destination."""
 
@@ -68,14 +84,18 @@ def _match(want_source, want_tag, source, tag) -> bool:
 class _CollectiveOp:
     """One in-progress collective across all ranks of a communicator."""
 
-    __slots__ = ("kind", "entries", "events", "meta", "nbytes_max")
+    __slots__ = ("kind", "entries", "events", "meta", "nbytes_max", "times")
 
     def __init__(self, kind):
         self.kind = kind
         self.entries = {}  # rank -> value
-        self.events = {}  # rank -> Event
+        self.events = {}  # rank -> Event (local ranks only when spanning)
         self.meta = {}  # rank -> extra (e.g. root)
         self.nbytes_max = 0
+        #: rank -> entry time; only maintained for partition-spanning
+        #: collectives, where completion is ``max(times) + delay`` rather
+        #: than an ``env.timeout`` at the moment the last entry lands.
+        self.times = {}
 
 
 @dataclass
@@ -94,12 +114,23 @@ class World:
     """All communication state of one simulated MPI world."""
 
     def __init__(
-        self, env, machine, network, tracer=None, profiler=None, faults=None
+        self, env, machine, network, tracer=None, profiler=None, faults=None,
+        partition=None,
     ):
         self.env = env
         self.machine = machine
         self.network = network
         self.tracer = tracer
+        #: Optional partitioned-run link (:mod:`repro.simx.parallel`): an
+        #: object with ``pmap`` (the rank→worker map), ``wid`` (this
+        #: worker), and ``post(dst_worker, record)`` /
+        #: ``broadcast(record)`` for boundary traffic.  ``None`` in the
+        #: (default) serial kernel — every partition branch below is one
+        #: ``is None`` test on that path.
+        self.partition = partition
+        self._owner = partition.pmap.owner if partition is not None else None
+        self._wid = partition.wid if partition is not None else 0
+        self._spans_cache = {}  # comm_id -> bool (members span workers?)
         #: Optional :class:`repro.obs.Profiler` (records per-call wait
         #: intervals and per-message in-flight windows).
         self.profiler = profiler
@@ -202,6 +233,22 @@ class World:
                 wsrc, wdst, now, arrival, nbytes
             )
 
+        owner = self._owner
+        if owner is not None and owner[wdst] != self._wid:
+            # Cross-partition: ship the delivery to the owning worker at
+            # the exact absolute heap time the serial kernel would use —
+            # ``now + (arrival - now)``, not ``arrival``, because the
+            # serial path schedules a *relative* timeout and float
+            # addition does not associate.  The send request stays local
+            # and completes at that same instant (rendezvous semantics:
+            # the sender unblocks when the message has landed).
+            sched = now + (arrival - now)
+            self.partition.post(
+                owner[wdst],
+                ("p2p", comm_id, dst, src, tag, nbytes, payload, sched),
+            )
+            env.schedule_at(sched, lambda _ev, r=req: r._complete())
+            return arrival - now
         msg = _Message(src, tag, nbytes, payload, req)
         timer = env.timeout(arrival - now)
         timer.callbacks.append(
@@ -246,6 +293,12 @@ class World:
     # ------------------------------------------------------------------
     def _enter_collective(self, comm_id, rank, kind, value, nbytes, meta):
         """Register one rank's entry; returns the rank's completion event."""
+        if self._owner is not None and kind in ("dup", "split"):
+            raise NotImplementedError(
+                f"{kind} is not supported under pdes_workers > 1: derived "
+                "communicator ids could not stay in sync across worker "
+                "replicas"
+            )
         seq_key = (comm_id, rank)
         index = self._coll_seq.get(seq_key, 0)
         self._coll_seq[seq_key] = index + 1
@@ -270,10 +323,102 @@ class World:
         op.events[rank] = event
 
         size = self._comm_sizes[comm_id]
+        if self._owner is not None and self._comm_spans(comm_id):
+            now = self.env._now
+            op.times[rank] = now
+            # Replicate this entry on every other worker; the op
+            # completes wherever the full entry set is assembled first
+            # (here mid-window, or at a peer's next barrier ingest).
+            self.partition.broadcast(
+                ("coll", comm_id, index, kind, rank, value, nbytes, meta,
+                 now)
+            )
+            if len(op.entries) == size:
+                del self._pending_colls[op_key]
+                self._finish_collective_spanning(comm_id, op, size)
+            return event
         if len(op.entries) == size:
             del self._pending_colls[op_key]
             self._finish_collective(comm_id, op, size)
         return event
+
+    def _comm_spans(self, comm_id) -> bool:
+        """Whether the communicator's members live on >1 PDES worker."""
+        spans = self._spans_cache.get(comm_id)
+        if spans is None:
+            owner = self._owner
+            wmap = self._comm_ranks.get(comm_id)
+            members = (
+                wmap if wmap is not None
+                else range(self._comm_sizes[comm_id])
+            )
+            spans = len({owner[r] for r in members}) > 1
+            self._spans_cache[comm_id] = spans
+        return spans
+
+    # ------------------------------------------------------------------
+    # Partitioned-kernel ingress (called by the window runner at window
+    # barriers; see repro.simx.parallel.runner)
+    # ------------------------------------------------------------------
+    def ingest_p2p(self, comm_id, dst, src, tag, nbytes, payload, sched):
+        """Accept one cross-partition message for local delivery at its
+        exact serial heap time ``sched``."""
+        msg = _Message(src, tag, nbytes, payload, _REMOTE_SENT)
+        self.env.schedule_at(
+            sched, lambda _ev: self._deliver(comm_id, dst, msg)
+        )
+
+    def ingest_collective_entry(
+        self, comm_id, index, kind, rank, value, nbytes, meta, time
+    ):
+        """Accept one remote rank's collective entry into the local
+        replica.  No local sequence number is consumed — ``index`` was
+        assigned by the entering rank on its own worker (per-rank entry
+        order is partition-invariant, so indices agree everywhere)."""
+        op_key = (comm_id, index)
+        op = self._pending_colls.get(op_key)
+        if op is None:
+            op = self._pending_colls[op_key] = _CollectiveOp(kind)
+        elif op.kind != kind:
+            raise RuntimeError(
+                f"collective mismatch on comm {comm_id} index {index}: "
+                f"rank {rank} called {kind!r} but others called {op.kind!r}"
+            )
+        op.entries[rank] = value
+        op.meta[rank] = meta
+        op.nbytes_max = max(op.nbytes_max, nbytes)
+        op.times[rank] = time
+        size = self._comm_sizes[comm_id]
+        if len(op.entries) == size:
+            del self._pending_colls[op_key]
+            self._finish_collective_spanning(comm_id, op, size)
+
+    def _finish_collective_spanning(self, comm_id, op, size):
+        """Complete a partition-spanning collective from the full replica.
+
+        Every participating worker assembles identical entries and runs
+        this with identical inputs; each schedules completion events only
+        for the member ranks it hosts, at the common absolute time
+        ``max(entry times) + delay`` — the exact float the serial kernel
+        produces when the last entry's completion timeout is scheduled.
+        The completion time always lands at or beyond the current safe
+        horizon (``delay >= collective_round > lookahead``), so workers
+        that complete the op at different barriers stay consistent.
+        """
+        wmap = self._comm_ranks.get(comm_id)
+        lowest = 0 if wmap is None else min(wmap)
+        if self._owner[lowest] == self._wid:
+            # Counted once across the fleet — by the owner of the lowest
+            # member world rank (the WorldStats merge sums workers).
+            self.stats.collectives += 1
+        delay = self.network.collective_time(op.nbytes_max, size)
+        done = max(op.times.values()) + delay
+        results = self._collective_results(comm_id, op, size)
+        env = self.env
+        for rank, event in op.events.items():
+            env.schedule_at(
+                done, lambda _ev, e=event, r=results[rank]: e.succeed(r)
+            )
 
     def _finish_collective(self, comm_id, op, size):
         env = self.env

@@ -43,11 +43,24 @@ class Op:
     def __repr__(self):
         return f"<Op {self.name}>"
 
+    def __reduce__(self):
+        # Ops close over lambdas, which cannot pickle — but every Op is
+        # one of the module-level singletons below, so serialize by name
+        # (the partitioned kernel ships collective metadata, including
+        # the reducer, between workers).
+        return (_op_by_name, (self.name,))
+
+
+def _op_by_name(name: str) -> "Op":
+    return _OPS[name]
+
 
 SUM = Op("sum", lambda a, b: a + b, np.add)
 MAX = Op("max", lambda a, b: a if a >= b else b, np.maximum)
 MIN = Op("min", lambda a, b: a if a <= b else b, np.minimum)
 PROD = Op("prod", lambda a, b: a * b, np.multiply)
+
+_OPS = {op.name: op for op in (SUM, MAX, MIN, PROD)}
 
 
 @dataclass

@@ -177,6 +177,42 @@ class MetricsRegistry:
         return sorted({name for name, _k in self._series})
 
     # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def absorb(self, other: "MetricsRegistry"):
+        """Fold another registry's series into this one.
+
+        Counters/histograms add (counts, totals, buckets; min/max
+        combine); gauges keep the larger last-value and peak, matching
+        how per-worker peaks of a partitioned run should aggregate.
+        """
+        for key, src in other._series.items():
+            dst = self._series.get(key)
+            if dst is None:
+                dst = self._series[key] = _Series(src.kind)
+            elif dst.kind != src.kind:
+                raise ValueError(
+                    f"series kind mismatch for {key}: "
+                    f"{dst.kind} vs {src.kind}"
+                )
+            if src.kind == GAUGE:
+                dst.count += src.count
+                dst.total = max(dst.total, src.total)
+            else:
+                dst.count += src.count
+                dst.total += src.total
+            if src.vmin is not None:
+                dst.vmin = (
+                    src.vmin if dst.vmin is None else min(dst.vmin, src.vmin)
+                )
+            if src.vmax is not None:
+                dst.vmax = (
+                    src.vmax if dst.vmax is None else max(dst.vmax, src.vmax)
+                )
+            for b, n in src.buckets.items():
+                dst.buckets[b] = dst.buckets.get(b, 0) + n
+
+    # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> list:

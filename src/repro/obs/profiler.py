@@ -329,6 +329,47 @@ class Profiler:
             )
         return m
 
+    def absorb(self, other, tid_offset):
+        """Fold another worker's profiler into this one.
+
+        The partitioned kernel (:mod:`repro.simx.parallel`) runs one
+        profiler per worker; each numbers its tasks from 0, so ``other``'s
+        task ids (and its recorded ``preds``) are remapped by
+        ``tid_offset`` before merging.  ``other`` must have had
+        :meth:`materialize_edges` called (its deferred edge log still
+        references live Task objects, which do not cross workers);
+        everything else merges structurally — per-rank collections are
+        disjoint across workers, counters add, peaks max.
+        """
+        if other._edges:
+            raise ValueError(
+                "materialize_edges() the source profiler before absorbing"
+            )
+        if self._finalized or other._finalized:
+            raise ValueError("cannot absorb into/from a finalized profiler")
+        for rec in other.tasks.values():
+            rec.tid += tid_offset
+            rec.preds = [p + tid_offset for p in rec.preds]
+            self.tasks[rec.tid] = rec
+        self.mpi_calls.extend(other.mpi_calls)
+        self.messages.extend(other.messages)
+        for rank, spans in other.inline.items():
+            self.inline.setdefault(rank, []).extend(spans)
+        for rank, spans in other.fault_cpu_intervals.items():
+            self.fault_cpu_intervals.setdefault(rank, []).extend(spans)
+        self.fault_delay_intervals.extend(other.fault_delay_intervals)
+        for rank, peak in other._peak_pending.items():
+            if peak > self._peak_pending.get(rank, 0):
+                self._peak_pending[rank] = peak
+        self._depth_samples.extend(other._depth_samples)
+        for key, n in other._pops.items():
+            self._pops[key] = self._pops.get(key, 0) + n
+        for key, n in other._iwait.items():
+            self._iwait[key] = self._iwait.get(key, 0) + n
+        # The only series materialized before finalize_metrics() is the
+        # kernel's processed-event counter (folded by env.flush_metrics).
+        self.metrics.absorb(other.metrics)
+
     def materialize_edges(self):
         """Resolve deferred completion edges into ``TaskRecord.preds``.
 

@@ -139,6 +139,13 @@ class ProfileReport:
     #: ``"injected"`` plus the observed ``fault_noise``/``fault_retry``
     #: idle seconds under ``"observed"``.
     faults: dict = field(default_factory=dict)
+    #: Partitioned-kernel accounting (empty on serial runs and omitted
+    #: from :meth:`to_dict`, keeping existing reports stable): worker
+    #: count, window count, lookahead, and per-worker wall-clock
+    #: ``stall_wall_seconds`` (time spent blocked at window barriers —
+    #: the new idle blocker of partitioned runs) next to
+    #: ``elapsed_wall_seconds``.
+    pdes: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -172,6 +179,8 @@ class ProfileReport:
         }
         if self.faults:
             d["faults"] = dict(self.faults)
+        if self.pdes:
+            d["pdes"] = dict(self.pdes)
         return d
 
     @classmethod
@@ -193,12 +202,13 @@ class ProfileReport:
             idle=dict(data.get("idle", {})),
             metrics=list(data.get("metrics", [])),
             faults=dict(data.get("faults", {})),
+            pdes=dict(data.get("pdes", {})),
         )
 
 
 def build_profile_report(
     profiler, rs, num_ranks, cores_per_rank, makespan, tracer=None,
-    fault_injector=None,
+    fault_injector=None, pdes=None,
 ) -> ProfileReport:
     """Assemble a :class:`ProfileReport` from one finished run.
 
@@ -207,7 +217,9 @@ def build_profile_report(
     when ``rs.trace`` is off).  ``fault_injector`` is the run's
     :class:`~repro.faults.FaultInjector` when its fault plan was active —
     its ledger is embedded next to the observed fault-blocker idle
-    seconds so injected and observed delay can be reconciled.
+    seconds so injected and observed delay can be reconciled.  ``pdes``
+    is the partitioned-run accounting dict of
+    :func:`repro.simx.parallel.run_partitioned`, absent on serial runs.
     """
     cores_by_rank = {rank: cores_per_rank for rank in range(num_ranks)}
     idle = idle_gaps(profiler, cores_by_rank, makespan)
@@ -243,4 +255,5 @@ def build_profile_report(
         idle=idle,
         metrics=profiler.finalize_metrics().to_dict(),
         faults=faults,
+        pdes=dict(pdes) if pdes else {},
     )

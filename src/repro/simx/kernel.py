@@ -61,6 +61,29 @@ class Environment:
         self._seq = seq
         heappush(self._queue, (self._now + delay, priority, seq, event))
 
+    def schedule_at(self, time, callback, priority=NORMAL):
+        """Schedule ``callback`` at *absolute* simulated ``time``.
+
+        The partitioned-kernel ingress path (:mod:`repro.simx.parallel`)
+        needs to plant a callback at an exact absolute timestamp shipped
+        from another worker — relative ``timeout(time - now)`` would
+        re-round the float and lose bitwise equality with the serial
+        schedule.  The event is created already-succeeded (value ``None``)
+        so both run loops process it like any other triggered event.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"schedule_at({time}) is in the past (now={self._now})"
+            )
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        event.callbacks.append(callback)
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._queue, (time, priority, seq, event))
+        return event
+
     # ------------------------------------------------------------------
     # Factories
     # ------------------------------------------------------------------
@@ -133,6 +156,43 @@ class Environment:
             pool = self._timeout_pool
             if len(pool) < _TIMEOUT_POOL_CAP:
                 pool.append(event)
+
+    def run_window(self, horizon):
+        """Process every event with time *strictly before* ``horizon``.
+
+        The conservative-PDES window primitive: a partition may safely
+        execute up to (but not at) its synchronization horizon, because a
+        cross-partition message can arrive exactly *at* the horizon.  The
+        clock is left at the last processed event — never advanced to
+        ``horizon`` — so ``peek()`` afterwards reports the true next
+        event time for the next safe-horizon computation.  Returns the
+        number of events processed.
+        """
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heappop
+        refcount = getrefcount
+        metered = self.metrics is not None
+        processed = 0
+        while queue and queue[0][0] < horizon:
+            when, _prio, _seq, event = pop(queue)
+            self._now = when
+            if metered:
+                self._events_processed += 1
+            processed += 1
+            callbacks = event.callbacks
+            event.callbacks = None
+            for cb in callbacks:
+                cb(event)
+            if not event._ok and not event.defused:
+                raise event._value
+            if (
+                type(event) is Timeout
+                and refcount(event) == 2
+                and len(pool) < _TIMEOUT_POOL_CAP
+            ):
+                pool.append(event)
+        return processed
 
     def flush_metrics(self):
         """Fold the processed-event count into the metrics registry.

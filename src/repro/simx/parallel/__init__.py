@@ -1,0 +1,51 @@
+"""Partitioned (conservative-PDES) execution of the simulation kernel.
+
+Splits one simulated run's ranks across ``RunSpec.pdes_workers`` OS
+processes, each running its own :class:`~repro.simx.Environment` over
+its rank subset; cross-partition sends become inter-worker messages and
+a conservative time-window coordinator keeps every partition inside the
+provable lookahead of the machine's network model.  Results are
+bit-identical to the serial kernel — the point is wall-clock speed at
+large simulated node counts, not approximation.
+
+Layering:
+
+* :mod:`.partition` — rank→worker maps and the lookahead derivation;
+* :mod:`.protocol`  — the window protocol as pure logic (what the
+  Hypothesis property suite drives);
+* :mod:`.sync`      — spin barrier + mailboxes over shared memory;
+* :mod:`.runner`    — worker processes, the window loop, result merge.
+"""
+
+from .partition import (
+    LOOKAHEAD_MARGIN,
+    PartitionMap,
+    contiguous_map,
+    cross_partition_latency,
+    lookahead,
+)
+from .protocol import (
+    CausalityError,
+    LogicalProcess,
+    run_conservative,
+    safe_horizon,
+)
+from .runner import effective_workers, run_partitioned
+from .sync import Mailboxes, SpinBarrier, WorkerAborted
+
+__all__ = [
+    "LOOKAHEAD_MARGIN",
+    "PartitionMap",
+    "contiguous_map",
+    "cross_partition_latency",
+    "lookahead",
+    "CausalityError",
+    "LogicalProcess",
+    "run_conservative",
+    "safe_horizon",
+    "effective_workers",
+    "run_partitioned",
+    "Mailboxes",
+    "SpinBarrier",
+    "WorkerAborted",
+]

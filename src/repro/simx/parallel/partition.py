@@ -1,0 +1,137 @@
+"""Rank→worker partition maps and the lookahead derivation.
+
+A :class:`PartitionMap` assigns every simulated world rank to exactly one
+PDES worker process.  Two policies exist:
+
+* ``"node"`` (the default): whole machine nodes stay on one worker, so
+  every cross-partition message is inter-node and the lookahead is the
+  (larger) inter-node latency.  When the run has fewer nodes than
+  workers the policy degrades to a contiguous rank split — smaller
+  lookahead, but the run still parallelizes.
+* ``"contiguous"``: the rank range is split into near-equal contiguous
+  chunks regardless of node boundaries.
+
+The **lookahead** is the provable minimum delta between a send decided
+in one partition and its earliest possible effect in another:
+
+* a point-to-point message posted at time ``t`` arrives no earlier than
+  ``t + injection_gap + latency`` (injection serialization plus the link
+  latency of the cheapest cross-partition pair; fault injection only
+  *adds* delay);
+* a spanning collective entered last at time ``t`` completes no earlier
+  than ``t + collective_round`` (``collective_time`` is at least one
+  round for any communicator of size >= 2).
+
+The minimum of the two, shrunk by a 10% safety margin (absorbing the
+few-ulp float rounding of shipped absolute timestamps), bounds the safe
+execution window: no partition executing events strictly before
+``min_next_event + lookahead`` can miss an incoming effect.
+"""
+
+from __future__ import annotations
+
+#: Relative safety margin applied to the analytic lookahead.  Timestamps
+#: shipped between workers are exact serial heap times (``now + (arrival
+#: - now)``), which can round a few ulps below the real-arithmetic
+#: arrival; the margin keeps every ingress strictly inside a *future*
+#: window so the clock never runs backwards.  Window count rises by ~11%
+#: — timestamps are unaffected (the lookahead only sizes windows).
+LOOKAHEAD_MARGIN = 0.9
+
+
+class PartitionMap:
+    """An immutable world-rank → worker assignment."""
+
+    __slots__ = ("owner", "num_workers", "_local")
+
+    def __init__(self, owner):
+        owner = list(owner)
+        if not owner:
+            raise ValueError("partition map needs at least one rank")
+        workers = sorted(set(owner))
+        if workers != list(range(len(workers))):
+            raise ValueError(
+                f"worker ids must be dense 0..W-1, got {workers}"
+            )
+        self.owner = owner
+        self.num_workers = len(workers)
+        self._local = [
+            [r for r, w in enumerate(owner) if w == wid]
+            for wid in range(self.num_workers)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_ranks(self) -> int:
+        return len(self.owner)
+
+    def owner_of(self, world_rank: int) -> int:
+        return self.owner[world_rank]
+
+    def local_ranks(self, worker: int) -> list:
+        """World ranks owned by ``worker`` (ascending)."""
+        return list(self._local[worker])
+
+    def __repr__(self):
+        sizes = [len(ranks) for ranks in self._local]
+        return f"<PartitionMap {self.num_workers} workers, ranks {sizes}>"
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, machine, num_workers, policy=None) -> "PartitionMap":
+        """Partition ``machine``'s ranks across ``num_workers`` workers.
+
+        ``num_workers`` is clamped to the rank count (a worker with no
+        ranks would only slow the window protocol down).  ``policy`` is
+        ``"node"`` (default) or ``"contiguous"``.
+        """
+        if policy not in (None, "node", "contiguous"):
+            raise ValueError(f"unknown partition policy {policy!r}")
+        num_ranks = machine.num_ranks
+        workers = max(1, min(num_workers, num_ranks))
+        if policy in (None, "node") and machine.num_nodes >= workers:
+            owner = [0] * num_ranks
+            for node in range(machine.num_nodes):
+                wid = node * workers // machine.num_nodes
+                for rank in machine.ranks_on_node(node):
+                    owner[rank] = wid
+            return cls(owner)
+        return cls(
+            [rank * workers // num_ranks for rank in range(num_ranks)]
+        )
+
+
+def contiguous_map(num_ranks, num_workers) -> PartitionMap:
+    """A machine-free contiguous split (for tests and the pure protocol)."""
+    workers = max(1, min(num_workers, num_ranks))
+    return PartitionMap(
+        [rank * workers // num_ranks for rank in range(num_ranks)]
+    )
+
+
+def cross_partition_latency(pmap, machine, network) -> float:
+    """The cheapest link latency any cross-partition message can take.
+
+    Intra-node if any node hosts ranks of two different workers (the
+    contiguous-fallback case), inter-node otherwise.  Returns ``inf``
+    when no pair of ranks crosses a partition boundary (single worker).
+    """
+    if pmap.num_workers <= 1:
+        return float("inf")
+    for node in range(machine.num_nodes):
+        owners = {pmap.owner[r] for r in machine.ranks_on_node(node)}
+        if len(owners) > 1:
+            return network.latency_intra
+    return network.latency_inter
+
+
+def lookahead(pmap, machine, network) -> float:
+    """The safe synchronization window bound of this partitioning.
+
+    ``min(injection_gap + cheapest cross-partition latency,
+    collective_round) * LOOKAHEAD_MARGIN`` — see the module docstring
+    for why each term lower-bounds its interaction class.
+    """
+    latency = cross_partition_latency(pmap, machine, network)
+    bound = min(network.injection_gap + latency, network.collective_round)
+    return bound * LOOKAHEAD_MARGIN

@@ -1,0 +1,124 @@
+"""The conservative window protocol, as pure logic.
+
+This module holds the synchronization math of the partitioned kernel in
+a form with no processes, queues, or shared memory — exactly what the
+Hypothesis property suite (``tests/test_pdes_property.py``) drives with
+random partition maps, latencies, and message schedules.  The real
+runner (:mod:`repro.simx.parallel.runner`) uses :func:`safe_horizon`
+verbatim, so the property-tested invariants are the shipped ones:
+
+* **Causality** — a partition only executes events strictly before the
+  horizon ``M + L`` (``M`` = global minimum next-event time, ``L`` =
+  lookahead), and every cross-partition message sent at ``t >= M``
+  arrives at ``t + delay`` with ``delay >= L``, i.e. at or after the
+  horizon.  No partition can receive a message timestamped before an
+  event it already executed.
+* **Null-window progress** — a partition with no pending events reports
+  ``min = inf`` and simply keeps exchanging/synchronizing; the global
+  minimum is taken across *all* partitions, so as long as anyone has an
+  event the window advances, and when nobody does (after an ingest
+  phase, so nothing is in flight) the protocol terminates.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+_INF = float("inf")
+
+
+class CausalityError(RuntimeError):
+    """A partition received a message timestamped before its clock."""
+
+
+def safe_horizon(mins, lookahead):
+    """The exclusive execution horizon of one window.
+
+    ``mins`` are the per-partition next-event times (``inf`` for an
+    empty partition).  Returns ``None`` when every partition is empty —
+    the termination signal — else ``min(mins) + lookahead``.  Events
+    strictly before the horizon are safe to execute: no in-flight or
+    future cross-partition effect can land before it.
+    """
+    m = min(mins)
+    if m == _INF:
+        return None
+    return m + lookahead
+
+
+class LogicalProcess:
+    """One model partition: an event heap and a monotone local clock.
+
+    Events are ``(time, payload)``; executing one may emit messages via
+    the ``on_execute`` callback (returning ``[(dst_partition, delay,
+    payload), ...]`` with every ``delay >= lookahead``).
+    """
+
+    __slots__ = ("pid", "pending", "clock", "executed")
+
+    def __init__(self, pid, events=()):
+        self.pid = pid
+        self.pending = [(float(t), payload) for t, payload in events]
+        heapq.heapify(self.pending)
+        self.clock = 0.0
+        self.executed = []
+
+    def next_time(self):
+        return self.pending[0][0] if self.pending else _INF
+
+    def ingest(self, time, payload):
+        """Accept a cross-partition message; enforce causality."""
+        if time < self.clock:
+            raise CausalityError(
+                f"partition {self.pid}: message at t={time} arrived "
+                f"behind the local clock {self.clock}"
+            )
+        heapq.heappush(self.pending, (float(time), payload))
+
+    def run_window(self, horizon, on_execute=None):
+        """Execute every pending event strictly before ``horizon``."""
+        sent = []
+        while self.pending and self.pending[0][0] < horizon:
+            t, payload = heapq.heappop(self.pending)
+            self.clock = t
+            self.executed.append((t, payload))
+            if on_execute is not None:
+                for dst, delay, msg in on_execute(self.pid, t, payload):
+                    sent.append((dst, t + delay, msg))
+        return sent
+
+
+def run_conservative(processes, lookahead, on_execute=None,
+                     max_windows=100_000):
+    """Drive the window protocol over model partitions to completion.
+
+    Mirrors the real runner's loop — exchange, global min, window —
+    and returns the number of windows executed.  Raises
+    :class:`CausalityError` on any causality violation and
+    :class:`RuntimeError` if ``max_windows`` elapse without
+    termination (the deadlock detector of the property suite).
+    """
+    if lookahead <= 0:
+        raise ValueError("lookahead must be positive")
+    in_flight = []  # (dst_pid, arrival_time, payload)
+    windows = 0
+    while True:
+        # Exchange phase: everything sent last window lands now.  This
+        # precedes the min computation, so termination (all-inf) proves
+        # nothing was in flight.
+        for dst, t, payload in in_flight:
+            processes[dst].ingest(t, payload)
+        in_flight = []
+        horizon = safe_horizon(
+            [p.next_time() for p in processes], lookahead
+        )
+        if horizon is None:
+            return windows
+        windows += 1
+        if windows > max_windows:
+            raise RuntimeError(
+                f"no termination after {max_windows} windows "
+                "(deadlock or livelock)"
+            )
+        for p in processes:
+            in_flight.extend(p.run_window(horizon, on_execute))

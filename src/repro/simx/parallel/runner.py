@@ -1,0 +1,447 @@
+"""The partitioned-kernel runner: worker processes, window loop, merge.
+
+``run_partitioned`` splits one simulated run's ranks across
+``RunSpec.pdes_workers`` OS processes.  Each worker builds the *full*
+World and shared application state (replicated state evolves identically
+everywhere) but instantiates rank programs — and therefore simulation
+processes and events — only for its own rank subset.  The workers then
+advance in lockstep **conservative time windows**:
+
+1. flush cross-partition records (messages, collective entries) posted
+   during the previous window;
+2. barrier; ingest every inbound record, sorted by ``(timestamp,
+   source worker, posting index)`` so the ingress order is identical
+   across runs; publish the local next-event time;
+3. barrier; compute the global minimum next-event time ``M`` — if it is
+   ``inf`` the run is over (the ingest in step 2 proves nothing is in
+   flight) — else execute every local event strictly before ``M +
+   lookahead``.
+
+The lookahead (:func:`repro.simx.parallel.lookahead`) under-approximates
+the minimum latency of any cross-partition effect, so no event executed
+inside a window can be invalidated by a record that arrives at the next
+barrier: delivery order and every timestamp are identical to the serial
+kernel, bit for bit.  The merged :class:`~repro.core.RunResult` is
+byte-identical to the serial one on all serializable fields.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import queue as queue_mod
+import time
+import traceback
+from ctypes import c_double
+
+from .partition import PartitionMap, lookahead
+from .sync import Mailboxes, SpinBarrier
+
+_INF = float("inf")
+
+
+def effective_workers(rs, machine) -> int:
+    """How many workers a partitioned run of ``rs`` actually uses.
+
+    Clamped to the rank count — a worker with no ranks would only add
+    barrier latency.  ``1`` means the run takes the serial path.
+    """
+    return max(1, min(rs.pdes_workers, machine.num_ranks))
+
+
+def can_partition() -> bool:
+    """Whether this process may host PDES workers at all.
+
+    Daemonic processes may not spawn children; a partitioned spec run
+    from one (e.g. a sweep-engine pool child that was not given a slot
+    width) silently degrades to the byte-identical serial kernel.
+    """
+    return not multiprocessing.current_process().daemon
+
+
+class _WorkerLink:
+    """The ``World``-facing handle of one worker (see ``World.partition``)."""
+
+    __slots__ = ("pmap", "wid", "mail")
+
+    def __init__(self, pmap, wid, mail):
+        self.pmap = pmap
+        self.wid = wid
+        self.mail = mail
+
+    def post(self, dst_worker, record):
+        self.mail.post(dst_worker, record)
+
+    def broadcast(self, record):
+        self.mail.broadcast(record)
+
+
+class _InjectorView:
+    """Adapter giving ``build_profile_report`` the merged fault ledger
+    through the ``fault_injector.stats`` attribute it expects."""
+
+    __slots__ = ("stats",)
+
+    def __init__(self, stats):
+        self.stats = stats
+
+
+def _record_time(rec) -> float:
+    # ("p2p", comm_id, dst, src, tag, nbytes, payload, sched) |
+    # ("coll", comm_id, index, kind, rank, value, nbytes, meta, time)
+    return rec[7] if rec[0] == "p2p" else rec[8]
+
+
+def _drive_windows(sim, mail, barrier, mins, wid, la):
+    """Run one worker's share of the window protocol to completion.
+
+    Returns ``(windows, stall_wall_seconds)``.  ``stall`` is wall-clock
+    time blocked at the two per-window barriers — the partitioned run's
+    own idle class, reported via ``ProfileReport.pdes``.
+    """
+    env, world = sim.env, sim.world
+    perf = time.perf_counter
+    windows = 0
+    stall = 0.0
+    while True:
+        mail.flush()
+        t0 = perf()
+        barrier.wait()
+        stall += perf() - t0
+        records = []
+        for src, box in mail.drain():
+            for idx, rec in enumerate(box):
+                records.append((_record_time(rec), src, idx, rec))
+        # Deterministic ingress order: primary by timestamp, ties broken
+        # by (sending worker, posting index) — both run-invariant.
+        records.sort(key=lambda r: (r[0], r[1], r[2]))
+        for _t, _src, _idx, rec in records:
+            if rec[0] == "p2p":
+                world.ingest_p2p(*rec[1:])
+            else:
+                world.ingest_collective_entry(*rec[1:])
+        # Publish *after* ingest: a termination verdict (all inf) then
+        # proves nothing was in flight anywhere.
+        mins[wid] = env.peek()
+        t0 = perf()
+        barrier.wait()
+        stall += perf() - t0
+        m = min(mins)
+        if m == _INF:
+            return windows, stall
+        windows += 1
+        env.run_window(m + la)
+
+
+def _worker_main(wid, rs, barrier_slots, queues, sent, mins, result_queue):
+    """Entry point of one PDES worker process."""
+    barrier = SpinBarrier(barrier_slots, wid, _num_workers(rs))
+    try:
+        t_start = time.perf_counter()
+        # Same GC regime as the serial driver: refcounting reclaims the
+        # hot path; the cyclic collector would only rescan the world.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            payload = _run_worker(wid, rs, barrier, queues, sent, mins)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        payload["elapsed"] = time.perf_counter() - t_start
+        result_queue.put(("ok", wid, payload))
+    except BaseException:
+        barrier.abort()  # unblock peers spinning at a window barrier
+        result_queue.put(("error", wid, traceback.format_exc()))
+
+
+def _num_workers(rs) -> int:
+    spec = rs.machine
+    machine = spec.machine(
+        num_nodes=rs.num_nodes, ranks_per_node=rs.ranks_per_node
+    )
+    return effective_workers(rs, machine)
+
+
+def _run_worker(wid, rs, barrier, queues, sent, mins) -> dict:
+    # Imported here (not at module top) so worker bootstrap under the
+    # spawn start method resolves the package cleanly and the driver
+    # module keeps its lazy one-way dependency on this package.
+    from ...core.driver import _build_simulation
+    from ...core.results import RuntimeStats
+
+    spec = rs.machine
+    machine = spec.machine(
+        num_nodes=rs.num_nodes, ranks_per_node=rs.ranks_per_node
+    )
+    num_workers = effective_workers(rs, machine)
+    pmap = PartitionMap.build(machine, num_workers, rs.pdes_partition)
+    network = spec.network.scaled_to(rs.num_nodes)
+    la = lookahead(pmap, machine, network)
+    mail = Mailboxes(wid, num_workers, queues, sent)
+    link = _WorkerLink(pmap, wid, mail)
+
+    sim = _build_simulation(
+        rs, machine, local_ranks=pmap.local_ranks(wid), partition=link
+    )
+    windows, stall = _drive_windows(sim, mail, barrier, mins, wid, la)
+
+    stuck = [p.name for p in sim.procs if p.is_alive]
+    if stuck:
+        raise RuntimeError(
+            f"worker {wid}: out of events with processes still alive: "
+            f"{stuck} (rank deadlock or lost cross-partition message)"
+        )
+    if sim.witness is not None:
+        sim.witness.check()
+    sim.env.flush_metrics()
+    if sim.profiler is not None:
+        # Deferred edges reference live Task objects; resolve them to
+        # task-id ints before the profiler crosses the process boundary.
+        sim.profiler.materialize_edges()
+
+    shared = sim.shared
+    payload = {
+        "now": sim.env.now,
+        "windows": windows,
+        "stall": stall,
+        "flops": shared.flops,  # local ranks' share; exact integer floats
+        "stats": sim.world.stats,
+        "runtime_stats": [
+            (p.rank, RuntimeStats.from_runtime(p.rt.stats))
+            for p in sim.programs
+        ],
+        "fault_stats": (
+            sim.injector.stats if sim.injector is not None else None
+        ),
+        "tracer_events": (
+            list(sim.tracer.events) if sim.tracer is not None else None
+        ),
+        "tracer_dropped": (
+            getattr(sim.tracer, "dropped_events", 0)
+            if sim.tracer is not None
+            else 0
+        ),
+        "profiler": sim.profiler,
+    }
+    for p in sim.programs:
+        if p.rank == 0:
+            payload["refine_time"] = p.refine_seconds
+            payload["checksums"] = list(shared.checksum_log)
+    if wid == 0:
+        # Replicated structure state — identical on every worker; one
+        # snapshot suffices.
+        payload["num_blocks"] = shared.structure.num_blocks()
+        payload["imbalance"] = _imbalance(shared)
+    return payload
+
+
+def _imbalance(shared) -> float:
+    from ...amr.balance import max_imbalance
+
+    return max_imbalance(shared.structure)
+
+
+def _merge_world_stats(stats_list):
+    """Component-wise sum of the per-worker ``WorldStats``.
+
+    Every counter is sender-side (collectives are counted exactly once,
+    by the owner of the lowest member rank), so the sums equal the
+    serial counters.
+    """
+    merged = stats_list[0]
+    for s in stats_list[1:]:
+        merged.messages += s.messages
+        merged.bytes_sent += s.bytes_sent
+        merged.intra_node_messages += s.intra_node_messages
+        merged.inter_node_messages += s.inter_node_messages
+        merged.collectives += s.collectives
+        for key, n in s.by_tag_kind.items():
+            merged.by_tag_kind[key] = merged.by_tag_kind.get(key, 0) + n
+    return merged
+
+
+def _merge_tracers(rs, workers):
+    """A fresh Tracer holding every worker's events in global time order.
+
+    Stable-sorted by ``(t0, rank)``: per-rank order is preserved and the
+    interleaving is run-invariant.
+    """
+    from ...trace import Tracer
+
+    if workers[0]["tracer_events"] is None:
+        return None
+    merged = Tracer()
+    events = []
+    for w in workers:
+        events.extend(w["tracer_events"])
+    events.sort(key=lambda e: (e.t0, e.rank))
+    merged.events.extend(events)
+    merged.dropped_events = sum(w["tracer_dropped"] for w in workers)
+    return merged
+
+
+def _merge_profilers(workers):
+    """Fold the per-worker profilers into one, remapping task ids.
+
+    Each worker numbers tasks from 0; worker ``w``'s ids are shifted past
+    every earlier worker's id span (worker order is deterministic, so the
+    remapped ids are too).
+    """
+    base = workers[0]["profiler"]
+    if base is None:
+        return None
+    offset = max((t for t in base.tasks), default=-1) + 1
+    for w in workers[1:]:
+        prof = w["profiler"]
+        span = max((t for t in prof.tasks), default=-1) + 1
+        base.absorb(prof, offset)
+        offset += span
+    return base
+
+
+def run_partitioned(rs):
+    """Execute a resolved RunSpec across ``rs.pdes_workers`` processes.
+
+    Returns the merged :class:`~repro.core.RunResult` — byte-identical
+    on all serializable fields to the serial run of the same spec.
+    """
+    from ...core.results import CommStats, RunResult
+    from ...faults.injectors import FaultStats
+    from ...obs.report import PhaseSummary, build_profile_report
+
+    spec = rs.machine
+    machine = spec.machine(
+        num_nodes=rs.num_nodes, ranks_per_node=rs.ranks_per_node
+    )
+    num_workers = effective_workers(rs, machine)
+    pmap = PartitionMap.build(machine, num_workers, rs.pdes_partition)
+    network = spec.network.scaled_to(rs.num_nodes)
+    la = lookahead(pmap, machine, network)
+
+    # fork shares the (already imported) package pages with the workers;
+    # spawn is the portable fallback and everything shipped to
+    # ``_worker_main`` is picklable for it.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+    barrier_slots = SpinBarrier.make_slots(ctx, num_workers)
+    queues, sent = Mailboxes.make_shared(ctx, num_workers)
+    mins = ctx.RawArray(c_double, num_workers)
+    result_queue = ctx.Queue()
+
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(wid, rs, barrier_slots, queues, sent, mins, result_queue),
+            daemon=True,
+        )
+        for wid in range(num_workers)
+    ]
+    for p in procs:
+        p.start()
+
+    payloads = {}
+    error = None
+    try:
+        while len(payloads) < num_workers and error is None:
+            try:
+                kind, wid, data = result_queue.get(timeout=1.0)
+            except queue_mod.Empty:
+                for w, p in enumerate(procs):
+                    if (
+                        w not in payloads
+                        and not p.is_alive()
+                        and p.exitcode not in (0, None)
+                    ):
+                        error = (
+                            f"PDES worker {w} died with exit code "
+                            f"{p.exitcode}"
+                        )
+                        break
+                continue
+            if kind == "error":
+                error = f"PDES worker {wid} failed:\n{data}"
+            else:
+                payloads[wid] = data
+    finally:
+        if error is not None:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+        for p in procs:
+            p.join(timeout=30)
+    if error is not None:
+        raise RuntimeError(error)
+
+    workers = [payloads[w] for w in range(num_workers)]
+    total_time = max(w["now"] for w in workers)
+    owner0 = pmap.owner_of(0)
+
+    fault_stats = None
+    if workers[0]["fault_stats"] is not None:
+        fault_stats = FaultStats()
+        for w in workers:
+            fault_stats.merge(w["fault_stats"])
+
+    tracer = _merge_tracers(rs, workers)
+    profiler = _merge_profilers(workers)
+    runtime_stats = [
+        stats
+        for _rank, stats in sorted(
+            (pair for w in workers for pair in w["runtime_stats"]),
+            key=lambda pair: pair[0],
+        )
+    ]
+
+    cores_per_rank = (
+        1 if rs.variant == "mpi_only" else machine.cores_per_rank
+    )
+    profile = None
+    if profiler is not None:
+        profile = build_profile_report(
+            profiler,
+            rs,
+            num_ranks=machine.num_ranks,
+            cores_per_rank=cores_per_rank,
+            makespan=total_time,
+            tracer=tracer,
+            fault_injector=(
+                _InjectorView(fault_stats)
+                if fault_stats is not None
+                else None
+            ),
+            pdes={
+                "workers": num_workers,
+                "windows": workers[0]["windows"],
+                "lookahead": la,
+                "stall_wall_seconds": [w["stall"] for w in workers],
+                "elapsed_wall_seconds": [w["elapsed"] for w in workers],
+            },
+        )
+
+    return RunResult(
+        variant=rs.variant,
+        num_nodes=rs.num_nodes,
+        ranks_per_node=rs.ranks_per_node,
+        total_time=total_time,
+        refine_time=workers[owner0]["refine_time"],
+        flops=sum(w["flops"] for w in workers),
+        num_blocks=workers[0]["num_blocks"],
+        imbalance=workers[0]["imbalance"],
+        checksums=workers[owner0]["checksums"],
+        comm_stats=CommStats.from_world(
+            _merge_world_stats([w["stats"] for w in workers])
+        ),
+        runtime_stats=runtime_stats,
+        phase_summary=(
+            PhaseSummary.from_tracer(tracer) if tracer is not None else None
+        ),
+        profile=profile,
+        fault_stats=(
+            fault_stats.to_dict() if fault_stats is not None else None
+        ),
+        tracer=tracer if rs.trace else None,
+        profiler=profiler,
+    )

@@ -1,0 +1,192 @@
+"""Inter-worker synchronization primitives for the partitioned kernel.
+
+Two pieces, both built on ``multiprocessing`` shared memory so a window
+boundary costs microseconds, not scheduler round-trips:
+
+* :class:`SpinBarrier` — an all-to-all flag barrier over a shared int64
+  array.  Each worker *writes only its own slot* (its current round
+  number) and spins until every slot has reached that round; aligned
+  8-byte stores are atomic on every platform we target, so no lock is
+  needed.  A worker that dies poisons its slot with ``-1``, releasing
+  the others into a :class:`WorkerAborted` instead of a hang.
+* :class:`Mailboxes` — one ``multiprocessing.Queue`` per worker for
+  inbound batches plus a shared cumulative sent-batch counter matrix.
+  Senders flush their outboxes *before* the barrier; receivers read the
+  counters *after* it, so exactly the advertised batches are drained —
+  no polling, no partial reads.  ``Queue`` (not a raw pipe) matters:
+  its feeder thread buffers arbitrarily large batches, so two workers
+  simultaneously flushing block-sized payloads to each other cannot
+  deadlock on pipe capacity.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from ctypes import c_int64
+
+#: How long a barrier spins before declaring the fleet hung (seconds).
+BARRIER_TIMEOUT = 600.0
+
+#: Spin iterations before the first ``sleep(0)`` yield (keeps a waiting
+#: worker from starving the one it is waiting for on oversubscribed
+#: hosts).
+_SPINS_PER_YIELD = 2_000
+
+#: Yields before escalating from ``sleep(0)`` to a real (20 us) sleep.
+#: On a host with at least one core per worker the barrier almost always
+#: releases within the tight-spin phase and this never triggers; on an
+#: oversubscribed host it stops the waiters from eating the scheduler
+#: quanta the straggler needs to reach the barrier at all.
+_YIELDS_PER_SLEEP = 16
+_BACKOFF_SLEEP = 20e-6
+
+
+def _available_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+class WorkerAborted(RuntimeError):
+    """Another worker died or the barrier timed out."""
+
+
+class SpinBarrier:
+    """All-to-all flag barrier; see the module docstring."""
+
+    __slots__ = ("slots", "wid", "num_workers", "round", "timeout",
+                 "_spins_per_yield")
+
+    def __init__(self, slots, wid, num_workers, timeout=BARRIER_TIMEOUT):
+        #: Shared ``RawArray(c_int64, num_workers)``; slot w = worker
+        #: w's last completed round (-1 = aborted).
+        self.slots = slots
+        self.wid = wid
+        self.num_workers = num_workers
+        self.round = 0
+        self.timeout = timeout
+        # Spinning only pays when the peers we wait for can run
+        # *concurrently*; with fewer cores than workers, every spin
+        # iteration steals the quantum the straggler needs, so yield on
+        # every pass instead.
+        self._spins_per_yield = (
+            _SPINS_PER_YIELD if _available_cores() >= num_workers else 1
+        )
+
+    def wait(self):
+        """Enter the next round and block until every worker has."""
+        self.round += 1
+        target = self.round
+        self.slots[self.wid] = target
+        deadline = time.monotonic() + self.timeout
+        spins = 0
+        yields = 0
+        while True:
+            done = True
+            for w in range(self.num_workers):
+                v = self.slots[w]
+                if v < 0:
+                    raise WorkerAborted(f"worker {w} aborted")
+                if v < target:
+                    done = False
+                    break
+            if done:
+                return
+            spins += 1
+            if spins % self._spins_per_yield == 0:
+                yields += 1
+                time.sleep(0 if yields < _YIELDS_PER_SLEEP
+                           else _BACKOFF_SLEEP)
+                if time.monotonic() > deadline:
+                    self.abort()
+                    raise WorkerAborted(
+                        f"worker {self.wid}: barrier round {target} "
+                        f"timed out after {self.timeout}s"
+                    )
+
+    def abort(self):
+        """Poison this worker's slot so peers fail fast instead of hang."""
+        self.slots[self.wid] = -1
+
+    @staticmethod
+    def make_slots(ctx, num_workers):
+        """The shared slot array (create in the parent, pass to workers)."""
+        return ctx.RawArray(c_int64, num_workers)
+
+
+class Mailboxes:
+    """Batched, barrier-phased record exchange between workers."""
+
+    __slots__ = ("wid", "num_workers", "queues", "sent", "_consumed",
+                 "outboxes")
+
+    def __init__(self, wid, num_workers, queues, sent):
+        self.wid = wid
+        self.num_workers = num_workers
+        #: queues[w] is worker w's inbound queue.
+        self.queues = queues
+        #: Shared ``RawArray(c_int64, W*W)``: slot ``src*W + dst`` is the
+        #: cumulative number of batches src has put on dst's queue.
+        #: Single-writer per slot (the sender), read only after a
+        #: barrier the writer has also passed.
+        self.sent = sent
+        self._consumed = [0] * num_workers
+        self.outboxes = [[] for _ in range(num_workers)]
+
+    # ------------------------------------------------------------------
+    def post(self, dst, record):
+        """Queue one record for ``dst`` (flushed at the next barrier)."""
+        self.outboxes[dst].append(record)
+
+    def broadcast(self, record):
+        """Queue one record for every *other* worker."""
+        for dst in range(self.num_workers):
+            if dst != self.wid:
+                self.outboxes[dst].append(record)
+
+    def flush(self):
+        """Ship every non-empty outbox; call *before* the barrier."""
+        w = self.num_workers
+        for dst in range(w):
+            box = self.outboxes[dst]
+            if box:
+                self.outboxes[dst] = []
+                self.queues[dst].put((self.wid, box))
+                self.sent[self.wid * w + dst] += 1
+
+    def drain(self):
+        """Collect every advertised inbound batch; call *after* the
+        barrier.  Returns ``[(src_worker, [records...]), ...]`` sorted
+        by source worker, each batch in its sender's posting order."""
+        w = self.num_workers
+        expected = 0
+        for src in range(w):
+            if src != self.wid:
+                expected += self.sent[src * w + self.wid] - \
+                    self._consumed[src]
+        batches = []
+        queue = self.queues[self.wid]
+        for _ in range(expected):
+            try:
+                src, box = queue.get(timeout=BARRIER_TIMEOUT)
+            except Exception:
+                # The sender advertised a batch its feeder never shipped
+                # (e.g. it died mid-pickle) — fail fast, don't hang.
+                raise WorkerAborted(
+                    f"worker {self.wid}: advertised inbound batch never "
+                    "arrived"
+                ) from None
+            self._consumed[src] += 1
+            batches.append((src, box))
+        batches.sort(key=lambda b: b[0])
+        return batches
+
+    @staticmethod
+    def make_shared(ctx, num_workers):
+        """(queues, sent-counter array) — create in the parent."""
+        queues = [ctx.Queue() for _ in range(num_workers)]
+        sent = ctx.RawArray(c_int64, num_workers * num_workers)
+        return queues, sent

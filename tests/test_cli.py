@@ -19,6 +19,33 @@ def test_run_command_prints_metrics(capsys):
     assert "mpi_only" in out
 
 
+def test_run_partitioned_matches_serial_output(capsys):
+    argv = [
+        "run", "--variant", "mpi_only", "--preset", "laptop",
+        "--nodes", "1", "--root", "2", "2", "1",
+        "--nx", "4", "--num-vars", "2", "--tsteps", "1", "--stages", "2",
+        "--checksum-freq", "2", "--max-refine-level", "1",
+    ]
+    assert main(argv) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + ["--pdes-workers", "2"]) == 0
+    partitioned = capsys.readouterr().out
+    # Same simulation, same printed metrics — the worker count is a
+    # host-side knob, not a model change.
+    assert partitioned == serial
+    assert main(argv + ["--pdes-workers", "2",
+                        "--pdes-partition", "contiguous"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_run_rejects_bad_pdes_partition(capsys):
+    with pytest.raises(SystemExit):
+        main([
+            "run", "--variant", "mpi_only", "--preset", "laptop",
+            "--pdes-partition", "striped",
+        ])
+
+
 def test_run_tampi_with_paper_options(capsys):
     rc = main([
         "run", "--variant", "tampi_dataflow", "--preset", "laptop",

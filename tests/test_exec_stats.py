@@ -47,6 +47,43 @@ def test_observational_fields_share_one_signature():
     ) == sig
 
 
+def test_pdes_fields_share_one_signature():
+    """Partitioned execution computes the same simulation, so its worker
+    layout must not fragment the duration history (regression: new
+    ``pdes_*`` spec fields have to be stripped like ``profile`` was)."""
+    sig = spec_signature(base_spec())
+    assert spec_signature(base_spec(pdes_workers=4)) == sig
+    assert spec_signature(
+        base_spec(pdes_workers=2, pdes_partition="contiguous")
+    ) == sig
+    assert spec_signature(
+        base_spec(pdes_workers=8, profile=True)
+    ) == sig
+
+
+def test_every_spec_field_is_classified():
+    """Each ``RunSpec`` field must be declared semantic or observational
+    — exactly one of the two.  This is the test that would have caught
+    ``profile`` leaking into signatures (and now ``pdes_workers``): a
+    new field fails here until its signature role is decided."""
+    from repro.exec.stats import OBSERVATIONAL_FIELDS, SEMANTIC_FIELDS
+
+    spec_fields = {f.name for f in dataclasses.fields(RunSpec)}
+    classified = set(SEMANTIC_FIELDS) | set(OBSERVATIONAL_FIELDS)
+    assert set(SEMANTIC_FIELDS).isdisjoint(OBSERVATIONAL_FIELDS), (
+        "a field cannot be both semantic and observational"
+    )
+    assert classified == spec_fields, (
+        f"unclassified spec fields: {sorted(spec_fields - classified)}; "
+        f"stale classifications: {sorted(classified - spec_fields)}"
+    )
+    # And the classification is real: every semantic field perturbs the
+    # signature via at least one canonical example.
+    sig = spec_signature(base_spec())
+    assert spec_signature(base_spec(variant="fork_join")) != sig
+    assert spec_signature(base_spec(scheduler="fifo")) != sig
+
+
 def test_inactive_fault_plan_shares_the_clean_signature():
     clean = spec_signature(base_spec())
     idle = spec_signature(base_spec(faults=FaultPlan()))

@@ -1,0 +1,128 @@
+"""Partitioned-kernel equivalence: ``pdes_workers > 1`` must reproduce
+the serial event kernel *byte for byte*.
+
+The conservative window protocol promises identical delivery order and
+timestamps, so the whole serialized :class:`~repro.core.RunResult` —
+checksums, simulated clock, per-rank runtime stats, communication
+volumes — is compared as canonical JSON, not field by field with
+tolerances.  Any drift (a reordered tie, a float that rounded
+differently, a stat merged in the wrong order) fails loudly.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import AmrConfig, sphere
+from repro.core import RunSpec
+from repro.core.driver import run_simulation
+from repro.verify import GoldenStore, default_golden_specs, fuzz_sweep
+
+VARIANTS = ("mpi_only", "fork_join", "tampi_dataflow")
+SCHEDULERS = ("fifo", "locality")
+
+
+def _workload_base(name):
+    if name == "quick":
+        # The golden-style one-timestep config: cheap, still exercises
+        # refinement, exchange, checksum collectives.
+        return dict(
+            nx=4, ny=4, nz=4, num_vars=2,
+            num_tsteps=1, stages_per_ts=3, refine_freq=1, checksum_freq=3,
+            max_refine_level=1,
+            objects=(sphere(center=(0.4, 0.45, 0.5), radius=0.2,
+                            move=(0.05, 0.0, 0.0)),),
+        )
+    # refine_heavy: a fast-moving object refined every timestep two
+    # levels deep — maximum split/consolidate traffic across the
+    # partition boundary.
+    return dict(
+        nx=4, ny=4, nz=4, num_vars=2,
+        num_tsteps=3, stages_per_ts=2, refine_freq=1, checksum_freq=2,
+        max_refine_level=2,
+        objects=(sphere(center=(0.25, 0.4, 0.5), radius=0.14,
+                        move=(0.18, 0.05, 0.0)),),
+    )
+
+
+def _spec(workload, variant, scheduler):
+    base = _workload_base(workload)
+    if variant == "mpi_only":
+        cfg = AmrConfig(npx=2, npy=2, npz=1, init_x=1, init_y=1, init_z=2,
+                        **base)
+        rpn = 4
+    else:
+        cfg = AmrConfig(npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2,
+                        **base)
+        rpn = 2
+    return RunSpec(config=cfg, machine="laptop", variant=variant,
+                   num_nodes=1, ranks_per_node=rpn, scheduler=scheduler)
+
+
+def _canon(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# The core matrix: variants x schedulers x workloads x worker counts
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload", ["quick", "refine_heavy"])
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_partitioned_matches_serial(workload, variant, scheduler):
+    spec = _spec(workload, variant, scheduler)
+    serial = _canon(run_simulation(spec))
+    for workers in (2, 4):
+        part = _canon(run_simulation(replace(spec, pdes_workers=workers)))
+        assert part == serial, (
+            f"{variant}/{scheduler}/{workload}: pdes_workers={workers} "
+            f"diverged from the serial kernel"
+        )
+
+
+# ----------------------------------------------------------------------
+# Multi-node machines: both partition policies
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ["node", "contiguous"])
+def test_partition_policies_match_serial_multinode(policy):
+    base = _workload_base("quick")
+    cfg = AmrConfig(npx=2, npy=2, npz=2, init_x=1, init_y=1, init_z=1,
+                    **base)
+    spec = RunSpec(config=cfg, machine="marenostrum4", variant="mpi_only",
+                   num_nodes=4, ranks_per_node=2, scheduler="locality")
+    serial = _canon(run_simulation(spec))
+    part = _canon(run_simulation(
+        replace(spec, pdes_workers=4, pdes_partition=policy)
+    ))
+    assert part == serial, f"partition policy {policy!r} diverged"
+
+
+# ----------------------------------------------------------------------
+# Committed goldens replay partitioned
+# ----------------------------------------------------------------------
+def test_goldens_replay_partitioned():
+    """``pdes_workers=4`` reproduces every committed golden exactly.
+
+    The golden's spec key is computed from the *base* (serial) spec —
+    the golden asserts behaviour, and a partitioned run claims to have
+    identical behaviour.
+    """
+    store = GoldenStore("goldens")
+    specs = default_golden_specs()
+    assert set(specs) <= set(store.names()), "committed goldens missing"
+    for name, spec in specs.items():
+        result = run_simulation(replace(spec, pdes_workers=4))
+        store.check(name, spec, result)  # raises GoldenMismatchError
+
+
+# ----------------------------------------------------------------------
+# Schedule fuzzing under partitioned execution
+# ----------------------------------------------------------------------
+def test_fuzz_sweep_partitioned():
+    """Five fuzz seeds run partitioned keep every schedule invariant."""
+    spec = replace(
+        _spec("quick", "tampi_dataflow", "locality"), pdes_workers=2
+    )
+    report = fuzz_sweep(spec, seeds=5)
+    assert report.ok, report.summary()

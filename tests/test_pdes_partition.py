@@ -1,0 +1,107 @@
+"""Partition maps and the lookahead derivation against real machines."""
+
+import pytest
+
+from repro import get_preset
+from repro.simx.parallel import (
+    LOOKAHEAD_MARGIN,
+    PartitionMap,
+    cross_partition_latency,
+    lookahead,
+)
+
+
+def _machine(nodes=4, rpn=4, preset="marenostrum4"):
+    spec = get_preset(preset)()
+    return spec, spec.machine(num_nodes=nodes, ranks_per_node=rpn)
+
+
+# ----------------------------------------------------------------------
+# Node policy
+# ----------------------------------------------------------------------
+def test_node_policy_keeps_nodes_whole():
+    _spec, machine = _machine(nodes=4, rpn=4)
+    pmap = PartitionMap.build(machine, 2, "node")
+    assert pmap.num_workers == 2
+    for node in range(machine.num_nodes):
+        owners = {pmap.owner_of(r) for r in machine.ranks_on_node(node)}
+        assert len(owners) == 1, f"node {node} split across workers"
+    # Both workers own two of the four nodes.
+    assert [len(pmap.local_ranks(w)) for w in range(2)] == [8, 8]
+
+
+def test_node_policy_degrades_to_contiguous_when_oversplit():
+    """More workers than nodes: the node policy falls back to a
+    contiguous rank split rather than leaving workers empty."""
+    _spec, machine = _machine(nodes=2, rpn=4)
+    pmap = PartitionMap.build(machine, 4, "node")
+    assert pmap.num_workers == 4
+    assert all(pmap.local_ranks(w) for w in range(4))
+
+
+def test_workers_clamped_to_rank_count():
+    _spec, machine = _machine(nodes=1, rpn=2)
+    pmap = PartitionMap.build(machine, 16)
+    assert pmap.num_workers == 2
+
+
+def test_unknown_policy_rejected():
+    _spec, machine = _machine()
+    with pytest.raises(ValueError):
+        PartitionMap.build(machine, 2, "striped")
+
+
+# ----------------------------------------------------------------------
+# Cross-partition latency and lookahead
+# ----------------------------------------------------------------------
+def test_node_cuts_see_inter_node_latency():
+    spec, machine = _machine(nodes=4, rpn=4)
+    network = spec.network.scaled_to(4)
+    pmap = PartitionMap.build(machine, 2, "node")
+    assert cross_partition_latency(pmap, machine, network) == \
+        network.latency_inter
+
+
+def test_intra_node_cuts_see_intra_node_latency():
+    spec, machine = _machine(nodes=1, rpn=8)
+    network = spec.network.scaled_to(1)
+    pmap = PartitionMap.build(machine, 2, "contiguous")
+    assert cross_partition_latency(pmap, machine, network) == \
+        network.latency_intra
+
+
+def test_single_worker_has_no_cross_latency():
+    spec, machine = _machine(nodes=2, rpn=2)
+    network = spec.network.scaled_to(2)
+    pmap = PartitionMap.build(machine, 1)
+    assert cross_partition_latency(pmap, machine, network) == float("inf")
+
+
+def test_lookahead_is_positive_and_bounded():
+    spec, machine = _machine(nodes=4, rpn=4)
+    network = spec.network.scaled_to(4)
+    for policy in ("node", "contiguous"):
+        pmap = PartitionMap.build(machine, 4, policy)
+        la = lookahead(pmap, machine, network)
+        assert 0 < la
+        assert la <= network.collective_round * LOOKAHEAD_MARGIN
+        assert la <= (
+            network.injection_gap
+            + cross_partition_latency(pmap, machine, network)
+        ) * LOOKAHEAD_MARGIN
+
+
+def test_node_policy_never_shrinks_lookahead_vs_contiguous():
+    """Keeping nodes whole is the default because inter-node latency
+    dominates intra-node: the node policy's lookahead is at least the
+    contiguous policy's on every machine shape."""
+    for nodes, rpn in ((2, 4), (4, 4), (8, 2)):
+        spec, machine = _machine(nodes=nodes, rpn=rpn)
+        network = spec.network.scaled_to(nodes)
+        la_node = lookahead(
+            PartitionMap.build(machine, 2, "node"), machine, network
+        )
+        la_cont = lookahead(
+            PartitionMap.build(machine, 2, "contiguous"), machine, network
+        )
+        assert la_node >= la_cont

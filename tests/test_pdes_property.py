@@ -1,0 +1,210 @@
+"""Hypothesis properties of the conservative window protocol.
+
+Drives :mod:`repro.simx.parallel.protocol` — the shipped synchronization
+math, with no processes attached — with random partition maps, random
+lookaheads, and random message schedules, and checks the two invariants
+the partitioned kernel's correctness rests on:
+
+* **Serial equivalence / causality**: the partitioned execution runs the
+  exact same events at the exact same timestamps as a single global
+  event loop, and no partition ever sees a message behind its clock.
+* **Null-window progress**: the protocol terminates (no deadlock) in at
+  most one window per executed event, even when partitions start empty
+  and only receive work via messages.
+"""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simx.parallel import (
+    CausalityError,
+    LogicalProcess,
+    PartitionMap,
+    contiguous_map,
+    run_conservative,
+    safe_horizon,
+)
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def _schedules(max_events=12):
+    """Random initial event lists: (time, payload-id) per partition."""
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            st.integers(min_value=0, max_value=10**6),
+        ),
+        max_size=max_events,
+    )
+
+
+def _fanout(num_partitions, lookahead, depth=2):
+    """A deterministic message schedule: each executed event with a
+    payload still carrying "hops" emits one message per other partition,
+    arriving ``lookahead * k`` later (k >= 1 — always legal)."""
+
+    def on_execute(pid, t, payload):
+        hops = payload % (depth + 1)
+        if hops == 0:
+            return []
+        return [
+            (dst, lookahead * (1 + (payload + dst) % 3), payload - 1)
+            for dst in range(num_partitions)
+            if dst != pid
+        ]
+
+    return on_execute
+
+
+def _serial_reference(events_per_pid, lookahead, on_execute):
+    """A single global event loop over the same model: the ground truth
+    the window protocol must reproduce exactly."""
+    heap = []
+    seq = 0
+    for pid, events in enumerate(events_per_pid):
+        for t, payload in events:
+            heap.append((float(t), pid, seq, payload))
+            seq += 1
+    heapq.heapify(heap)
+    executed = [[] for _ in events_per_pid]
+    while heap:
+        t, pid, _s, payload = heapq.heappop(heap)
+        executed[pid].append((t, payload))
+        if on_execute is not None:
+            for dst, delay, msg in on_execute(pid, t, payload):
+                heapq.heappush(heap, (t + delay, dst, seq, msg))
+                seq += 1
+    return executed
+
+
+# ----------------------------------------------------------------------
+# Serial equivalence + causality under random schedules
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.data(),
+    num_partitions=st.integers(min_value=1, max_value=5),
+    lookahead=st.floats(min_value=1e-6, max_value=2.0,
+                        allow_nan=False, allow_infinity=False),
+)
+def test_windowed_execution_equals_serial(data, num_partitions, lookahead):
+    events = [
+        data.draw(_schedules(), label=f"events[{pid}]")
+        for pid in range(num_partitions)
+    ]
+    on_execute = _fanout(num_partitions, lookahead)
+
+    reference = _serial_reference(events, lookahead, on_execute)
+
+    processes = [
+        LogicalProcess(pid, events[pid]) for pid in range(num_partitions)
+    ]
+    windows = run_conservative(processes, lookahead, on_execute)
+
+    total = sum(len(ex) for ex in reference)
+    for pid, proc in enumerate(processes):
+        # Identical events at identical timestamps, per partition.  The
+        # multiset comparison (sorted) tolerates same-time reordering;
+        # timestamps themselves must match exactly.
+        assert sorted(proc.executed) == sorted(reference[pid]), (
+            f"partition {pid} diverged from the serial event loop"
+        )
+        # The local clock only ever moved forward.
+        times = [t for t, _ in proc.executed]
+        assert times == sorted(times)
+    # Progress bound: every window executes at least the global-min
+    # event, so termination needs at most one window per event.
+    assert windows <= max(total, 1)
+
+
+# ----------------------------------------------------------------------
+# Null-window progress: empty partitions fed only by messages
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    num_partitions=st.integers(min_value=2, max_value=6),
+    lookahead=st.floats(min_value=1e-3, max_value=1.0,
+                        allow_nan=False, allow_infinity=False),
+    hops=st.integers(min_value=1, max_value=6),
+)
+def test_no_deadlock_with_empty_partitions(num_partitions, lookahead, hops):
+    """Only partition 0 starts with work; everyone else reports
+    ``min = inf`` every window until a message lands.  The protocol must
+    keep advancing (null-window progress) and terminate."""
+
+    def relay(pid, t, payload):
+        if payload == 0:
+            return []
+        return [((pid + 1) % num_partitions, lookahead, payload - 1)]
+
+    processes = [LogicalProcess(0, [(0.0, hops)])] + [
+        LogicalProcess(pid) for pid in range(1, num_partitions)
+    ]
+    windows = run_conservative(processes, lookahead, relay)
+    executed = sum(len(p.executed) for p in processes)
+    assert executed == hops + 1
+    assert windows <= executed + 1
+    # The relay's timestamps are exact lookahead multiples.
+    all_events = sorted(
+        (t, p.pid) for p in processes for t, _ in p.executed
+    )
+    assert all_events[0][0] == 0.0
+    assert all_events[-1][0] == pytest.approx(hops * lookahead)
+
+
+# ----------------------------------------------------------------------
+# Direct invariants of the pieces
+# ----------------------------------------------------------------------
+def test_safe_horizon_terminates_on_all_empty():
+    assert safe_horizon([_INF, _INF], 0.5) is None
+    assert safe_horizon([1.0, _INF], 0.5) == 1.5
+
+
+def test_ingest_behind_clock_raises():
+    p = LogicalProcess(0, [(1.0, 1), (2.0, 2)])
+    p.run_window(1.5)
+    assert p.clock == 1.0
+    with pytest.raises(CausalityError):
+        p.ingest(0.5, 99)
+
+
+def test_nonpositive_lookahead_rejected():
+    with pytest.raises(ValueError):
+        run_conservative([LogicalProcess(0)], 0.0)
+
+
+# ----------------------------------------------------------------------
+# Partition maps: every rank owned exactly once, ids dense
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    num_ranks=st.integers(min_value=1, max_value=64),
+    num_workers=st.integers(min_value=1, max_value=16),
+)
+def test_contiguous_map_partitions_ranks(num_ranks, num_workers):
+    pmap = contiguous_map(num_ranks, num_workers)
+    assert pmap.num_workers == min(num_workers, num_ranks)
+    seen = []
+    for wid in range(pmap.num_workers):
+        local = pmap.local_ranks(wid)
+        assert local, f"worker {wid} owns no ranks"
+        assert all(pmap.owner_of(r) == wid for r in local)
+        # Contiguity: each worker owns one unbroken rank range.
+        assert local == list(range(local[0], local[-1] + 1))
+        seen += local
+    assert sorted(seen) == list(range(num_ranks))
+
+
+def test_partition_map_rejects_sparse_worker_ids():
+    with pytest.raises(ValueError):
+        PartitionMap([0, 2])  # worker 1 missing
+    with pytest.raises(ValueError):
+        PartitionMap([])

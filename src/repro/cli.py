@@ -13,9 +13,14 @@ Examples::
     miniamr-sim faults --intensities 0.5 1.0 --quick
     miniamr-sim pipeline paper --quick --jobs 2
     miniamr-sim pipeline paper --quick --show-dag
+    miniamr-sim sweep --jobs 4 --telemetry sweep.jsonl
+    miniamr-sim top sweep.jsonl --follow
+    miniamr-sim engine-report sweep.jsonl --chrome-trace engine.trace.json
+    miniamr-sim trend --results-dir benchmarks/results
 
-Exit codes: 0 success, 1 failed runs (sweep/bench/pipeline/verify),
-2 invalid spec or argument combination.
+Exit codes: 0 success, 1 failed runs (sweep/bench/pipeline/verify) or
+flagged regressions (trend --strict), 2 invalid spec or argument
+combination.
 """
 
 from __future__ import annotations
@@ -99,6 +104,10 @@ def _add_engine_options(p):
                         "cost scheduling (default: %(default)s)")
     p.add_argument("--no-stats", action="store_true",
                    help="neither read nor record run-duration statistics")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="append engine telemetry (job lifecycle, cache "
+                        "hits, PDES windows) as JSONL here; watch live "
+                        "with `miniamr-sim top PATH --follow`")
 
 
 def _add_fault_options(p):
@@ -294,6 +303,64 @@ def _add_profile_parser(sub):
     return p
 
 
+def _add_top_parser(sub):
+    p = sub.add_parser(
+        "top",
+        help="live view of a running sweep/pipeline from its telemetry "
+             "stream: per-worker activity, queue, retries, ETA",
+    )
+    p.add_argument("stream", metavar="TELEMETRY",
+                   help="telemetry JSONL written via --telemetry "
+                        "(or REPRO_TELEMETRY)")
+    p.add_argument("--follow", action="store_true",
+                   help="refresh in place until the engine stops")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="refresh period in seconds (default: %(default)s)")
+    return p
+
+
+def _add_engine_report_parser(sub):
+    p = sub.add_parser(
+        "engine-report",
+        help="aggregate a telemetry stream: worker utilization, queue "
+             "waits, cache hit rate, retries, PDES window efficiency, "
+             "predicted-vs-achieved makespan",
+    )
+    p.add_argument("stream", metavar="TELEMETRY",
+                   help="telemetry JSONL written via --telemetry")
+    p.add_argument("--chrome-trace", default=None, metavar="PATH",
+                   help="write the engine-level Perfetto trace here "
+                        "(one lane per engine worker)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the normalized (timestamp-free) digest "
+                        "as JSON here")
+    return p
+
+
+def _add_trend_parser(sub):
+    p = sub.add_parser(
+        "trend",
+        help="diff benchmarks/results/BENCH_*.json against their "
+             "committed history and flag metric regressions",
+    )
+    p.add_argument("--results-dir", default="benchmarks/results",
+                   help="BENCH_*.json directory (default: %(default)s)")
+    p.add_argument("--baseline-dir", default=None, metavar="DIR",
+                   help="compare against this directory instead of the "
+                        "committed git version")
+    p.add_argument("--rev", default="HEAD",
+                   help="git revision holding the baseline "
+                        "(default: %(default)s)")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="relative change treated as a trend "
+                        "(default: %(default)s)")
+    p.add_argument("--all", action="store_true",
+                   help="print every metric, not just flagged ones")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 when any regression is flagged")
+    return p
+
+
 def _add_report_parser(sub):
     p = sub.add_parser(
         "report",
@@ -340,6 +407,15 @@ def _make_engine(args):
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     stats = None if args.no_stats else RunStatsStore(args.stats_file)
+    telemetry = None
+    if getattr(args, "telemetry", None):
+        from .obs.telemetry import TELEMETRY_ENV, TelemetryBus
+
+        telemetry = TelemetryBus(args.telemetry)
+        # Exported so PDES worker grandchildren (and any other spawned
+        # process) can attach to the same stream; deliberately not a
+        # spec field — fingerprints stay identical with telemetry on.
+        os.environ[TELEMETRY_ENV] = os.path.abspath(args.telemetry)
 
     def progress(event):
         if event["event"] in ("ok", "cached", "failed", "blocked", "retry"):
@@ -357,6 +433,7 @@ def _make_engine(args):
         retries=args.retries,
         progress=progress if args.jobs > 1 else None,
         stats=stats,
+        telemetry=telemetry,
     )
 
 
@@ -478,6 +555,50 @@ def cmd_report(args) -> int:
     a, b = (load(path) for path in args.runs)
     print(compare_reports(a, b), end="")
     return 0
+
+
+def cmd_top(args) -> int:
+    from .obs.live import follow, read_stream, render_top
+
+    if args.follow:
+        follow(args.stream, interval=args.interval)
+    else:
+        print(render_top(read_stream(args.stream)), end="")
+    return 0
+
+
+def cmd_engine_report(args) -> int:
+    import json
+
+    from .obs import EngineReport
+
+    report = EngineReport.from_file(args.stream)
+    if args.chrome_trace:
+        count = report.write_chrome_trace(args.chrome_trace)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.normalized(), fh, indent=2, sort_keys=True)
+    print(report.ascii_summary(), end="")
+    if args.chrome_trace:
+        print(f"engine trace written: {args.chrome_trace} "
+              f"({count} events)")
+    if args.json:
+        print(f"normalized digest written: {args.json}")
+    return 0
+
+
+def cmd_trend(args) -> int:
+    from .obs.trend import trend_table
+
+    text, regressions = trend_table(
+        args.results_dir,
+        baseline_dir=args.baseline_dir,
+        rev=args.rev,
+        threshold=args.threshold,
+        show_all=args.all,
+    )
+    print(text, end="")
+    return 1 if (regressions and args.strict) else 0
 
 
 def cmd_sweep(args) -> int:
@@ -692,6 +813,9 @@ def main(argv=None) -> int:
     _add_verify_parser(sub)
     _add_profile_parser(sub)
     _add_report_parser(sub)
+    _add_top_parser(sub)
+    _add_engine_report_parser(sub)
+    _add_trend_parser(sub)
     args = parser.parse_args(argv)
     commands = {
         "run": cmd_run,
@@ -702,6 +826,9 @@ def main(argv=None) -> int:
         "verify": cmd_verify,
         "profile": cmd_profile,
         "report": cmd_report,
+        "top": cmd_top,
+        "engine-report": cmd_engine_report,
+        "trend": cmd_trend,
     }
     from .exec import SweepError
 

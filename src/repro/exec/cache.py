@@ -54,10 +54,18 @@ class CacheEntry:
 
 
 class ResultCache:
-    """Maps run fingerprints to serialized :class:`RunResult` entries."""
+    """Maps run fingerprints to serialized :class:`RunResult` entries.
+
+    ``hits``/``misses`` count :meth:`get_entry` lookups over this
+    instance's lifetime; the sweep engine folds them into its
+    ``engine_stop`` telemetry record.  They are observability counters
+    only — nothing on disk depends on them.
+    """
 
     def __init__(self, root):
         self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
 
     def path(self, fingerprint: str) -> Path:
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
@@ -91,6 +99,7 @@ class ResultCache:
             wall_time = envelope.get("wall_time")
             kind = envelope.get("kind", "result")
             if kind == "analysis":
+                self.hits += 1
                 return CacheEntry(
                     kind="analysis",
                     value=envelope["value"],
@@ -98,12 +107,15 @@ class ResultCache:
                 )
             if kind != "result":
                 raise ValueError(f"unknown cache entry kind {kind!r}")
-            return CacheEntry(
+            entry = CacheEntry(
                 kind="result",
                 value=RunResult.from_dict(envelope["result"]),
                 wall_time=wall_time,
             )
+            self.hits += 1
+            return entry
         except FileNotFoundError:
+            self.misses += 1
             return None
         except (
             ValueError,  # includes json.JSONDecodeError
@@ -122,6 +134,7 @@ class ResultCache:
                 os.unlink(path)
             except OSError:
                 pass
+            self.misses += 1
             return None
 
     def put(self, fingerprint: str, spec: RunSpec, result: RunResult,

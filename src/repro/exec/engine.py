@@ -46,6 +46,7 @@ import traceback
 from dataclasses import dataclass, field
 
 from ..core import RunResult, RunSpec, run_simulation
+from ..obs.telemetry import QueueEmitter, drain_queue
 from .stats import FALLBACK_CONSERVATISM, fallback_cost, spec_signature
 
 
@@ -121,6 +122,13 @@ class RunOutcome:
     #: store learns from (``wall_time`` also accumulates failed attempts
     #: and backoff).  ``None`` when the run never succeeded.
     exec_time: float = None
+    #: Engine worker (pool slot) that executed the run: ``0..jobs-1``,
+    #: ``-1`` for live-only trace runs executed in the engine parent,
+    #: ``None`` when nothing executed (cached/blocked outcomes).
+    worker_id: int = None
+    #: Pool slots the run occupied while executing (a partitioned run
+    #: claims ``min(pdes_workers, jobs)``).
+    slots: int = 1
 
     @property
     def ok(self) -> bool:
@@ -213,6 +221,38 @@ def _child_main(conn, runner, spec_dict):
         conn.close()
 
 
+class _ChildTelemetryRunner:
+    """Wrap a pool child's runner with in-worker telemetry spans.
+
+    The child posts ``run_start``/``run_end`` records onto a queue the
+    engine parent drains into the stream file (the parent stays the
+    single writer for everything it spawned).  Picklable by
+    construction: the wrapped runner already had to be.
+    """
+
+    __slots__ = ("runner", "queue", "node", "run", "wid")
+
+    def __init__(self, runner, queue, node, run, wid):
+        self.runner = runner
+        self.queue = queue
+        self.node = node
+        self.run = run
+        self.wid = wid
+
+    def __call__(self, spec_dict):
+        emitter = QueueEmitter(
+            self.queue, wid=self.wid, run=self.run, node=self.node
+        )
+        emitter.emit("run_start")
+        try:
+            result = self.runner(spec_dict)
+        except BaseException:
+            emitter.emit("run_end", ok=False)
+            raise
+        emitter.emit("run_end", ok=True)
+        return result
+
+
 # ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
@@ -220,7 +260,7 @@ class _Pending:
     __slots__ = ("index", "spec", "fingerprint", "label", "name",
                  "priority", "ready_at", "attempts", "not_before",
                  "started", "first_started", "deadline", "proc", "conn",
-                 "wall_time", "slots")
+                 "wall_time", "slots", "wids")
 
     def __init__(self, index, spec, fingerprint, label, name, priority,
                  ready_at, slots=1):
@@ -243,6 +283,13 @@ class _Pending:
         #: run (``pdes_workers > 1``) spawns that many worker processes,
         #: so the scheduler bin-packs it as that many jobs.
         self.slots = slots
+        #: Worker ids claimed while executing (``wids[0]`` names the run's
+        #: worker in outcomes and telemetry); ``None`` between attempts.
+        self.wids = None
+
+    @property
+    def wid(self):
+        return self.wids[0] if self.wids else None
 
     @property
     def wait_time(self):
@@ -290,11 +337,21 @@ class SweepEngine:
         completed run — including cache hits whose original duration
         rides in the cache envelope — updates it; predictions from it
         drive the critical-path-first ordering of the ready set.
+    telemetry:
+        A :class:`~repro.obs.telemetry.TelemetryBus` (or ``None``,
+        the default: fully disabled, zero emission cost).  The engine
+        emits every job-lifecycle transition — queued, launched,
+        retried, done/failed/blocked, cache hits — with worker ids and
+        slot counts, plus ``engine_start``/``engine_stop`` envelopes;
+        pool children post ``run_start``/``run_end`` spans through a
+        queue the parent drains.  Telemetry is not part of any
+        :class:`RunSpec`: fingerprints, cache keys, and results are
+        byte-identical with it on or off.
     """
 
     def __init__(self, *, jobs=1, cache=None, timeout=None, retries=2,
                  backoff=0.25, progress=None, mp_context=None, runner=None,
-                 stats=None):
+                 stats=None, telemetry=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
@@ -307,6 +364,13 @@ class SweepEngine:
         self.progress = progress
         self.runner = runner or run_spec_dict
         self.stats = stats
+        self.telemetry = telemetry
+        if stats is not None and telemetry is not None and getattr(
+            stats, "telemetry", None
+        ) is None:
+            # Route the store's predicted-vs-actual reconciliation into
+            # the same stream the engine writes.
+            stats.telemetry = telemetry
         if mp_context is None:
             mp_context = (
                 "fork"
@@ -411,6 +475,28 @@ class SweepEngine:
 
         launchable = []     # admitted _Pending tasks awaiting a slot
         running = []
+        free_wids = list(range(self.jobs))  # pool slots, lowest-first
+        tel = self.telemetry
+        tel_queue = None
+        if tel is not None:
+            predicted_makespan = None
+            try:
+                predicted_makespan = graph.simulate_makespan(
+                    costs, workers=self.jobs
+                )
+            except ValueError:
+                pass  # degenerate graph: telemetry must never fail a run
+            tel.emit(
+                "engine_start", graph=graph.name, jobs=self.jobs,
+                total=total, predicted_makespan=predicted_makespan,
+            )
+            if self.jobs > 1:
+                tel_queue = self._ctx.Queue()
+        # Cache counters are cumulative per ResultCache instance; the
+        # stop record reports this graph's delta so streams holding many
+        # engine sessions stay summable.
+        cache_hits0 = getattr(self.cache, "hits", 0) or 0
+        cache_misses0 = getattr(self.cache, "misses", 0) or 0
 
         def finish(outcome, payload):
             """Record a terminal outcome and wake/block dependents."""
@@ -449,6 +535,8 @@ class SweepEngine:
                 outcomes[s] = outcome
                 state["finished"] += 1
                 self._emit("blocked", outcome, total)
+                if tel is not None:
+                    tel.emit("job_blocked", node=node.name, blocker=blocker)
                 stack.extend(graph.succs[s])
 
         def admit(index):
@@ -480,6 +568,8 @@ class SweepEngine:
                             status="cached", result=entry.value,
                         )
                         self._emit("cached", outcome, total)
+                        if tel is not None:
+                            tel.emit("job_cached", node=node.name, run=nfp)
                         finish(outcome, entry.value)
                         return
                 try:
@@ -493,6 +583,11 @@ class SweepEngine:
                         wall_time=time.monotonic() - ready_at,
                     )
                     self._emit("failed", outcome, total)
+                    if tel is not None:
+                        tel.emit(
+                            "job_failed", node=node.name, run=nfp,
+                            attempts=1, error=outcome.error,
+                        )
                     finish(outcome, None)
                     return
                 if not isinstance(built, RunSpec):
@@ -519,15 +614,22 @@ class SweepEngine:
                         result=built, attempts=1, wall_time=wall,
                     )
                     self._emit("ok", outcome, total)
+                    if tel is not None:
+                        tel.emit(
+                            "job_done", node=node.name, run=nfp,
+                            status="ok", attempts=1, wall_time=wall,
+                        )
                     finish(outcome, built)
                     return
                 spec = built
             fingerprint = spec.fingerprint()
             fingerprints[index] = fingerprint
             if spec.trace:
+                # Live-only: executes in the engine parent (worker -1).
                 outcome = self._run_inline(
                     index, spec, fingerprint, node.label, cacheable=False,
-                    total=total, name=node.name,
+                    total=total, name=node.name, wid=-1,
+                    predicted=costs[index],
                 )
                 finish(outcome, outcome.result)
                 return
@@ -540,6 +642,10 @@ class SweepEngine:
                         result=entry.value,
                     )
                     self._emit("cached", outcome, total)
+                    if tel is not None:
+                        tel.emit(
+                            "job_cached", node=node.name, run=fingerprint,
+                        )
                     if self.stats is not None:
                         self.stats.record(
                             spec_signature(spec), entry.wall_time,
@@ -547,22 +653,37 @@ class SweepEngine:
                         )
                     finish(outcome, entry.value)
                     return
+            slots = max(1, min(spec.pdes_workers or 1, self.jobs))
+            if tel is not None:
+                tel.emit(
+                    "job_queued", node=node.name, run=fingerprint,
+                    slots=slots, predicted=costs[index],
+                )
             launchable.append(_Pending(
                 index, spec, fingerprint, node.label, node.name,
-                priority[index], ready_at,
-                slots=max(1, min(spec.pdes_workers or 1, self.jobs)),
+                priority[index], ready_at, slots=slots,
             ))
 
         # Pool-side helpers ------------------------------------------------
         def launch(task):
             parent, child = self._ctx.Pipe(duplex=False)
+            # Claim pool slots: a partitioned run takes ``slots`` worker
+            # ids and is named by the lowest one.
+            task.wids = free_wids[:task.slots]
+            del free_wids[:task.slots]
+            runner = self.runner
+            if tel_queue is not None:
+                runner = _ChildTelemetryRunner(
+                    runner, tel_queue, task.name or task.label,
+                    task.fingerprint, task.wid,
+                )
             # Partitioned runs (slots > 1) spawn their own PDES worker
             # processes, which daemonic children may not do — those
             # workers are daemons of the child, so they still die with
             # it; plain runs keep the stronger daemon cleanup guarantee.
             proc = self._ctx.Process(
                 target=_child_main,
-                args=(child, self.runner, task.spec.to_dict()),
+                args=(child, runner, task.spec.to_dict()),
                 daemon=task.slots == 1,
             )
             task.attempts += 1
@@ -576,6 +697,12 @@ class SweepEngine:
             proc.start()
             child.close()
             running.append(task)
+            if tel is not None:
+                tel.emit(
+                    "job_launched", node=task.name or task.label,
+                    run=task.fingerprint, wid=task.wid, slots=task.slots,
+                    attempt=task.attempts,
+                )
             if task.attempts == 1:
                 self._emit(
                     "start",
@@ -589,16 +716,42 @@ class SweepEngine:
                     total,
                 )
 
+        def release(task):
+            """Return a task's claimed worker ids to the free list."""
+            if task.wids:
+                free_wids.extend(task.wids)
+                free_wids.sort()
+            task.wids = None
+
         def finalize(task, status, result=None, error=None,
                      exec_time=None):
+            wid = task.wid
+            release(task)
             outcome = RunOutcome(
                 index=task.index, spec=task.spec,
                 fingerprint=task.fingerprint, label=task.label,
                 name=task.name, status=status, result=result, error=error,
                 attempts=task.attempts, wall_time=task.wall_time,
                 wait_time=task.wait_time, exec_time=exec_time,
+                worker_id=wid, slots=task.slots,
             )
             self._emit("ok" if status == "ok" else "failed", outcome, total)
+            if tel is not None:
+                node = task.name or task.label
+                if status == "ok":
+                    tel.emit(
+                        "job_done", node=node, run=task.fingerprint,
+                        wid=wid, status=status, attempts=task.attempts,
+                        wall_time=task.wall_time, exec_time=exec_time,
+                        wait_time=task.wait_time,
+                        predicted=costs[task.index],
+                    )
+                else:
+                    tel.emit(
+                        "job_failed", node=node, run=task.fingerprint,
+                        wid=wid, attempts=task.attempts,
+                        wall_time=task.wall_time, error=error,
+                    )
             finish(outcome, result)
 
         def reap(task):
@@ -650,6 +803,13 @@ class SweepEngine:
             if task.attempts > self.retries:
                 finalize(task, "failed", error=reason)
             else:
+                release(task)
+                if tel is not None:
+                    tel.emit(
+                        "job_retry", node=task.name or task.label,
+                        run=task.fingerprint, attempt=task.attempts,
+                        reason=reason,
+                    )
                 # Exponential backoff with seeded jitter (up to +50%).
                 task.not_before = time.monotonic() + (
                     self.backoff
@@ -680,6 +840,8 @@ class SweepEngine:
 
         # Main scheduling loop: launch critical-path-first, reap, repeat.
         while state["finished"] < total:
+            if tel_queue is not None:
+                drain_queue(tel_queue, tel)
             now = time.monotonic()
             launchable.sort(key=lambda t: (-t.priority, t.index))
             # A partitioned run claims ``slots`` pool slots; narrower
@@ -701,6 +863,7 @@ class SweepEngine:
                         task.index, task.spec, task.fingerprint,
                         task.label, cacheable=True, total=total,
                         name=task.name, wait_time=task.wait_time,
+                        wid=0, predicted=costs[task.index],
                     )
                     finish(outcome, outcome.result)
                 else:
@@ -724,9 +887,31 @@ class SweepEngine:
             else:
                 time.sleep(0.005)
 
-        return SweepReport(
+        report = SweepReport(
             outcomes=outcomes, wall_time=time.monotonic() - t0
         )
+        if tel is not None:
+            if tel_queue is not None:
+                # All children are joined: one last drain empties the
+                # queue, then the feeder thread can go.
+                drain_queue(tel_queue, tel)
+                tel_queue.close()
+            cache = self.cache
+            tel.emit(
+                "engine_stop", graph=graph.name,
+                makespan=report.wall_time, executed=report.executed,
+                cached=report.cached, failed=report.failed,
+                blocked=report.blocked,
+                cache_hits=(
+                    None if cache is None
+                    else getattr(cache, "hits", 0) - cache_hits0
+                ),
+                cache_misses=(
+                    None if cache is None
+                    else getattr(cache, "misses", 0) - cache_misses0
+                ),
+            )
+        return report
 
     # ------------------------------------------------------------------
     def _record_stats(self, outcome):
@@ -758,6 +943,8 @@ class SweepEngine:
             "attempts": outcome.attempts,
             "wall_time": outcome.wall_time,
             "wait_time": outcome.wait_time,
+            "worker_id": outcome.worker_id,
+            "slots": outcome.slots,
         }
         payload.update(extra)
         self.progress(payload)
@@ -768,7 +955,15 @@ class SweepEngine:
 
     # ------------------------------------------------------------------
     def _run_inline(self, index, spec, fingerprint, label, cacheable,
-                    total=None, name=None, wait_time=0.0):
+                    total=None, name=None, wait_time=0.0, wid=None,
+                    predicted=None):
+        tel = self.telemetry
+        node = name or label
+        if tel is not None:
+            tel.emit(
+                "job_launched", node=node, run=fingerprint, wid=wid,
+                slots=1, attempt=1, predicted=predicted,
+            )
         start = time.monotonic()
         try:
             result = run_simulation(spec)
@@ -778,8 +973,15 @@ class SweepEngine:
                 label=label, name=name, status="failed",
                 error=traceback.format_exc(), attempts=1,
                 wall_time=time.monotonic() - start, wait_time=wait_time,
+                worker_id=wid,
             )
             self._emit("failed", outcome, total or 0)
+            if tel is not None:
+                tel.emit(
+                    "job_failed", node=node, run=fingerprint, wid=wid,
+                    attempts=1, wall_time=outcome.wall_time,
+                    error=outcome.error,
+                )
             return outcome
         wall = time.monotonic() - start
         if cacheable:
@@ -788,8 +990,15 @@ class SweepEngine:
             index=index, spec=spec, fingerprint=fingerprint, label=label,
             name=name, status="ok", result=result, attempts=1,
             wall_time=wall, wait_time=wait_time, exec_time=wall,
+            worker_id=wid,
         )
         self._emit("ok", outcome, total or 0)
+        if tel is not None:
+            tel.emit(
+                "job_done", node=node, run=fingerprint, wid=wid,
+                status="ok", attempts=1, wall_time=wall, exec_time=wall,
+                wait_time=wait_time, predicted=predicted,
+            )
         return outcome
 
     @staticmethod

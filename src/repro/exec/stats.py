@@ -134,10 +134,15 @@ class RunStatsStore:
 
     VERSION = 1
 
-    def __init__(self, path, *, alpha=0.5):
+    def __init__(self, path, *, alpha=0.5, telemetry=None):
         self.path = Path(path)
         #: EWMA smoothing: weight of the newest observation.
         self.alpha = alpha
+        #: Optional :class:`~repro.obs.telemetry.TelemetryBus`: every
+        #: :meth:`record` emits a ``stats_update`` reconciling the store's
+        #: prediction (the pre-update EWMA) with the measured duration.
+        #: The engine routes its own bus here automatically.
+        self.telemetry = telemetry
         self._entries = None
         self._dirty = False
 
@@ -216,6 +221,15 @@ class RunStatsStore:
             else self.alpha * wall_time + (1.0 - self.alpha) * float(prev)
         )
         self._dirty = True
+        if self.telemetry is not None:
+            # Predicted (pre-update EWMA) vs measured, for trend/ETA
+            # consumers; ``predicted`` is absent on a cold signature.
+            self.telemetry.emit(
+                "stats_update", sig=signature, actual=wall_time,
+                cached=bool(cached),
+                predicted=float(prev) if prev is not None else None,
+                ewma=entry["ewma"], runs=runs,
+            )
 
     # ------------------------------------------------------------------
     def flush(self):

@@ -4,6 +4,14 @@ Metrics registry, run profiler, critical-path / idle-gap attribution,
 serializable profile reports, and exporters (Chrome trace JSON, CSV,
 ASCII summaries).  Enabled per run via ``RunSpec(profile=True)``; every
 hook in the instrumented layers is a no-op when profiling is off.
+
+Above the single run sits the engine-wide telemetry layer: the
+:class:`TelemetryBus` JSONL stream every engine actor emits into
+(enabled via the ``REPRO_TELEMETRY`` environment or the engine's
+``telemetry=`` parameter — never via the spec, so fingerprints are
+untouched), the :class:`EngineReport` aggregator with ASCII and
+Chrome-trace exporters, the live ``top`` view (:mod:`repro.obs.live`),
+and the benchmark trend table (:mod:`repro.obs.trend`).
 """
 
 from .attribution import (
@@ -16,6 +24,7 @@ from .attribution import (
     overlap_length,
     phase_overlap_fraction,
 )
+from .engine_report import EngineReport
 from .export import (
     ascii_summary,
     chrome_trace_events,
@@ -28,27 +37,48 @@ from .export import (
 from .metrics import MetricsRegistry
 from .profiler import Profiler, TaskRecord
 from .report import PhaseSummary, ProfileReport, build_profile_report
+from .telemetry import (
+    TELEMETRY_ENV,
+    QueueEmitter,
+    TelemetryBus,
+    TelemetryError,
+    drain_queue,
+    iter_records,
+    read_records,
+    validate_file,
+    validate_record,
+)
 
 __all__ = [
     "BLOCKERS",
     "COMM_BLOCKED",
+    "EngineReport",
     "MetricsRegistry",
     "PhaseSummary",
     "ProfileReport",
     "Profiler",
+    "QueueEmitter",
+    "TELEMETRY_ENV",
     "TaskRecord",
+    "TelemetryBus",
+    "TelemetryError",
     "ascii_summary",
     "build_profile_report",
     "chrome_trace_events",
     "comm_blocked_fraction",
     "compare_reports",
     "critical_path",
+    "drain_queue",
     "idle_gaps",
+    "iter_records",
     "merge_intervals",
     "metrics_csv",
     "metrics_json",
     "overlap_length",
     "phase_overlap_fraction",
     "pipeline_summary",
+    "read_records",
+    "validate_file",
+    "validate_record",
     "write_chrome_trace",
 ]

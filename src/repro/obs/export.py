@@ -257,7 +257,13 @@ def pipeline_summary(report) -> str:
 
 
 def compare_reports(a, b, top=6) -> str:
-    """Two reports side by side — the Fig 2 vs Fig 3 contrast in text."""
+    """Two reports side by side — the Fig 2 vs Fig 3 contrast in text.
+
+    Sectioned keys (phases, MPI calls, idle blockers, critical-path
+    composition) are compared over the *union* of both reports' keys;
+    a key one side never recorded renders as ``n/a``, not a fabricated
+    zero — variants with disjoint phase sets compare cleanly.
+    """
     wa = max(len(a.variant), 14)
     wb = max(len(b.variant), 14)
 
@@ -266,6 +272,14 @@ def compare_reports(a, b, top=6) -> str:
 
     def frow(label, va, vb, fmt="{:.4f}"):
         return row(label, fmt.format(va), fmt.format(vb))
+
+    def drow(label, da, db, key, fmt="{:.4f}"):
+        """A row over two dicts: a side missing ``key`` shows n/a."""
+        return row(
+            label,
+            fmt.format(da[key]) if key in da else "n/a",
+            fmt.format(db[key]) if key in db else "n/a",
+        )
 
     lines = [
         "== variant comparison ==",
@@ -292,10 +306,11 @@ def compare_reports(a, b, top=6) -> str:
     if phases:
         lines.append("-- phase wall time (rank 0, s) --")
         for phase in phases:
-            lines.append(frow(
+            lines.append(drow(
                 phase,
-                a.phase_summary.phase_times.get(phase, 0.0),
-                b.phase_summary.phase_times.get(phase, 0.0),
+                a.phase_summary.phase_times,
+                b.phase_summary.phase_times,
+                phase,
             ))
 
     calls = set(a.phase_summary.mpi_time_by_call)
@@ -310,10 +325,11 @@ def compare_reports(a, b, top=6) -> str:
             ),
         )[:top]
         for call in ranked:
-            lines.append(frow(
+            lines.append(drow(
                 call,
-                a.phase_summary.mpi_time_by_call.get(call, 0.0),
-                b.phase_summary.mpi_time_by_call.get(call, 0.0),
+                a.phase_summary.mpi_time_by_call,
+                b.phase_summary.mpi_time_by_call,
+                call,
             ))
 
     lines.append("-- idle by blocker (core-s) --")
@@ -323,10 +339,11 @@ def compare_reports(a, b, top=6) -> str:
         or name in b.idle.get("by_blocker", {})
     ]
     for blocker in blockers:
-        lines.append(frow(
+        lines.append(drow(
             blocker,
-            a.idle.get("by_blocker", {}).get(blocker, 0.0),
-            b.idle.get("by_blocker", {}).get(blocker, 0.0),
+            a.idle.get("by_blocker", {}),
+            b.idle.get("by_blocker", {}),
+            blocker,
         ))
 
     cps = sorted(
@@ -336,9 +353,10 @@ def compare_reports(a, b, top=6) -> str:
     if cps:
         lines.append("-- critical-path composition (s) --")
         for phase in cps:
-            lines.append(frow(
+            lines.append(drow(
                 phase,
-                a.critical_path.get("composition", {}).get(phase, 0.0),
-                b.critical_path.get("composition", {}).get(phase, 0.0),
+                a.critical_path.get("composition", {}),
+                b.critical_path.get("composition", {}),
+                phase,
             ))
     return "\n".join(lines) + "\n"

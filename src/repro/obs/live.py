@@ -1,0 +1,170 @@
+"""Live ``top``-style view of a running sweep/pipeline telemetry stream.
+
+Reads the telemetry JSONL (possibly still being appended to), folds it
+into an :class:`~repro.obs.engine_report.EngineReport`, and renders an
+in-place terminal snapshot: what each worker is running now, what is
+queued, what finished, and an ETA.
+
+Clock domain: telemetry ``t`` values are ``time.monotonic()`` of the
+emitting host.  A follower on the *same* host shares that clock, so
+"running for Xs" is exact; a snapshot of a finished stream falls back to
+the last record's timestamp as "now".
+
+ETA comes from the engine's own predictions (the ``predicted`` field the
+engine stamps on ``job_queued``/``job_done`` records, sourced from the
+:class:`~repro.exec.stats.RunStatsStore`): remaining predicted work,
+minus progress on currently-running jobs, divided by the worker count.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .engine_report import EngineReport
+from .telemetry import TelemetryError, iter_records
+
+
+def read_stream(path) -> EngineReport:
+    """An :class:`EngineReport` over the stream as it stands right now.
+
+    Tolerant of a final line still being written: a corrupt *last* line
+    is dropped; corruption earlier in the file still raises.
+    """
+    records = []
+    try:
+        for record in iter_records(path, validate=False):
+            records.append(record)
+    except TelemetryError:
+        pass  # a writer mid-append; everything before it parsed fine
+    return EngineReport(records)
+
+
+def _eta_seconds(report, now):
+    """Predicted seconds to completion, ``None`` without predictions."""
+    if not report.jobs:
+        return None
+    remaining = 0.0
+    have_any = False
+    for ledger in report.ledgers.values():
+        if ledger.status is not None:
+            continue  # terminal
+        if ledger.predicted is None:
+            continue
+        have_any = True
+        left = ledger.predicted
+        if ledger.first_launch_t is not None:
+            left = max(0.0, left - (now - ledger.first_launch_t))
+        remaining += left
+    # Nodes the stream has not seen yet (admitted later in the DAG).
+    seen = len(report.ledgers)
+    unseen = max(0, (report.total or seen) - seen)
+    if unseen and report.ledgers:
+        done_pred = [
+            ledger.predicted for ledger in report.ledgers.values()
+            if ledger.predicted is not None
+        ]
+        if done_pred:
+            remaining += unseen * (sum(done_pred) / len(done_pred))
+            have_any = True
+    if not have_any:
+        return None
+    return remaining / report.jobs
+
+
+def render_top(report, *, now=None, width=72) -> str:
+    """One terminal frame of the stream's current state."""
+    if now is None:
+        now = report.t_end if report.t_end is not None else 0.0
+    finished = report.makespan is not None and any(
+        r["type"] == "engine_stop" for r in report.records
+    )
+    elapsed = (
+        report.makespan if finished
+        else (now - report.t0 if report.t0 is not None else 0.0)
+    )
+    counts = report.status_counts()
+    done = sum(
+        counts.get(k, 0) for k in ("ok", "cached", "failed", "blocked")
+    )
+    total = report.total or len(report.ledgers)
+
+    lines = [
+        f"== {report.graph or '?'} — "
+        f"{'finished' if finished else 'running'} "
+        f"{done}/{total} — elapsed {elapsed:.1f}s ==",
+        f"workers {report.jobs or '?'}  "
+        f"ok {counts.get('ok', 0)}  cached {counts.get('cached', 0)}  "
+        f"failed {counts.get('failed', 0)}  "
+        f"blocked {counts.get('blocked', 0)}",
+    ]
+    if not finished:
+        eta = _eta_seconds(report, now)
+        if eta is not None:
+            lines[0] = lines[0][:-3] + f", ETA {eta:.1f}s =="
+
+    running = [
+        ledger for ledger in report.ledgers.values()
+        if ledger.status is None and ledger.first_launch_t is not None
+    ]
+    running.sort(key=lambda g: (g.wid if g.wid is not None else -2))
+    if running and not finished:
+        lines.append("-- running --")
+        for ledger in running:
+            wid = "?" if ledger.wid is None else ledger.wid
+            run_for = now - ledger.first_launch_t
+            pred = (
+                f" / ~{ledger.predicted:.1f}s"
+                if ledger.predicted is not None else ""
+            )
+            slots = f" x{ledger.slots}" if (ledger.slots or 1) > 1 else ""
+            lines.append(
+                f"  w{wid}{slots}  {ledger.node[:40]:<40} "
+                f"{run_for:7.1f}s{pred}"
+            )
+
+    queued = [
+        ledger for ledger in report.ledgers.values()
+        if ledger.status is None and ledger.first_launch_t is None
+        and ledger.queued_t is not None
+    ]
+    if queued and not finished:
+        lines.append(f"-- queued ({len(queued)}) --")
+        for ledger in sorted(queued, key=lambda g: g.queued_t)[:8]:
+            pred = (
+                f" ~{ledger.predicted:.1f}s"
+                if ledger.predicted is not None else ""
+            )
+            lines.append(f"    {ledger.node[:48]}{pred}")
+
+    retries = report.retry_ledger()
+    if retries:
+        lines.append(f"-- retries ({len(retries)}) --")
+        for node, attempt, reason in retries[-4:]:
+            lines.append(f"  {node}: attempt {attempt}: {reason[:48]}")
+    return "\n".join(line[:width + 8] for line in lines) + "\n"
+
+
+def follow(path, *, interval=0.5, out=None, clear=True, max_frames=None):
+    """Render the stream in place until ``engine_stop`` (or EOF growth stops).
+
+    ``max_frames`` bounds the loop for tests.  Returns the final frame.
+    """
+    import sys
+
+    out = out or sys.stdout
+    frames = 0
+    frame = ""
+    while True:
+        report = read_stream(path)
+        frame = render_top(report, now=time.monotonic())
+        if clear:
+            out.write("\x1b[2J\x1b[H")
+        out.write(frame)
+        out.flush()
+        frames += 1
+        stopped = any(
+            r["type"] == "engine_stop" for r in report.records
+        )
+        if stopped or (max_frames is not None and frames >= max_frames):
+            return frame
+        time.sleep(interval)

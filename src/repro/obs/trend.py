@@ -1,0 +1,195 @@
+"""Perf-trend analytics over the committed ``BENCH_*.json`` history.
+
+``benchmarks/`` records one JSON document per benchmark in
+``benchmarks/results/BENCH_<name>.json`` and commits it, so git holds
+the metric history.  This module diffs the working-tree documents
+against a baseline — the committed ``HEAD`` version by default, or any
+directory of the same files — into a per-metric delta table and flags
+regressions.
+
+Metric direction is inferred from the flattened key path (the same
+heuristic a human applies reading the file): names containing
+``seconds``/``overhead``/``wall``/``stall`` are *lower-is-better*;
+``per_sec``/``speedup``/``gflops``/``throughput`` are
+*higher-is-better*; anything else is reported but never flagged.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+#: Key-path substrings marking a metric where smaller is better.
+LOWER_BETTER = (
+    "seconds", "overhead", "wall", "stall", "time", "imbalance",
+)
+
+#: Key-path substrings marking a metric where larger is better.
+HIGHER_BETTER = (
+    "per_sec", "speedup", "gflops", "throughput", "efficiency",
+    "events_per", "hit_rate",
+)
+
+#: Key-path substrings that are configuration, not measurements.
+IGNORED = (
+    "quick", "host_cores", "attempts", "pairs", "block", "tsteps",
+    "ranks", "met", "requires", "min_speedup", "at_nodes", "budget",
+    "version", "nodes",
+)
+
+#: Relative change below which a delta is noise, not a trend.
+DEFAULT_THRESHOLD = 0.10
+
+
+def metric_direction(path: str):
+    """``"lower"``, ``"higher"``, or ``None`` (don't flag) for a key path."""
+    lowered = path.lower()
+    for frag in IGNORED:
+        if frag in lowered:
+            return None
+    for frag in HIGHER_BETTER:   # checked first: "events_per_sec" etc.
+        if frag in lowered:
+            return "higher"
+    for frag in LOWER_BETTER:
+        if frag in lowered:
+            return "lower"
+    return None
+
+
+def flatten_metrics(doc, prefix="") -> dict:
+    """Numeric leaves of a benchmark document as ``{dotted.path: value}``."""
+    flat = {}
+    if isinstance(doc, dict):
+        for key in sorted(doc):
+            flat.update(flatten_metrics(doc[key], f"{prefix}{key}."))
+    elif isinstance(doc, bool):
+        pass  # bool is an int subclass; never a metric
+    elif isinstance(doc, (int, float)):
+        flat[prefix[:-1]] = float(doc)
+    return flat
+
+
+def load_committed(path, rev="HEAD"):
+    """The committed version of ``path`` (repo-relative ok), or ``None``."""
+    path = Path(path)
+    try:
+        root = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=path.parent if path.parent.is_dir() else ".",
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        rel = path.resolve().relative_to(Path(root))
+        out = subprocess.run(
+            ["git", "show", f"{rev}:{rel.as_posix()}"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout
+        return json.loads(out)
+    except (subprocess.CalledProcessError, OSError, ValueError,
+            FileNotFoundError):
+        return None
+
+
+def bench_files(results_dir) -> list:
+    return sorted(Path(results_dir).glob("BENCH_*.json"))
+
+
+def diff_metrics(baseline: dict, current: dict,
+                 threshold=DEFAULT_THRESHOLD) -> list:
+    """Per-metric deltas between two flattened metric maps.
+
+    Returns rows ``(path, base, cur, rel_delta, verdict)`` over the key
+    union; a missing side reads as ``None`` with verdict ``new``/
+    ``gone``.  ``verdict`` is ``regression`` / ``improvement`` when the
+    relative change exceeds ``threshold`` in a direction the key's name
+    makes meaningful, else ``ok``.
+    """
+    rows = []
+    for path in sorted(set(baseline) | set(current)):
+        base = baseline.get(path)
+        cur = current.get(path)
+        if base is None:
+            rows.append((path, None, cur, None, "new"))
+            continue
+        if cur is None:
+            rows.append((path, base, None, None, "gone"))
+            continue
+        if base == 0:
+            rel = 0.0 if cur == 0 else float("inf")
+        else:
+            rel = (cur - base) / abs(base)
+        direction = metric_direction(path)
+        verdict = "ok"
+        if direction is not None and abs(rel) > threshold:
+            worse = rel > 0 if direction == "lower" else rel < 0
+            verdict = "regression" if worse else "improvement"
+        rows.append((path, base, cur, rel, verdict))
+    return rows
+
+
+def trend_table(results_dir, *, baseline_dir=None, rev="HEAD",
+                threshold=DEFAULT_THRESHOLD, show_all=False):
+    """(report_text, regression_count) for a benchmark results directory.
+
+    ``baseline_dir`` compares against another directory of BENCH files;
+    otherwise the committed ``rev`` version of each file is the
+    baseline (files without history are reported as all-new).
+    """
+
+    def fmt(value):
+        if value is None:
+            return "n/a"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+
+    lines = []
+    regressions = 0
+    files = bench_files(results_dir)
+    if not files:
+        return f"no BENCH_*.json files under {results_dir}\n", 0
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            current_doc = json.load(fh)
+        if baseline_dir is not None:
+            base_path = Path(baseline_dir) / path.name
+            if base_path.is_file():
+                with open(base_path, "r", encoding="utf-8") as fh:
+                    baseline_doc = json.load(fh)
+            else:
+                baseline_doc = None
+        else:
+            baseline_doc = load_committed(path, rev=rev)
+        current = flatten_metrics(current_doc)
+        baseline = (
+            flatten_metrics(baseline_doc) if baseline_doc is not None
+            else {}
+        )
+        rows = diff_metrics(baseline, current, threshold=threshold)
+        flagged = [r for r in rows if r[4] in ("regression", "improvement")]
+        regressions += sum(1 for r in rows if r[4] == "regression")
+        lines.append(f"== {path.name} ==")
+        if baseline_doc is None:
+            lines.append("  (no baseline: all metrics new)")
+            continue
+        shown = rows if show_all else flagged
+        if not shown:
+            lines.append(
+                f"  {len(rows)} metric(s), no change beyond "
+                f"{threshold:.0%}"
+            )
+        for mpath, base, cur, rel, verdict in shown:
+            delta = "n/a" if rel is None else f"{rel:+.1%}"
+            mark = {"regression": "!!", "improvement": "++"}.get(
+                verdict, "  "
+            )
+            lines.append(
+                f"  {mark} {mpath:<58} {fmt(base):>12} -> "
+                f"{fmt(cur):>12}  {delta:>8}  {verdict}"
+            )
+    lines.append(
+        f"-- {regressions} regression(s) beyond {threshold:.0%} --"
+    )
+    return "\n".join(lines) + "\n", regressions

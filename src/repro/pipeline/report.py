@@ -69,6 +69,8 @@ class PipelineReport:
                 "wall_time": o.wall_time,
                 "wait_time": o.wait_time,
                 "exec_time": o.exec_time,
+                "worker_id": o.worker_id,
+                "slots": o.slots,
             }
             if o.error is not None:
                 entry["error"] = o.error

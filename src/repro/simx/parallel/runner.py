@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import gc
 import multiprocessing
+import os
 import queue as queue_mod
 import time
 import traceback
@@ -92,22 +93,27 @@ def _record_time(rec) -> float:
     return rec[7] if rec[0] == "p2p" else rec[8]
 
 
-def _drive_windows(sim, mail, barrier, mins, wid, la):
+def _drive_windows(sim, mail, barrier, mins, wid, la, bus=None):
     """Run one worker's share of the window protocol to completion.
 
     Returns ``(windows, stall_wall_seconds)``.  ``stall`` is wall-clock
     time blocked at the two per-window barriers — the partitioned run's
-    own idle class, reported via ``ProfileReport.pdes``.
+    own idle class, reported via ``ProfileReport.pdes``.  With a
+    telemetry ``bus`` attached (``REPRO_TELEMETRY``), every executed
+    window additionally emits one ``pdes_window`` record: wall duration,
+    barrier stall, and batches shipped.  Here ``wid`` is the *partition*
+    id, a different domain from the engine pool slot ids.
     """
     env, world = sim.env, sim.world
     perf = time.perf_counter
     windows = 0
     stall = 0.0
     while True:
-        mail.flush()
+        w_t0 = perf() if bus is not None else 0.0
+        shipped = mail.flush()
         t0 = perf()
         barrier.wait()
-        stall += perf() - t0
+        w_stall = perf() - t0
         records = []
         for src, box in mail.drain():
             for idx, rec in enumerate(box):
@@ -125,18 +131,32 @@ def _drive_windows(sim, mail, barrier, mins, wid, la):
         mins[wid] = env.peek()
         t0 = perf()
         barrier.wait()
-        stall += perf() - t0
+        w_stall += perf() - t0
+        stall += w_stall
         m = min(mins)
         if m == _INF:
             return windows, stall
         windows += 1
         env.run_window(m + la)
+        if bus is not None:
+            bus.emit(
+                "pdes_window", window=windows - 1, dur=perf() - w_t0,
+                stall=w_stall, batches=shipped,
+            )
 
 
-def _worker_main(wid, rs, barrier_slots, queues, sent, mins, result_queue):
+def _worker_main(wid, rs, barrier_slots, queues, sent, mins, result_queue,
+                 fp=None):
     """Entry point of one PDES worker process."""
     barrier = SpinBarrier(barrier_slots, wid, _num_workers(rs))
+    bus = None
     try:
+        if fp is not None:
+            # Grandchild of the sweep engine: no queue reaches this far,
+            # so attach straight to the stream file (line-atomic).
+            from ...obs.telemetry import TelemetryBus
+
+            bus = TelemetryBus.from_env(wid=wid, run=fp)
         t_start = time.perf_counter()
         # Same GC regime as the serial driver: refcounting reclaims the
         # hot path; the cyclic collector would only rescan the world.
@@ -144,7 +164,9 @@ def _worker_main(wid, rs, barrier_slots, queues, sent, mins, result_queue):
         if gc_was_enabled:
             gc.disable()
         try:
-            payload = _run_worker(wid, rs, barrier, queues, sent, mins)
+            payload = _run_worker(
+                wid, rs, barrier, queues, sent, mins, bus=bus
+            )
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -153,6 +175,9 @@ def _worker_main(wid, rs, barrier_slots, queues, sent, mins, result_queue):
     except BaseException:
         barrier.abort()  # unblock peers spinning at a window barrier
         result_queue.put(("error", wid, traceback.format_exc()))
+    finally:
+        if bus is not None:
+            bus.close()
 
 
 def _num_workers(rs) -> int:
@@ -163,7 +188,7 @@ def _num_workers(rs) -> int:
     return effective_workers(rs, machine)
 
 
-def _run_worker(wid, rs, barrier, queues, sent, mins) -> dict:
+def _run_worker(wid, rs, barrier, queues, sent, mins, bus=None) -> dict:
     # Imported here (not at module top) so worker bootstrap under the
     # spawn start method resolves the package cleanly and the driver
     # module keeps its lazy one-way dependency on this package.
@@ -184,7 +209,9 @@ def _run_worker(wid, rs, barrier, queues, sent, mins) -> dict:
     sim = _build_simulation(
         rs, machine, local_ranks=pmap.local_ranks(wid), partition=link
     )
-    windows, stall = _drive_windows(sim, mail, barrier, mins, wid, la)
+    windows, stall = _drive_windows(
+        sim, mail, barrier, mins, wid, la, bus=bus
+    )
 
     stuck = [p.name for p in sim.procs if p.is_alive]
     if stuck:
@@ -319,6 +346,13 @@ def run_partitioned(rs):
     network = spec.network.scaled_to(rs.num_nodes)
     la = lookahead(pmap, machine, network)
 
+    # Telemetry rides the environment (never the spec): the fingerprint
+    # is computed only when a stream is attached, so disabled runs pay
+    # nothing.
+    from ...obs.telemetry import TELEMETRY_ENV
+
+    fp = rs.fingerprint() if os.environ.get(TELEMETRY_ENV) else None
+
     # fork shares the (already imported) package pages with the workers;
     # spawn is the portable fallback and everything shipped to
     # ``_worker_main`` is picklable for it.
@@ -334,7 +368,8 @@ def run_partitioned(rs):
     procs = [
         ctx.Process(
             target=_worker_main,
-            args=(wid, rs, barrier_slots, queues, sent, mins, result_queue),
+            args=(wid, rs, barrier_slots, queues, sent, mins, result_queue,
+                  fp),
             daemon=True,
         )
         for wid in range(num_workers)
@@ -376,6 +411,18 @@ def run_partitioned(rs):
         raise RuntimeError(error)
 
     workers = [payloads[w] for w in range(num_workers)]
+    if fp is not None:
+        from ...obs.telemetry import TelemetryBus
+
+        bus = TelemetryBus.from_env(run=fp)
+        if bus is not None:
+            bus.emit(
+                "pdes_run", workers=num_workers,
+                windows=workers[0]["windows"], lookahead=la,
+                stall=sum(w["stall"] for w in workers),
+                elapsed=max(w["elapsed"] for w in workers),
+            )
+            bus.close()
     total_time = max(w["now"] for w in workers)
     owner0 = pmap.owner_of(0)
 

@@ -147,15 +147,22 @@ class Mailboxes:
             if dst != self.wid:
                 self.outboxes[dst].append(record)
 
-    def flush(self):
-        """Ship every non-empty outbox; call *before* the barrier."""
+    def flush(self) -> int:
+        """Ship every non-empty outbox; call *before* the barrier.
+
+        Returns the number of batches shipped this call — the window's
+        cross-partition traffic, reported via ``pdes_window`` telemetry.
+        """
         w = self.num_workers
+        shipped = 0
         for dst in range(w):
             box = self.outboxes[dst]
             if box:
                 self.outboxes[dst] = []
                 self.queues[dst].put((self.wid, box))
                 self.sent[self.wid * w + dst] += 1
+                shipped += 1
+        return shipped
 
     def drain(self):
         """Collect every advertised inbound batch; call *after* the

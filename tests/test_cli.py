@@ -312,3 +312,50 @@ def test_unknown_variant_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_telemetry_top_and_engine_report_commands(capsys, tmp_path):
+    stream = tmp_path / "sweep.jsonl"
+    argv = [
+        "sweep", "--variants", "mpi_only", "tampi_dataflow",
+        "--nodes", "1", "--preset", "laptop", "--ranks-per-node", "2",
+        "--root", "2", "2", "2", "--nx", "4", "--num-vars", "2",
+        "--tsteps", "1", "--stages", "2", "--checksum-freq", "2",
+        "--max-refine-level", "1", "--jobs", "2",
+        "--cache-dir", str(tmp_path / "cache"),  # cold by construction
+        "--telemetry", str(stream),
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert stream.exists()
+
+    trace = tmp_path / "engine.trace.json"
+    digest = tmp_path / "digest.json"
+    assert main(["engine-report", str(stream), "--chrome-trace",
+                 str(trace), "--json", str(digest)]) == 0
+    out = capsys.readouterr().out
+    assert "worker utilization" in out
+    assert trace.exists() and digest.exists()
+    import json as _json
+    doc = _json.loads(trace.read_text())
+    assert all({"name", "ph", "pid", "tid"} <= e.keys()
+               for e in doc["traceEvents"])
+
+    assert main(["top", str(stream)]) == 0
+    out = capsys.readouterr().out
+    assert "finished 2/2" in out
+
+
+def test_trend_command_with_baseline_dir(capsys, tmp_path):
+    base = tmp_path / "base"
+    cur = tmp_path / "cur"
+    base.mkdir()
+    cur.mkdir()
+    (base / "BENCH_x.json").write_text('{"throughput": 100.0, "t": 1.0}')
+    (cur / "BENCH_x.json").write_text('{"throughput": 50.0, "t": 1.0}')
+    assert main(["trend", "--results-dir", str(cur),
+                 "--baseline-dir", str(base)]) == 0
+    assert "regression" in capsys.readouterr().out
+    # --strict turns flagged regressions into a nonzero exit.
+    assert main(["trend", "--results-dir", str(cur),
+                 "--baseline-dir", str(base), "--strict"]) == 1

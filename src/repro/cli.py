@@ -17,10 +17,15 @@ Examples::
     miniamr-sim top sweep.jsonl --follow
     miniamr-sim engine-report sweep.jsonl --chrome-trace engine.trace.json
     miniamr-sim trend --results-dir benchmarks/results
+    miniamr-sim serve --port 8742 --jobs 4 --journal-dir .repro-serve
+    miniamr-sim submit --server http://127.0.0.1:8742 \\
+        --variant tampi_dataflow --preset laptop --tenant alice --wait
+    miniamr-sim status --server http://127.0.0.1:8742
+    miniamr-sim top http://127.0.0.1:8742 --follow
 
 Exit codes: 0 success, 1 failed runs (sweep/bench/pipeline/verify) or
-flagged regressions (trend --strict), 2 invalid spec or argument
-combination.
+flagged regressions (trend --strict) or failed/rejected server jobs,
+2 invalid spec or argument combination.
 """
 
 from __future__ import annotations
@@ -108,6 +113,11 @@ def _add_engine_options(p):
                    help="append engine telemetry (job lifecycle, cache "
                         "hits, PDES windows) as JSONL here; watch live "
                         "with `miniamr-sim top PATH --follow`")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="graceful-shutdown budget: on SIGTERM/SIGINT "
+                        "wait this long for in-flight runs before "
+                        "terminating them (default: %(default)s)")
 
 
 def _add_fault_options(p):
@@ -310,10 +320,12 @@ def _add_top_parser(sub):
              "stream: per-worker activity, queue, retries, ETA",
     )
     p.add_argument("stream", metavar="TELEMETRY",
-                   help="telemetry JSONL written via --telemetry "
-                        "(or REPRO_TELEMETRY)")
+                   help="telemetry JSONL written via --telemetry (or "
+                        "REPRO_TELEMETRY), or an http(s):// serve-"
+                        "server URL (fetched from its /v1/telemetry)")
     p.add_argument("--follow", action="store_true",
-                   help="refresh in place until the engine stops")
+                   help="refresh in place until the engine (or serve "
+                        "server) stops")
     p.add_argument("--interval", type=float, default=0.5,
                    help="refresh period in seconds (default: %(default)s)")
     return p
@@ -371,6 +383,121 @@ def _add_report_parser(sub):
                    help="ProfileReport JSON files written by "
                         "`miniamr-sim profile --json` (a serialized "
                         "RunResult containing a profile also works)")
+    return p
+
+
+def _add_serve_parser(sub):
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant sweep service: HTTP submit/status/"
+             "result with request coalescing, per-tenant quotas, and a "
+             "crash-safe job journal (see DESIGN.md §11)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8742)
+    p.add_argument("--journal-dir", default=".repro-serve",
+                   metavar="DIR",
+                   help="job-journal directory; a restarted server "
+                        "replays it and finishes queued work "
+                        "(default: %(default)s)")
+    p.add_argument("--queue-cap", type=int, default=64,
+                   help="max queued+running unique executions before "
+                        "submits get 429 queue_full "
+                        "(default: %(default)s)")
+    p.add_argument("--quota-rate", type=float, default=5.0,
+                   help="per-tenant sustained submits/second "
+                        "(default: %(default)s)")
+    p.add_argument("--quota-burst", type=int, default=10,
+                   help="per-tenant submit burst size "
+                        "(default: %(default)s)")
+    p.add_argument("--aging-rate", type=float, default=0.05,
+                   help="priority gained per queued second (weighted-"
+                        "fair anti-starvation; default: %(default)s)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request to stderr")
+    _add_engine_options(p)
+    return p
+
+
+def _add_client_options(p, *, job_arg=True):
+    """Options shared by the ``submit``/``status``/``result``/``cancel``
+    client subcommands."""
+    if job_arg:
+        p.add_argument("job", metavar="JOB_ID")
+    p.add_argument("--server", required=True, metavar="URL",
+                   help="serve-server base URL, e.g. "
+                        "http://127.0.0.1:8742")
+    p.add_argument("--http-timeout", type=float, default=30.0,
+                   help="per-request timeout in seconds "
+                        "(default: %(default)s)")
+
+
+def _add_submit_parser(sub):
+    p = sub.add_parser(
+        "submit",
+        help="submit one run (or pipeline) to a serve server; identical "
+             "in-flight submits coalesce onto one execution",
+    )
+    _add_client_options(p, job_arg=False)
+    p.add_argument("--file", default=None, metavar="SPEC_JSON",
+                   help="submit this serialized RunSpec JSON file")
+    p.add_argument("--pipeline-file", default=None, metavar="P_JSON",
+                   help="submit this serialized PipelineSpec JSON file")
+    p.add_argument("--tenant", default="anon",
+                   help="tenant id for quota accounting "
+                        "(default: %(default)s)")
+    p.add_argument("--priority", type=float, default=0.0,
+                   help="base scheduling priority (higher first)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job is terminal and print its "
+                        "result JSON (exit 0 done / 1 otherwise)")
+    p.add_argument("--wait-timeout", type=float, default=300.0,
+                   help="--wait polling budget in seconds "
+                        "(default: %(default)s)")
+    # Run-style args as a third spec source: `submit --server URL
+    # --variant tampi_dataflow --preset laptop ...` mirrors `run`.
+    p.add_argument("--variant", choices=sorted(VARIANTS), default=None)
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="marenostrum4_scaled")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--ranks-per-node", type=int, default=None)
+    _add_geometry_options(p)
+    _add_fault_options(p)
+    _add_pdes_options(p)
+    return p
+
+
+def _add_status_parser(sub):
+    p = sub.add_parser(
+        "status",
+        help="show one job's state on a serve server (omit JOB_ID "
+             "for the queue + metrics overview)",
+    )
+    p.add_argument("job", nargs="?", default=None, metavar="JOB_ID")
+    _add_client_options(p, job_arg=False)
+    return p
+
+
+def _add_result_parser(sub):
+    p = sub.add_parser(
+        "result",
+        help="fetch a finished job's result JSON from a serve server "
+             "(exit 1 while it is still queued/running)",
+    )
+    _add_client_options(p)
+    p.add_argument("--profile", action="store_true",
+                   help="fetch the ProfileReport instead (the spec must "
+                        "have been submitted with profile=true)")
+    return p
+
+
+def _add_cancel_parser(sub):
+    p = sub.add_parser(
+        "cancel",
+        help="cancel a queued (immediately) or running (best-effort) "
+             "job on a serve server",
+    )
+    _add_client_options(p)
     return p
 
 
@@ -434,6 +561,7 @@ def _make_engine(args):
         progress=progress if args.jobs > 1 else None,
         stats=stats,
         telemetry=telemetry,
+        drain_timeout=getattr(args, "drain_timeout", 30.0),
     )
 
 
@@ -792,6 +920,164 @@ def cmd_verify(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+
+    from .serve import Broker, JobStore, serve_forever
+
+    if args.no_cache:
+        raise ValueError(
+            "serve needs the result cache: it is how coalesced and "
+            "restarted jobs share results (drop --no-cache)"
+        )
+    engine = _make_engine(args)
+    store = JobStore(args.journal_dir)
+    broker = Broker(
+        engine=engine,
+        store=store,
+        queue_cap=args.queue_cap,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        aging_rate=args.aging_rate,
+    )
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:
+        pass  # not on the main thread (tests drive serve_forever directly)
+    print(
+        f"serving on http://{args.host}:{args.port} "
+        f"(journal: {args.journal_dir}, jobs: {args.jobs}, "
+        f"queue cap: {args.queue_cap}, "
+        f"quota: {args.quota_rate}/s burst {args.quota_burst})",
+        file=sys.stderr,
+    )
+    serve_forever(
+        broker, host=args.host, port=args.port, verbose=args.verbose,
+    )
+    print("serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .serve import STATE_EXIT_CODES, ServeClient, ServeError
+
+    sources = [
+        source for source in (args.file, args.pipeline_file, args.variant)
+        if source is not None
+    ]
+    if len(sources) != 1:
+        raise ValueError(
+            "pass exactly one spec source: --file SPEC_JSON, "
+            "--pipeline-file P_JSON, or run-style --variant ... options"
+        )
+    if args.file:
+        with open(args.file) as fh:
+            spec, kind = json.load(fh), "run"
+    elif args.pipeline_file:
+        with open(args.pipeline_file) as fh:
+            spec, kind = json.load(fh), "pipeline"
+    else:
+        spec, kind = spec_from_args(args).to_dict(), "run"
+    client = ServeClient(args.server, timeout=args.http_timeout)
+    try:
+        body = client.submit(
+            spec, kind=kind, tenant=args.tenant, priority=args.priority,
+        )
+        job = body["job"]
+        print(
+            f"job {job['id']}: {job['state']} (mode: {body['mode']}, "
+            f"fingerprint {job['fingerprint'][:12]})"
+        )
+        if not args.wait:
+            return 0
+        view = client.wait(job["id"], timeout=args.wait_timeout)
+        if view["state"] == "done":
+            print(json.dumps(
+                client.result(job["id"])["result"],
+                indent=2, sort_keys=True,
+            ))
+        else:
+            detail = f": {view['error']}" if view.get("error") else ""
+            print(
+                f"job {job['id']}: {view['state']}{detail}",
+                file=sys.stderr,
+            )
+        return STATE_EXIT_CODES.get(view["state"], 1)
+    except ServeError as exc:
+        print(f"miniamr-sim: server: {exc}", file=sys.stderr)
+        return exc.exit_code
+
+
+def cmd_status(args) -> int:
+    import json
+
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient(args.server, timeout=args.http_timeout)
+    try:
+        if args.job is not None:
+            print(json.dumps(
+                client.job(args.job)["job"], indent=2, sort_keys=True,
+            ))
+            return 0
+        queue_view = client.queue()
+        metrics = client.metrics()
+        print(json.dumps(
+            {
+                "queue": {
+                    key: queue_view[key]
+                    for key in ("depth", "cap", "queued", "running")
+                },
+                "metrics": {
+                    key: metrics[key]
+                    for key in ("jobs", "executions", "cache", "engine")
+                },
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    except ServeError as exc:
+        print(f"miniamr-sim: server: {exc}", file=sys.stderr)
+        return exc.exit_code
+
+
+def cmd_result(args) -> int:
+    import json
+
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient(args.server, timeout=args.http_timeout)
+    try:
+        if args.profile:
+            payload = client.profile(args.job)["profile"]
+        else:
+            payload = client.result(args.job)["result"]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    except ServeError as exc:
+        print(f"miniamr-sim: server: {exc}", file=sys.stderr)
+        return exc.exit_code
+
+
+def cmd_cancel(args) -> int:
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient(args.server, timeout=args.http_timeout)
+    try:
+        job = client.cancel(args.job)["job"]
+        print(f"job {job['id']}: {job['state']}")
+        return 0
+    except ServeError as exc:
+        print(f"miniamr-sim: server: {exc}", file=sys.stderr)
+        return exc.exit_code
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="miniamr-sim",
@@ -816,6 +1102,11 @@ def main(argv=None) -> int:
     _add_top_parser(sub)
     _add_engine_report_parser(sub)
     _add_trend_parser(sub)
+    _add_serve_parser(sub)
+    _add_submit_parser(sub)
+    _add_status_parser(sub)
+    _add_result_parser(sub)
+    _add_cancel_parser(sub)
     args = parser.parse_args(argv)
     commands = {
         "run": cmd_run,
@@ -829,11 +1120,23 @@ def main(argv=None) -> int:
         "top": cmd_top,
         "engine-report": cmd_engine_report,
         "trend": cmd_trend,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "status": cmd_status,
+        "result": cmd_result,
+        "cancel": cmd_cancel,
     }
     from .exec import SweepError
 
     try:
         return commands[args.command](args)
+    except BrokenPipeError:
+        # stdout reader went away (e.g. `| head`): exit quietly.  Point
+        # stdout at devnull so the interpreter's shutdown flush does not
+        # raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except SweepError as exc:
         # Failed runs within an otherwise valid sweep/experiment.
         print(f"miniamr-sim: error: {exc}", file=sys.stderr)

@@ -22,7 +22,9 @@ progress reporting.  ``repro.bench`` and the CLI execute through it.
 
 from .cache import CacheEntry, ResultCache
 from .engine import (
+    EngineSession,
     RunOutcome,
+    SessionStep,
     Sweep,
     SweepEngine,
     SweepError,
@@ -34,9 +36,11 @@ from .stats import RunStatsStore, fallback_cost, spec_signature
 
 __all__ = [
     "CacheEntry",
+    "EngineSession",
     "ResultCache",
     "RunOutcome",
     "RunStatsStore",
+    "SessionStep",
     "Sweep",
     "SweepEngine",
     "SweepError",

@@ -87,8 +87,10 @@ class ResultCache:
     def get_entry(self, fingerprint: str):
         """The decoded :class:`CacheEntry`, or ``None`` on a miss."""
         path = self.path(fingerprint)
+        inode = None
         try:
             with open(path, "r", encoding="utf-8") as fh:
+                inode = os.fstat(fh.fileno()).st_ino
                 envelope = json.load(fh)
             if not isinstance(envelope, dict):
                 raise ValueError(
@@ -130,8 +132,12 @@ class ResultCache:
                 type(exc).__name__,
                 exc,
             )
+            # Inode-guarded unlink: another process may have atomically
+            # republished a good entry since we opened the corrupt one —
+            # only remove the exact file we read.
             try:
-                os.unlink(path)
+                if inode is not None and os.stat(path).st_ino == inode:
+                    os.unlink(path)
             except OSError:
                 pass
             self.misses += 1
@@ -171,12 +177,19 @@ class ResultCache:
         envelope["version"] = __version__
         if wall_time is not None:
             envelope["wall_time"] = float(wall_time)
+        # The ".part" suffix keeps in-progress writes out of every
+        # "*/*.json" glob (``__len__``, ``clear``), and the fsync before
+        # the atomic replace means a published entry is never half a
+        # file — concurrent writer processes racing on one fingerprint
+        # each publish a complete envelope and last-replace wins.
         fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
+            dir=path.parent, prefix=".tmp-", suffix=".part"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(envelope, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -195,8 +208,11 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def clear(self):
-        for entry in list(self.root.glob("*/*.json")):
-            try:
-                os.unlink(entry)
-            except OSError:
-                pass
+        # ".tmp-*.part" files are abandoned in-progress writes (a writer
+        # that died between mkstemp and replace); sweep them too.
+        for pattern in ("*/*.json", "*/.tmp-*.part"):
+            for entry in list(self.root.glob(pattern)):
+                try:
+                    os.unlink(entry)
+                except OSError:
+                    pass

@@ -41,6 +41,8 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
+import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -105,8 +107,10 @@ class RunOutcome:
     spec: RunSpec
     fingerprint: str
     label: str
-    #: "ok" (executed), "cached" (served from cache), "failed", or
-    #: "blocked" (never attempted: a predecessor failed).
+    #: "ok" (executed), "cached" (served from cache), "failed",
+    #: "blocked" (never attempted: a predecessor failed or the engine
+    #: shut down before launch), or "canceled" (withdrawn through an
+    #: :class:`EngineSession` before completing).
     status: str
     #: :class:`RunResult` for run nodes; the builder's JSON value for
     #: pipeline analysis nodes.
@@ -210,6 +214,15 @@ def run_spec_dict(spec_dict: dict) -> dict:
 
 def _child_main(conn, runner, spec_dict):
     """Subprocess entry: run and report ("ok", dict) / ("error", tb)."""
+    # A forked child inherits the parent's graceful-shutdown signal
+    # handlers (SIGTERM -> request_shutdown), which would swallow the
+    # very terminate() the engine uses to kill it.  Workers die on
+    # signal, only the engine parent drains.
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
     try:
         conn.send(("ok", runner(spec_dict)))
     except BaseException:
@@ -260,10 +273,10 @@ class _Pending:
     __slots__ = ("index", "spec", "fingerprint", "label", "name",
                  "priority", "ready_at", "attempts", "not_before",
                  "started", "first_started", "deadline", "proc", "conn",
-                 "wall_time", "slots", "wids")
+                 "wall_time", "slots", "wids", "tenant")
 
     def __init__(self, index, spec, fingerprint, label, name, priority,
-                 ready_at, slots=1):
+                 ready_at, slots=1, tenant=None):
         self.index = index
         self.spec = spec
         self.fingerprint = fingerprint
@@ -286,6 +299,9 @@ class _Pending:
         #: Worker ids claimed while executing (``wids[0]`` names the run's
         #: worker in outcomes and telemetry); ``None`` between attempts.
         self.wids = None
+        #: Tenant attribution for serve-session telemetry (``None`` for
+        #: plain sweeps).
+        self.tenant = tenant
 
     @property
     def wid(self):
@@ -347,11 +363,15 @@ class SweepEngine:
         queue the parent drains.  Telemetry is not part of any
         :class:`RunSpec`: fingerprints, cache keys, and results are
         byte-identical with it on or off.
+    drain_timeout:
+        Seconds a graceful shutdown (:meth:`request_shutdown`, or
+        SIGTERM/SIGINT while running on the main thread) waits for
+        in-flight subprocess runs before terminating them.
     """
 
     def __init__(self, *, jobs=1, cache=None, timeout=None, retries=2,
                  backoff=0.25, progress=None, mp_context=None, runner=None,
-                 stats=None, telemetry=None):
+                 stats=None, telemetry=None, drain_timeout=30.0):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
@@ -365,6 +385,10 @@ class SweepEngine:
         self.runner = runner or run_spec_dict
         self.stats = stats
         self.telemetry = telemetry
+        #: Seconds a graceful shutdown waits for in-flight subprocess
+        #: runs before terminating them (see :meth:`request_shutdown`).
+        self.drain_timeout = drain_timeout
+        self._shutdown = False
         if stats is not None and telemetry is not None and getattr(
             stats, "telemetry", None
         ) is None:
@@ -380,14 +404,63 @@ class SweepEngine:
         self._ctx = multiprocessing.get_context(mp_context)
 
     # ------------------------------------------------------------------
+    def request_shutdown(self):
+        """Ask a running sweep to drain gracefully.
+
+        The scheduling loop stops launching new work, waits up to
+        ``drain_timeout`` seconds for in-flight subprocess runs to
+        finish (terminating and failing whatever is still alive after
+        that), marks every not-yet-launched node ``blocked`` with the
+        distinct reason ``"engine shutdown"``, emits the terminal
+        ``engine_stop`` telemetry record, and returns the partial
+        report normally.  Safe to call from any thread or from a signal
+        handler; :meth:`run` installs SIGTERM/SIGINT handlers that call
+        it when running on the main thread, so an interrupted sweep
+        drains instead of orphaning its worker processes.
+        """
+        self._shutdown = True
+
+    def _install_signal_handlers(self):
+        """SIGTERM/SIGINT -> graceful drain (main thread only)."""
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        previous = {}
+
+        def _handler(signum, frame):
+            self.request_shutdown()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[sig] = signal.signal(sig, _handler)
+            except (ValueError, OSError):  # pragma: no cover - platform
+                pass
+        return previous
+
+    @staticmethod
+    def _restore_signal_handlers(previous):
+        if not previous:
+            return
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover - platform
+                pass
+
     def run(self, sweep) -> SweepReport:
         """Execute a sweep or pipeline; outcomes come back in node order."""
         graph = self._as_graph(sweep)
+        self._shutdown = False
+        previous = self._install_signal_handlers()
         try:
             return self._run_graph(graph)
         finally:
+            self._restore_signal_handlers(previous)
             if self.stats is not None:
                 self.stats.flush()
+
+    def session(self, *, aging_rate=0.0) -> "EngineSession":
+        """Open an :class:`EngineSession` for incremental job admission."""
+        return EngineSession(self, aging_rate=aging_rate)
 
     @staticmethod
     def _as_graph(sweep):
@@ -838,8 +911,68 @@ class SweepEngine:
             if remaining[index] == 0 and outcomes[index] is None:
                 admit(index)
 
+        def drain_and_block():
+            """Graceful shutdown: drain in-flight runs, block the rest.
+
+            In-flight subprocess attempts get up to ``drain_timeout``
+            seconds to finish (their results still count and cache);
+            whatever survives the deadline is terminated and failed.
+            Every node that never launched — queued, backing off, or
+            not yet admitted — terminates as ``blocked`` with the
+            distinct reason ``"engine shutdown"``.
+            """
+            deadline = time.monotonic() + max(0.0, self.drain_timeout or 0.0)
+            while running:
+                if tel_queue is not None:
+                    drain_queue(tel_queue, tel)
+                for task in list(running):
+                    if reap(task):
+                        running.remove(task)
+                if not running:
+                    break
+                if time.monotonic() > deadline:
+                    for task in list(running):
+                        task.proc.terminate()
+                        task.proc.join()
+                        self._close(task)
+                        task.wall_time += time.monotonic() - task.started
+                        finalize(
+                            task, "failed",
+                            error=(
+                                "terminated: engine shutdown after "
+                                f"{self.drain_timeout}s drain"
+                            ),
+                        )
+                    running.clear()
+                    break
+                time.sleep(0.01)
+            # A run finishing during the drain may have admitted cached
+            # or analytic successors (they completed synchronously) and
+            # queued runnable ones — those, plus everything else not yet
+            # terminal, block here.
+            launchable.clear()
+            for i in range(total):
+                if outcomes[i] is not None:
+                    continue
+                node = graph.nodes[i]
+                outcome = RunOutcome(
+                    index=i, spec=node.spec, fingerprint=None,
+                    label=node.label, name=node.name, status="blocked",
+                    error="blocked: engine shutdown",
+                )
+                outcomes[i] = outcome
+                state["finished"] += 1
+                self._emit("blocked", outcome, total)
+                if tel is not None:
+                    tel.emit(
+                        "job_blocked", node=node.name, blocker="<shutdown>",
+                    )
+
         # Main scheduling loop: launch critical-path-first, reap, repeat.
         while state["finished"] < total:
+            if self._shutdown:
+                drain_and_block()
+                break
             if tel_queue is not None:
                 drain_queue(tel_queue, tel)
             now = time.monotonic()
@@ -899,6 +1032,7 @@ class SweepEngine:
             cache = self.cache
             tel.emit(
                 "engine_stop", graph=graph.name,
+                reason="shutdown" if self._shutdown else None,
                 makespan=report.wall_time, executed=report.executed,
                 cached=report.cached, failed=report.failed,
                 blocked=report.blocked,
@@ -1007,3 +1141,397 @@ class SweepEngine:
             task.conn.close()
         except OSError:
             pass
+
+
+# ----------------------------------------------------------------------
+# Incremental admission: EngineSession
+# ----------------------------------------------------------------------
+@dataclass
+class SessionStep:
+    """What one :meth:`EngineSession.poll` call advanced."""
+
+    #: Tickets whose first subprocess attempt launched this step.
+    started: list = field(default_factory=list)
+    #: ``(ticket, RunOutcome)`` pairs that reached a terminal state.
+    finished: list = field(default_factory=list)
+
+
+class EngineSession:
+    """Incremental job admission into a live engine.
+
+    :meth:`SweepEngine.run` executes one closed job graph start to
+    finish; a session stays open instead: callers :meth:`submit`
+    independent specs at any time, :meth:`poll` advances launching and
+    reaping without ever blocking on a run, :meth:`cancel` withdraws
+    queued work (and best-effort terminates running work), and
+    :meth:`drain`/:meth:`close` wind the session down.  The serving
+    layer (:mod:`repro.serve`) runs its broker on one of these.
+
+    Two deliberate differences from ``run()``:
+
+    * **Every run executes in a subprocess, even with ``jobs=1``** — a
+      poll must never block on a simulation, and a cancel needs a
+      process to terminate.
+    * **No cache lookups.**  The caller decides its own fast path (the
+      serve broker coalesces *before* the session ever sees a spec);
+      the session only executes, stores to the cache, and feeds the
+      stats store — exactly like a pool run inside ``run()``.
+
+    Ready work is ordered by ``priority + aging_rate * age`` (highest
+    first), so a weighted-fair caller can hand tenants different base
+    priorities without starving anyone: every queued job's effective
+    priority grows linearly with its queue age.
+
+    Thread-safe: submit/cancel/poll may race from different threads.
+    """
+
+    def __init__(self, engine: SweepEngine, *, aging_rate=0.0):
+        self.engine = engine
+        self.aging_rate = aging_rate
+        self._lock = threading.RLock()
+        self._launchable = []     # _Pending awaiting a slot
+        self._running = []
+        self._tickets = {}        # ticket -> live _Pending
+        self._outcomes = {}       # ticket -> terminal RunOutcome
+        self._cancel_requested = set()
+        self._free_wids = list(range(engine.jobs))
+        self._next_ticket = 0
+        self._closed = False
+        self._started_t = time.monotonic()
+        tel = engine.telemetry
+        self._tel_queue = engine._ctx.Queue() if tel is not None else None
+        if tel is not None:
+            tel.emit(
+                "engine_start", graph="session", jobs=engine.jobs, total=0,
+            )
+
+    # ------------------------------------------------------------------
+    def submit(self, spec, *, name=None, priority=0.0, tenant=None) -> int:
+        """Enqueue one spec; returns a ticket for polling/cancelling.
+
+        ``tenant`` is attribution only: it rides on the session's job
+        telemetry records so one stream serving many tenants still
+        attributes every event — it never affects scheduling beyond the
+        caller-chosen ``priority``.
+        """
+        fingerprint = spec.fingerprint()   # outside the lock: it hashes
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            name = name or f"job-{ticket}"
+            slots = max(1, min(spec.pdes_workers or 1, self.engine.jobs))
+            task = _Pending(
+                ticket, spec, fingerprint, name, name, priority,
+                time.monotonic(), slots=slots, tenant=tenant,
+            )
+            self._tickets[ticket] = task
+            self._launchable.append(task)
+            tel = self.engine.telemetry
+            if tel is not None:
+                tel.emit(
+                    "job_queued", node=name, run=fingerprint, slots=slots,
+                    tenant=tenant,
+                )
+            return ticket
+
+    def outcome(self, ticket):
+        """The terminal :class:`RunOutcome`, or ``None`` while live."""
+        with self._lock:
+            return self._outcomes.get(ticket)
+
+    @property
+    def active(self) -> int:
+        """Jobs submitted but not yet terminal."""
+        with self._lock:
+            return len(self._tickets)
+
+    @property
+    def busy_slots(self) -> int:
+        """Worker slots currently claimed by running jobs."""
+        with self._lock:
+            return sum(t.slots for t in self._running)
+
+    # ------------------------------------------------------------------
+    def cancel(self, ticket) -> bool:
+        """Withdraw a job: immediate for queued, best-effort for running.
+
+        Returns ``True`` when the cancel took (or was already pending),
+        ``False`` when the job is already terminal or unknown.  A run
+        that completes before the terminate lands keeps its result —
+        the outcome then reads ``ok``, never ``canceled``.
+        """
+        with self._lock:
+            task = self._tickets.get(ticket)
+            if task is None:
+                return False
+            if task in self._launchable:
+                self._launchable.remove(task)
+                self._finalize(task, "canceled",
+                               error="canceled while queued")
+                return True
+            self._cancel_requested.add(ticket)
+            if task.proc is not None:
+                try:
+                    task.proc.terminate()
+                except (OSError, ValueError):  # pragma: no cover - race
+                    pass
+            return True
+
+    # ------------------------------------------------------------------
+    def poll(self) -> SessionStep:
+        """Advance the session one step; never blocks on a run."""
+        step = SessionStep()
+        with self._lock:
+            tel = self.engine.telemetry
+            if self._tel_queue is not None and tel is not None:
+                drain_queue(self._tel_queue, tel)
+            now = time.monotonic()
+            self._launchable.sort(
+                key=lambda t: (
+                    -(t.priority + self.aging_rate * (now - t.ready_at)),
+                    t.index,
+                )
+            )
+            while True:
+                used = sum(t.slots for t in self._running)
+                task = next(
+                    (t for t in self._launchable
+                     if t.not_before <= now
+                     and (used + t.slots <= self.engine.jobs
+                          or not self._running)),
+                    None,
+                )
+                if task is None:
+                    break
+                self._launchable.remove(task)
+                self._launch(task)
+                if task.attempts == 1:
+                    step.started.append(task.index)
+            for task in list(self._running):
+                outcome = self._reap(task)
+                if outcome is not None or task.proc is None:
+                    self._running.remove(task)
+                    if outcome is not None:
+                        step.finished.append((task.index, outcome))
+        return step
+
+    def drain(self, timeout=None) -> bool:
+        """Poll until every submitted job is terminal (or ``timeout``).
+
+        Returns ``True`` when fully drained.  Jobs still alive at the
+        deadline are left running — call :meth:`close` to terminate.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.active:
+            self.poll()
+            if not self.active:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.01)
+        return True
+
+    def close(self):
+        """Terminate everything still live; the session ends canceled.
+
+        Queued jobs finish ``canceled`` immediately; running processes
+        are terminated and finish ``canceled`` too.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for task in list(self._launchable):
+                self._launchable.remove(task)
+                self._finalize(task, "canceled",
+                               error="canceled: session closed")
+            for task in list(self._running):
+                self._cancel_requested.add(task.index)
+                try:
+                    task.proc.terminate()
+                except (OSError, ValueError):  # pragma: no cover - race
+                    pass
+                task.proc.join()
+                SweepEngine._close(task)
+                task.wall_time += time.monotonic() - task.started
+                self._running.remove(task)
+                self._finalize(task, "canceled",
+                               error="canceled: session closed")
+            tel = self.engine.telemetry
+            if self._tel_queue is not None and tel is not None:
+                drain_queue(self._tel_queue, tel)
+                self._tel_queue.close()
+                self._tel_queue = None
+            if tel is not None:
+                counts = {"ok": 0, "failed": 0, "canceled": 0}
+                for outcome in self._outcomes.values():
+                    counts[outcome.status] = (
+                        counts.get(outcome.status, 0) + 1
+                    )
+                tel.emit(
+                    "engine_stop", graph="session",
+                    makespan=time.monotonic() - self._started_t,
+                    executed=counts["ok"], cached=0,
+                    failed=counts["failed"], blocked=0,
+                    canceled=counts["canceled"],
+                )
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _launch(self, task):
+        engine = self.engine
+        parent, child = engine._ctx.Pipe(duplex=False)
+        task.wids = self._free_wids[:task.slots]
+        del self._free_wids[:task.slots]
+        runner = engine.runner
+        if self._tel_queue is not None:
+            runner = _ChildTelemetryRunner(
+                runner, self._tel_queue, task.name, task.fingerprint,
+                task.wid,
+            )
+        proc = engine._ctx.Process(
+            target=_child_main,
+            args=(child, runner, task.spec.to_dict()),
+            daemon=task.slots == 1,
+        )
+        task.attempts += 1
+        task.started = time.monotonic()
+        if task.first_started is None:
+            task.first_started = task.started
+        task.deadline = (
+            task.started + engine.timeout if engine.timeout else None
+        )
+        task.proc, task.conn = proc, parent
+        proc.start()
+        child.close()
+        self._running.append(task)
+        tel = engine.telemetry
+        if tel is not None:
+            tel.emit(
+                "job_launched", node=task.name, run=task.fingerprint,
+                wid=task.wid, slots=task.slots, attempt=task.attempts,
+                tenant=task.tenant,
+            )
+
+    def _reap(self, task):
+        """One reap step; returns the terminal outcome or ``None``."""
+        engine = self.engine
+        msg = None
+        if task.conn.poll():
+            try:
+                msg = task.conn.recv()
+            except (EOFError, OSError):
+                msg = None
+        elif task.proc.is_alive():
+            canceled = task.index in self._cancel_requested
+            overdue = task.deadline is not None and (
+                time.monotonic() > task.deadline
+            )
+            if not canceled and not overdue:
+                return None
+            task.proc.terminate()
+            task.proc.join()
+            SweepEngine._close(task)
+            task.wall_time += time.monotonic() - task.started
+            if canceled:
+                return self._finalize(
+                    task, "canceled", error="canceled while running",
+                )
+            return self._retry_or_fail(
+                task, f"timed out after {engine.timeout}s",
+            )
+        task.proc.join()
+        SweepEngine._close(task)
+        attempt_time = time.monotonic() - task.started
+        task.wall_time += attempt_time
+        if msg is None:
+            if task.index in self._cancel_requested:
+                return self._finalize(
+                    task, "canceled", error="canceled while running",
+                )
+            return self._retry_or_fail(
+                task, f"worker died (exit code {task.proc.exitcode})",
+            )
+        kind, payload = msg
+        if kind == "ok":
+            # A completed result always wins, even over a pending
+            # cancel — exactly-once beats promptly-withdrawn.
+            result = RunResult.from_dict(payload)
+            engine._store(
+                task.spec, task.fingerprint, result,
+                wall_time=attempt_time,
+            )
+            if engine.stats is not None:
+                engine.stats.record(
+                    spec_signature(task.spec), attempt_time,
+                )
+            return self._finalize(
+                task, "ok", result=result, exec_time=attempt_time,
+            )
+        return self._finalize(task, "failed", error=payload)
+
+    def _retry_or_fail(self, task, reason):
+        engine = self.engine
+        if task.attempts > engine.retries:
+            return self._finalize(task, "failed", error=reason)
+        if task.wids:
+            self._free_wids.extend(task.wids)
+            self._free_wids.sort()
+        task.wids = None
+        task.proc = task.conn = None
+        task.not_before = time.monotonic() + (
+            engine.backoff
+            * (2 ** (task.attempts - 1))
+            * (1.0 + 0.5 * retry_jitter(task.fingerprint, task.attempts))
+        )
+        self._launchable.append(task)
+        tel = engine.telemetry
+        if tel is not None:
+            tel.emit(
+                "job_retry", node=task.name, run=task.fingerprint,
+                attempt=task.attempts, reason=reason, tenant=task.tenant,
+            )
+        return None
+
+    def _finalize(self, task, status, result=None, error=None,
+                  exec_time=None):
+        wid = task.wid
+        if task.wids:
+            self._free_wids.extend(task.wids)
+            self._free_wids.sort()
+        task.wids = None
+        outcome = RunOutcome(
+            index=task.index, spec=task.spec,
+            fingerprint=task.fingerprint, label=task.label,
+            name=task.name, status=status, result=result, error=error,
+            attempts=task.attempts, wall_time=task.wall_time,
+            wait_time=task.wait_time, exec_time=exec_time,
+            worker_id=wid, slots=task.slots,
+        )
+        self._outcomes[task.index] = outcome
+        self._tickets.pop(task.index, None)
+        self._cancel_requested.discard(task.index)
+        tel = self.engine.telemetry
+        if tel is not None:
+            if status == "failed":
+                tel.emit(
+                    "job_failed", node=task.name, run=task.fingerprint,
+                    wid=wid, attempts=task.attempts,
+                    wall_time=task.wall_time, error=error,
+                    tenant=task.tenant,
+                )
+            else:
+                tel.emit(
+                    "job_done", node=task.name, run=task.fingerprint,
+                    wid=wid, status=status, attempts=task.attempts,
+                    wall_time=task.wall_time, exec_time=exec_time,
+                    wait_time=task.wait_time, tenant=task.tenant,
+                )
+        return outcome

@@ -27,9 +27,15 @@ from .telemetry import TelemetryError, iter_records
 def read_stream(path) -> EngineReport:
     """An :class:`EngineReport` over the stream as it stands right now.
 
-    Tolerant of a final line still being written: a corrupt *last* line
-    is dropped; corruption earlier in the file still raises.
+    ``path`` is a local JSONL file, or an ``http(s)://`` serve-server
+    URL — then the stream is fetched from its ``/v1/telemetry``
+    endpoint, which is what lets ``top --follow`` watch a remote
+    :mod:`repro.serve` instance.  Tolerant of a final line still being
+    written: a corrupt *last* line is dropped; corruption earlier in
+    the file still raises.
     """
+    if isinstance(path, str) and path.startswith(("http://", "https://")):
+        return EngineReport(_fetch_remote_records(path))
     records = []
     try:
         for record in iter_records(path, validate=False):
@@ -37,6 +43,35 @@ def read_stream(path) -> EngineReport:
     except TelemetryError:
         pass  # a writer mid-append; everything before it parsed fine
     return EngineReport(records)
+
+
+def _fetch_remote_records(url) -> list:
+    """Telemetry records from a serve server's ``/v1/telemetry``."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    endpoint = url.rstrip("/")
+    if not endpoint.endswith("/v1/telemetry"):
+        endpoint += "/v1/telemetry"
+    try:
+        with urllib.request.urlopen(endpoint, timeout=10.0) as response:
+            raw = response.read().decode("utf-8")
+    except urllib.error.URLError as exc:
+        raise ValueError(
+            f"cannot fetch telemetry from {endpoint}: "
+            f"{getattr(exc, 'reason', exc)}"
+        ) from None
+    records = []
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            continue  # torn final line of a live stream
+    return records
 
 
 def _eta_seconds(report, now):
@@ -162,9 +197,17 @@ def follow(path, *, interval=0.5, out=None, clear=True, max_frames=None):
         out.write(frame)
         out.flush()
         frames += 1
-        stopped = any(
-            r["type"] == "engine_stop" for r in report.records
-        )
+        # A serve stream interleaves whole engine lifecycles (one per
+        # pipeline job) — there, only the terminal serve_stop ends the
+        # follow; a plain engine stream still ends at engine_stop.
+        if any(r["type"] == "serve_start" for r in report.records):
+            stopped = any(
+                r["type"] == "serve_stop" for r in report.records
+            )
+        else:
+            stopped = any(
+                r["type"] == "engine_stop" for r in report.records
+            )
         if stopped or (max_frames is not None and frames >= max_frames):
             return frame
         time.sleep(interval)

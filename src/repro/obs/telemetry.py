@@ -82,6 +82,14 @@ RECORD_TYPES = {
     "pdes_window": ("run", "wid", "window", "dur", "stall", "batches"),
     "pdes_run": ("run", "workers", "windows", "lookahead", "stall",
                  "elapsed"),
+    # -- serve layer (repro.serve broker; ``tenant`` rides on job records
+    # too, as an optional context field) ---------------------------------
+    "serve_start": ("addr",),
+    "serve_stop": ("reason",),
+    "serve_submit": ("job", "tenant", "mode"),   # new | coalesced | cached
+    "serve_done": ("job", "tenant", "state"),
+    "serve_cancel": ("job", "tenant"),
+    "serve_reject": ("tenant", "code"),
 }
 
 

@@ -147,6 +147,19 @@ def trend_table(results_dir, *, baseline_dir=None, rev="HEAD",
 
     lines = []
     regressions = 0
+    if baseline_dir is not None:
+        baseline_dir = Path(baseline_dir)
+        # A missing or empty baseline directory is an invalid-argument
+        # error (CLI exit 2), not a quiet "everything is new" pass: a
+        # typo'd --baseline-dir must never mask a regression.
+        if not baseline_dir.is_dir():
+            raise ValueError(
+                f"--baseline-dir {baseline_dir} is not a directory"
+            )
+        if not bench_files(baseline_dir):
+            raise ValueError(
+                f"--baseline-dir {baseline_dir} has no BENCH_*.json files"
+            )
     files = bench_files(results_dir)
     if not files:
         return f"no BENCH_*.json files under {results_dir}\n", 0

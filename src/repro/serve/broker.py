@@ -1,0 +1,773 @@
+"""Admission control and scheduling policy of the serve layer.
+
+The broker sits between the HTTP handlers and a resident
+:class:`~repro.exec.EngineSession`:
+
+* **Quotas** — each tenant draws from a token bucket (``quota_burst``
+  capacity, ``quota_rate`` tokens/second refill); an empty bucket maps
+  to HTTP 429 with a ``Retry-After`` telling the client when one token
+  will have refilled.
+* **Backpressure** — at most ``queue_cap`` *executions* (unique
+  fingerprints, not attached jobs) may be queued or running; beyond
+  that a new fingerprint gets 429 ``queue_full`` + Retry-After.
+* **Request coalescing** — a submit whose fingerprint is already
+  queued/running attaches to that one execution: both tenants' jobs
+  complete from the same run, and the engine executes it exactly once.
+  A fingerprint already in the content-addressed
+  :class:`~repro.exec.cache.ResultCache` never executes at all — the
+  job is born ``done`` (the cache-hit fast path).
+* **Weighted-fair priority aging** — a job's base priority is its
+  tenant's weight (plus any explicit submit priority); the session
+  grows effective priority linearly with queue age, so a heavy tenant
+  cannot starve a light one indefinitely.
+
+Run jobs flow through the shared session (subprocess pool, cancelable);
+pipeline jobs execute on a dedicated single-worker engine thread — they
+are DAGs of runs whose inner nodes already cache and parallelize, so
+serving them serially keeps the broker simple without losing work.
+
+State is journaled through :class:`~repro.serve.store.JobStore` on every
+transition, so a restarted broker resumes exactly where the journal
+says: ``running`` jobs demote to ``queued`` (their execution died with
+the old process) and re-execute; ``done`` jobs re-attach results from
+the cache.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+
+from ..pipeline import run_pipeline
+from .protocol import (
+    ProtocolError,
+    envelope,
+    parse_submit,
+    submit_fingerprint,
+)
+from .store import JobRecord
+
+#: Bound on the in-memory result payload cache (results also live in the
+#: on-disk ResultCache; this only saves re-decoding hot entries).
+RESULT_MEMO_CAP = 128
+
+#: Queue-wait histogram: power-of-two millisecond buckets up to ~17 min.
+WAIT_BUCKET_MAX_EXP = 20
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, ``rate`` tokens/sec."""
+
+    __slots__ = ("capacity", "rate", "tokens", "t")
+
+    def __init__(self, capacity, rate):
+        self.capacity = float(capacity)
+        self.rate = float(rate)
+        self.tokens = float(capacity)
+        self.t = None
+
+    def take(self, now) -> float:
+        """Consume one token; returns 0.0 on success, else the seconds
+        until one token will have refilled (the Retry-After)."""
+        if self.t is not None:
+            self.tokens = min(
+                self.capacity, self.tokens + (now - self.t) * self.rate
+            )
+        self.t = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        if self.rate <= 0:
+            return 60.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class _Execution:
+    """One unique fingerprint's run: the unit coalescing attaches to."""
+
+    __slots__ = ("fingerprint", "kind", "payload", "primary", "job_ids",
+                 "ticket", "state", "priority", "canceled", "tenant")
+
+    def __init__(self, fingerprint, kind, payload, primary, priority,
+                 tenant):
+        self.fingerprint = fingerprint
+        self.kind = kind                  # "run" | "pipeline"
+        self.payload = payload            # RunSpec | PipelineSpec
+        self.primary = primary            # primary job id (names the run)
+        self.job_ids = [primary]
+        self.ticket = None                # session ticket once submitted
+        self.state = "queued"
+        self.priority = priority
+        self.canceled = False
+        self.tenant = tenant
+
+
+class Broker:
+    """See the module docstring; one broker per server process."""
+
+    def __init__(self, *, engine, store, cache=None, queue_cap=64,
+                 quota_rate=5.0, quota_burst=10, tenant_weights=None,
+                 aging_rate=0.05, poll_interval=0.02):
+        self.engine = engine
+        self.cache = cache if cache is not None else engine.cache
+        if self.cache is None:
+            raise ValueError(
+                "the serve broker requires a ResultCache: results are "
+                "re-attached from it after a restart and shared with "
+                "ad-hoc CLI runs"
+            )
+        self.store = store
+        self.queue_cap = queue_cap
+        self.quota_rate = quota_rate
+        self.quota_burst = quota_burst
+        self.tenant_weights = dict(tenant_weights or {})
+        self.poll_interval = poll_interval
+        self.telemetry = engine.telemetry
+        self.session = engine.session(aging_rate=aging_rate)
+
+        self._lock = threading.RLock()
+        self._buckets = {}               # tenant -> TokenBucket
+        self._inflight = {}              # fingerprint -> _Execution
+        self._by_ticket = {}             # session ticket -> _Execution
+        self._pending = deque()          # run executions awaiting session
+        self._pipeline_q = queue.Queue()
+        self._results = OrderedDict()    # fingerprint -> result payload
+        self._subscribers = []
+        self._tenant_counts = {}         # tenant -> {counter: n}
+        self._wait_hist = {}             # "2^k ms" bucket -> count
+        self._executions_started = 0
+        self._executions_completed = 0
+        self._coalesced_attaches = 0
+        self._cache_fast_hits = 0
+        self._closing = False
+        self._stop = threading.Event()
+        self._started_wall = time.time()
+        self._threads = []
+        # Pipelines run on their own single-worker engine (shared cache,
+        # shared telemetry stream, no stats store to avoid cross-thread
+        # writes).
+        from ..exec.engine import SweepEngine
+
+        self._pipeline_engine = SweepEngine(
+            jobs=1, cache=self.cache, retries=engine.retries,
+            telemetry=engine.telemetry,
+        )
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Spawn the scheduler and pipeline threads (idempotent)."""
+        if self._threads:
+            return
+        for name, target in (
+            ("serve-scheduler", self._scheduler_loop),
+            ("serve-pipelines", self._pipeline_loop),
+        ):
+            thread = threading.Thread(
+                target=target, name=name, daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, *, drain_timeout=None, reason="shutdown"):
+        """Stop accepting, drain in-flight work, journal the rest.
+
+        Executions that finish within ``drain_timeout`` (default: the
+        engine's ``drain_timeout``) complete normally.  Whatever is
+        still queued or running afterwards is journaled back as
+        ``queued`` — a restarted server picks those jobs up and
+        finishes them, which is the recovery contract the journal
+        exists for.  Idempotent.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+        if drain_timeout is None:
+            drain_timeout = self.engine.drain_timeout
+        deadline = time.monotonic() + max(0.0, drain_timeout or 0.0)
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._inflight:
+                    break
+            time.sleep(self.poll_interval)
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self.session.close()
+        with self._lock:
+            # Survivors go back to the journal as queued: their
+            # execution died with this process, not their job.
+            for execution in self._inflight.values():
+                for job_id in execution.job_ids:
+                    job = self.store.get(job_id)
+                    if job is None or job.terminal:
+                        continue
+                    job.state = "queued"
+                    job.started_at = None
+                    self.store.record(job)
+            self._inflight.clear()
+            self._by_ticket.clear()
+            self._pending.clear()
+        if self.telemetry is not None:
+            self.telemetry.emit("serve_stop", reason=reason)
+        self.store.compact()
+        self.store.close()
+        self._publish({"event": "server_stop", "reason": reason})
+
+    def _recover(self):
+        """Re-enqueue journaled queued/running work after a restart."""
+        by_fp = {}
+        for job in self.store.all_jobs():
+            if job.terminal:
+                continue
+            if job.state == "running":
+                job.state = "queued"
+                job.started_at = None
+                self.store.record(job)
+            # A fingerprint another process finished meanwhile (or that
+            # completed between cache-put and journal-update when we
+            # crashed) is served straight from the cache.
+            if job.kind == "run":
+                entry = self.cache.get_entry(job.fingerprint)
+                if entry is not None and entry.kind == "result":
+                    self._memo(job.fingerprint, entry.value.to_dict())
+                    job.state = "done"
+                    job.cached = True
+                    job.finished_at = time.time()
+                    self.store.record(job)
+                    continue
+            by_fp.setdefault(job.fingerprint, []).append(job)
+        for fingerprint, jobs in by_fp.items():
+            primary = next(
+                (j for j in jobs if j.coalesced_with is None), jobs[0]
+            )
+            try:
+                payload = self._payload_from_journal(primary)
+            except Exception as exc:
+                for job in jobs:
+                    job.state = "failed"
+                    job.error = f"unrecoverable journal spec: {exc}"
+                    job.finished_at = time.time()
+                    self.store.record(job)
+                continue
+            execution = _Execution(
+                fingerprint, primary.kind, payload, primary.id,
+                primary.priority, primary.tenant,
+            )
+            execution.job_ids = [j.id for j in jobs]
+            self._inflight[fingerprint] = execution
+            if primary.kind == "run":
+                self._pending.append(execution)
+            else:
+                self._pipeline_q.put(execution)
+
+    @staticmethod
+    def _payload_from_journal(job: JobRecord):
+        from ..core import RunSpec
+        from ..pipeline import PipelineSpec
+
+        if job.kind == "run":
+            return RunSpec.from_dict(job.spec)
+        return PipelineSpec.from_dict(job.spec)
+
+    # ------------------------------------------------------------------
+    # API surface (called from HTTP handler threads)
+    # ------------------------------------------------------------------
+    def submit(self, body: dict) -> dict:
+        """Admit one submit body; returns the response envelope.
+
+        Raises :class:`ProtocolError` for every rejection: bad spec,
+        unsupported version, over-quota (429 + Retry-After), full queue
+        (429 + Retry-After), or a server mid-shutdown (503).
+        """
+        kind, payload, tenant, priority = parse_submit(body)
+        fingerprint = submit_fingerprint(kind, payload)
+        now = time.monotonic()
+        with self._lock:
+            if self._closing:
+                raise ProtocolError(
+                    "shutting_down", "server is draining; resubmit to "
+                    "the restarted instance", retry_after=5,
+                )
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.quota_burst, self.quota_rate,
+                )
+            retry_after = bucket.take(now)
+            if retry_after > 0:
+                self._count(tenant, "rejected")
+                if self.telemetry is not None:
+                    self.telemetry.emit(
+                        "serve_reject", tenant=tenant,
+                        code="quota_exceeded", run=fingerprint,
+                    )
+                raise ProtocolError(
+                    "quota_exceeded",
+                    f"tenant {tenant!r} is over quota "
+                    f"({self.quota_rate}/s, burst {self.quota_burst})",
+                    retry_after=math.ceil(retry_after),
+                )
+            job_id = f"j{uuid.uuid4().hex[:12]}"
+            self._count(tenant, "submitted")
+
+            # Fast path 1: the content-addressed cache already holds it.
+            result_payload = self._lookup_result(kind, fingerprint)
+            if result_payload is not None:
+                job = JobRecord(
+                    id=job_id, tenant=tenant, kind=kind,
+                    fingerprint=fingerprint, spec=payload.to_dict(),
+                    state="done", cached=True, priority=priority,
+                    finished_at=time.time(),
+                )
+                self.store.record(job)
+                self._cache_fast_hits += 1
+                self._count(tenant, "done")
+                self._emit_submit(job, "cached")
+                return envelope(job=job.view(), mode="cached")
+
+            # Fast path 2: coalesce onto an identical in-flight run.
+            execution = self._inflight.get(fingerprint)
+            if execution is not None and not execution.canceled:
+                job = JobRecord(
+                    id=job_id, tenant=tenant, kind=kind,
+                    fingerprint=fingerprint, spec=payload.to_dict(),
+                    state=execution.state,
+                    coalesced_with=execution.primary,
+                    priority=priority,
+                )
+                if execution.state == "running":
+                    job.started_at = time.time()
+                execution.job_ids.append(job_id)
+                self.store.record(job)
+                self._coalesced_attaches += 1
+                self._emit_submit(job, "coalesced")
+                return envelope(job=job.view(), mode="coalesced")
+
+            # New execution: backpressure on the queue depth cap.
+            if len(self._inflight) >= self.queue_cap:
+                self._count(tenant, "rejected")
+                if self.telemetry is not None:
+                    self.telemetry.emit(
+                        "serve_reject", tenant=tenant, code="queue_full",
+                        run=fingerprint,
+                    )
+                raise ProtocolError(
+                    "queue_full",
+                    f"execution queue is at its cap ({self.queue_cap})",
+                    retry_after=max(
+                        1, math.ceil(len(self._inflight)
+                                     * self.poll_interval * 10)
+                    ),
+                )
+            job = JobRecord(
+                id=job_id, tenant=tenant, kind=kind,
+                fingerprint=fingerprint, spec=payload.to_dict(),
+                priority=priority,
+            )
+            execution = _Execution(
+                fingerprint, kind, payload, job_id,
+                priority + self.tenant_weights.get(tenant, 1.0), tenant,
+            )
+            self._inflight[fingerprint] = execution
+            self.store.record(job)
+            if kind == "run":
+                self._pending.append(execution)
+            else:
+                self._pipeline_q.put(execution)
+            self._emit_submit(job, "new")
+            return envelope(job=job.view(), mode="new")
+
+    def job_view(self, job_id: str) -> dict:
+        job = self._get_job(job_id)
+        return envelope(job=job.view())
+
+    def result(self, job_id: str) -> dict:
+        job = self._get_job(job_id)
+        if job.state in ("queued", "running"):
+            raise ProtocolError(
+                "not_ready", f"job {job_id} is {job.state}",
+            )
+        if job.state == "canceled":
+            raise ProtocolError("conflict", f"job {job_id} was canceled")
+        if job.state in ("failed", "blocked"):
+            raise ProtocolError(
+                "job_failed",
+                f"job {job_id} {job.state}: {job.error or 'unknown'}",
+            )
+        payload = self._lookup_result(job.kind, job.fingerprint)
+        if payload is None:
+            raise ProtocolError(
+                "server_error",
+                f"result for {job.fingerprint[:12]} evicted from cache",
+            )
+        return envelope(job=job.view(), result=payload)
+
+    def profile(self, job_id: str) -> dict:
+        body = self.result(job_id)
+        result = body["result"]
+        profile = (
+            result.get("profile") if isinstance(result, dict) else None
+        )
+        if profile is None:
+            raise ProtocolError(
+                "not_found",
+                f"job {job_id} has no profile (submit the spec with "
+                '"profile": true)',
+            )
+        return envelope(job=body["job"], profile=profile)
+
+    def cancel(self, job_id: str) -> dict:
+        """Cooperative cancel: immediate for queued, best-effort running."""
+        with self._lock:
+            job = self._get_job(job_id)
+            if job.terminal:
+                raise ProtocolError(
+                    "conflict", f"job {job_id} already {job.state}",
+                )
+            job.state = "canceled"
+            job.finished_at = time.time()
+            job.error = "canceled by client"
+            self.store.record(job)
+            self._count(job.tenant, "canceled")
+            execution = self._inflight.get(job.fingerprint)
+            if execution is not None and job_id in execution.job_ids:
+                execution.job_ids.remove(job_id)
+                if not execution.job_ids:
+                    # Nobody is waiting on this fingerprint any more.
+                    execution.canceled = True
+                    if execution.ticket is not None:
+                        self.session.cancel(execution.ticket)
+                    elif execution in self._pending:
+                        self._pending.remove(execution)
+                        del self._inflight[execution.fingerprint]
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "serve_cancel", job=job_id, tenant=job.tenant,
+                    run=job.fingerprint,
+                )
+            self._publish({"event": "canceled", "job": job.view()})
+            return envelope(job=job.view())
+
+    def queue_snapshot(self) -> dict:
+        with self._lock:
+            queued, running = [], []
+            for execution in self._inflight.values():
+                view = {
+                    "fingerprint": execution.fingerprint,
+                    "kind": execution.kind,
+                    "primary": execution.primary,
+                    "jobs": list(execution.job_ids),
+                    "tenant": execution.tenant,
+                    "priority": execution.priority,
+                }
+                (running if execution.state == "running"
+                 else queued).append(view)
+            return envelope(
+                queued=queued, running=running,
+                depth=len(self._inflight), cap=self.queue_cap,
+            )
+
+    def metrics(self) -> dict:
+        with self._lock:
+            by_state = {}
+            for job in self.store.all_jobs():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            hits = getattr(self.cache, "hits", 0)
+            misses = getattr(self.cache, "misses", 0)
+            lookups = hits + misses
+            busy = self.session.busy_slots
+            return envelope(
+                uptime=time.time() - self._started_wall,
+                jobs={
+                    "total": len(self.store),
+                    "by_state": by_state,
+                    "by_tenant": {
+                        tenant: dict(counts)
+                        for tenant, counts
+                        in sorted(self._tenant_counts.items())
+                    },
+                },
+                executions={
+                    "started": self._executions_started,
+                    "completed": self._executions_completed,
+                    "coalesced_attaches": self._coalesced_attaches,
+                    "cache_fast_hits": self._cache_fast_hits,
+                },
+                cache={
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": (hits / lookups) if lookups else None,
+                },
+                queue={
+                    "depth": len(self._inflight),
+                    "cap": self.queue_cap,
+                    "wait_histogram_ms": dict(sorted(
+                        self._wait_hist.items(),
+                        key=lambda kv: int(kv[0]),
+                    )),
+                },
+                engine={
+                    "jobs": self.engine.jobs,
+                    "busy_slots": busy,
+                    "utilization": busy / self.engine.jobs,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def subscribe(self) -> "queue.Queue":
+        q = queue.Queue(maxsize=256)
+        with self._lock:
+            self._subscribers.append(q)
+        return q
+
+    def unsubscribe(self, q):
+        with self._lock:
+            if q in self._subscribers:
+                self._subscribers.remove(q)
+
+    def _publish(self, event: dict):
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for q in subscribers:
+            try:
+                q.put_nowait(event)
+            except queue.Full:
+                try:          # drop the oldest, keep the stream moving
+                    q.get_nowait()
+                    q.put_nowait(event)
+                except (queue.Empty, queue.Full):
+                    pass
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _get_job(self, job_id) -> JobRecord:
+        job = self.store.get(job_id)
+        if job is None:
+            raise ProtocolError("not_found", f"no such job: {job_id}")
+        return job
+
+    def _count(self, tenant, counter):
+        counts = self._tenant_counts.setdefault(tenant, {})
+        counts[counter] = counts.get(counter, 0) + 1
+
+    def _memo(self, fingerprint, payload):
+        self._results[fingerprint] = payload
+        self._results.move_to_end(fingerprint)
+        while len(self._results) > RESULT_MEMO_CAP:
+            self._results.popitem(last=False)
+
+    def _lookup_result(self, kind, fingerprint):
+        """Result payload dict for a fingerprint, or ``None``."""
+        memo = self._results.get(fingerprint)
+        if memo is not None:
+            return memo
+        if kind != "run":
+            return None      # pipeline results are memo-only
+        entry = self.cache.get_entry(fingerprint)
+        if entry is None or entry.kind != "result":
+            return None
+        payload = entry.value.to_dict()
+        self._memo(fingerprint, payload)
+        return payload
+
+    def _emit_submit(self, job, mode):
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "serve_submit", job=job.id, tenant=job.tenant,
+                mode=mode, run=job.fingerprint,
+            )
+        self._publish({"event": "submitted", "mode": mode,
+                       "job": job.view()})
+
+    def _observe_wait(self, seconds):
+        ms = max(1, int(math.ceil(seconds * 1000.0)))
+        exp = min(WAIT_BUCKET_MAX_EXP, max(0, math.ceil(math.log2(ms))))
+        key = str(2 ** exp)
+        self._wait_hist[key] = self._wait_hist.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Scheduler thread: session admission + completion handling
+    # ------------------------------------------------------------------
+    def _scheduler_loop(self):
+        while not self._stop.is_set():
+            self._scheduler_step()
+            time.sleep(self.poll_interval)
+
+    def _scheduler_step(self):
+        with self._lock:
+            while self._pending:
+                execution = self._pending.popleft()
+                if execution.canceled:
+                    self._inflight.pop(execution.fingerprint, None)
+                    continue
+                execution.ticket = self.session.submit(
+                    execution.payload, name=execution.primary,
+                    priority=execution.priority,
+                    tenant=execution.tenant,
+                )
+                self._by_ticket[execution.ticket] = execution
+        step = self.session.poll()
+        with self._lock:
+            for ticket in step.started:
+                execution = self._by_ticket.get(ticket)
+                if execution is None:
+                    continue
+                execution.state = "running"
+                self._executions_started += 1
+                for job_id in execution.job_ids:
+                    job = self.store.get(job_id)
+                    if job is None or job.terminal:
+                        continue
+                    job.state = "running"
+                    job.started_at = time.time()
+                    job.attempts = max(1, job.attempts)
+                    self.store.record(job)
+                    self._observe_wait(
+                        job.started_at - job.submitted_at
+                    )
+                    self._publish(
+                        {"event": "started", "job": job.view()}
+                    )
+            for ticket, outcome in step.finished:
+                execution = self._by_ticket.pop(ticket, None)
+                if execution is None:
+                    continue
+                self._complete(execution, outcome)
+
+    def _complete(self, execution, outcome):
+        """Fan one terminal engine outcome out to every attached job."""
+        state = {
+            "ok": "done", "failed": "failed", "canceled": "canceled",
+        }.get(outcome.status, "failed")
+        if state == "done":
+            self._memo(
+                execution.fingerprint, outcome.result.to_dict(),
+            )
+        self._executions_completed += 1
+        self._inflight.pop(execution.fingerprint, None)
+        for job_id in execution.job_ids:
+            job = self.store.get(job_id)
+            if job is None or job.terminal:
+                continue
+            job.state = state
+            job.finished_at = time.time()
+            job.attempts = outcome.attempts
+            if outcome.error is not None:
+                job.error = outcome.error
+            self.store.record(job)
+            self._count(job.tenant, state)
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "serve_done", job=job.id, tenant=job.tenant,
+                    state=state, run=job.fingerprint,
+                )
+            self._publish({"event": state, "job": job.view()})
+
+    # ------------------------------------------------------------------
+    # Pipeline thread
+    # ------------------------------------------------------------------
+    def _pipeline_loop(self):
+        while not self._stop.is_set():
+            try:
+                execution = self._pipeline_q.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if execution.canceled:
+                with self._lock:
+                    self._inflight.pop(execution.fingerprint, None)
+                continue
+            with self._lock:
+                execution.state = "running"
+                self._executions_started += 1
+                for job_id in execution.job_ids:
+                    job = self.store.get(job_id)
+                    if job is None or job.terminal:
+                        continue
+                    job.state = "running"
+                    job.started_at = time.time()
+                    self.store.record(job)
+                    self._observe_wait(
+                        job.started_at - job.submitted_at
+                    )
+                    self._publish(
+                        {"event": "started", "job": job.view()}
+                    )
+            try:
+                report = run_pipeline(
+                    execution.payload, engine=self._pipeline_engine,
+                )
+                if not report.ok:
+                    bad = [
+                        o for o in report.sweep.outcomes if not o.ok
+                    ]
+                    outcome = _PipelineOutcome(
+                        "failed", None,
+                        error="; ".join(
+                            f"{o.name} {o.status}"
+                            + (f": {str(o.error).strip().splitlines()[-1]}"
+                               if o.error else "")
+                            for o in bad
+                        ) or "pipeline failed",
+                    )
+                else:
+                    outcome = _PipelineOutcome(
+                        "ok", _pipeline_result(report),
+                    )
+            except Exception as exc:   # engine invariants violated
+                outcome = _PipelineOutcome("failed", None, error=str(exc))
+            with self._lock:
+                if outcome.status == "ok":
+                    self._memo(execution.fingerprint, outcome.payload)
+                self._executions_completed += 1
+                self._inflight.pop(execution.fingerprint, None)
+                for job_id in execution.job_ids:
+                    job = self.store.get(job_id)
+                    if job is None or job.terminal:
+                        continue
+                    job.state = (
+                        "done" if outcome.status == "ok" else "failed"
+                    )
+                    job.finished_at = time.time()
+                    if outcome.error is not None:
+                        job.error = outcome.error
+                    self.store.record(job)
+                    self._count(job.tenant, job.state)
+                    if self.telemetry is not None:
+                        self.telemetry.emit(
+                            "serve_done", job=job.id, tenant=job.tenant,
+                            state=job.state, run=job.fingerprint,
+                        )
+                    self._publish(
+                        {"event": job.state, "job": job.view()}
+                    )
+
+
+class _PipelineOutcome:
+    __slots__ = ("status", "payload", "error")
+
+    def __init__(self, status, payload, error=None):
+        self.status = status
+        self.payload = payload
+        self.error = error
+
+
+def _pipeline_result(report) -> dict:
+    """API result payload of a pipeline job: statuses + node results."""
+    return {
+        "pipeline": report.pipeline.name,
+        "nodes": {
+            o.name: o.status for o in report.sweep.outcomes
+        },
+        "results": report.results_dict(),
+    }

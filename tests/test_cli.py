@@ -359,3 +359,19 @@ def test_trend_command_with_baseline_dir(capsys, tmp_path):
     # --strict turns flagged regressions into a nonzero exit.
     assert main(["trend", "--results-dir", str(cur),
                  "--baseline-dir", str(base), "--strict"]) == 1
+
+
+def test_trend_bad_baseline_dir_exits_2(capsys, tmp_path):
+    cur = tmp_path / "cur"
+    cur.mkdir()
+    (cur / "BENCH_x.json").write_text('{"throughput": 50.0, "t": 1.0}')
+    # Nonexistent baseline dir: usage error, not a traceback.
+    assert main(["trend", "--results-dir", str(cur),
+                 "--baseline-dir", str(tmp_path / "missing")]) == 2
+    assert "not a directory" in capsys.readouterr().err
+    # Existing but empty baseline dir (no BENCH_*.json): same treatment.
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["trend", "--results-dir", str(cur),
+                 "--baseline-dir", str(empty)]) == 2
+    assert "no BENCH_" in capsys.readouterr().err

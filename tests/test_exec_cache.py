@@ -154,3 +154,89 @@ def test_sweep_engine_parallel_matches_serial_on_fuzz_seeds(spec):
         assert a.fingerprint == b.fingerprint
         assert a.result.total_time == b.result.total_time
         assert invariants(a.result) == invariants(b.result)
+
+
+# ----------------------------------------------------------------------
+# Concurrent multi-process hardening (readers race writers on one root)
+# ----------------------------------------------------------------------
+def test_abandoned_partial_write_is_invisible(tmp_path, spec, result):
+    """A writer that died between mkstemp and replace leaves a
+    ``.tmp-*.part`` file; it must not count as an entry, must read as a
+    miss, and ``clear()`` must sweep it."""
+    cache = ResultCache(tmp_path / "cache")
+    fp = spec.fingerprint()
+    cache.put(fp, spec, result)
+    shard = cache.path(fp).parent
+    orphan = shard / ".tmp-deadbeef.part"
+    orphan.write_text('{"half": "written')
+
+    assert len(cache) == 1  # the orphan is not an entry
+    assert cache.get(fp) == result  # ...and does not shadow real reads
+    cache.clear()
+    assert not orphan.exists()
+    assert len(cache) == 0
+
+
+def test_publish_is_atomic_under_concurrent_readers(tmp_path, spec, result):
+    """Hammer get() from threads while put() republishes the same entry:
+    every read must be either a full hit or a clean miss, never a
+    torn/partial decode (which would log + delete the good entry)."""
+    import threading
+
+    cache = ResultCache(tmp_path / "cache")
+    fp = spec.fingerprint()
+    stop = threading.Event()
+    bad = []
+
+    def reader():
+        local = ResultCache(tmp_path / "cache")
+        while not stop.is_set():
+            got = local.get(fp)
+            if got is not None and got != result:
+                bad.append(got)
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        for _ in range(50):
+            cache.put(fp, spec, result)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert bad == []
+    assert cache.get(fp) == result
+
+
+def test_corrupt_unlink_is_inode_guarded(tmp_path, spec, result):
+    """If another process republishes a good entry between our corrupt
+    read and our unlink, the new file must survive."""
+    import os
+
+    cache = ResultCache(tmp_path / "cache")
+    fp = spec.fingerprint()
+    cache.put(fp, spec, result)
+    path = cache.path(fp)
+
+    real_stat = os.stat
+
+    def racing_stat(p, *a, **k):
+        # Simulate the race: by the time the reader stats the path for
+        # its unlink guard, a concurrent writer has already replaced the
+        # corrupt file with a fresh (different-inode) good entry.
+        st = real_stat(p, *a, **k)
+        if str(p) == str(path):
+            cache.put(fp, spec, result)
+            return real_stat(p, *a, **k)
+        return st
+
+    path.write_text("{ torn")
+    inode_before = real_stat(path).st_ino
+    import unittest.mock
+
+    with unittest.mock.patch("repro.exec.cache.os.stat", racing_stat):
+        assert cache.get(fp) is None  # the torn read is a miss...
+    assert path.exists()  # ...but the republished entry survives
+    assert real_stat(path).st_ino != inode_before
+    assert cache.get(fp) == result

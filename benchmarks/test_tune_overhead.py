@@ -1,0 +1,154 @@
+"""Benchmark: orchestration overhead of the design-space tuner.
+
+``run_tune`` must cost (almost) nothing beyond the candidate runs it
+drives: the budget is **< 10% over a raw sweep of the identical
+specs**, enforced when ``REPRO_PERF_ENFORCE=1`` (the CI ``tune`` job)
+and recorded otherwise.  The comparator is exact — the same profiled
+baseline + candidate RunSpecs the tuner materializes, submitted as one
+:class:`~repro.exec.Sweep` on an identical engine — so the measured
+delta is purely the tuner's own work: space enumeration, strategy
+bookkeeping, attribution reads, and report assembly.
+
+Methodology — identical to ``test_telemetry_overhead.py``, built for
+noisy single-core CI boxes:
+
+* ``time.process_time`` (CPU seconds), not wall clock;
+* cyclic GC collected then paused around each timed run;
+* interleaved runs (sweep, tune, sweep, tune, ...) and the ratio of
+  the *minimum* of each group — remaining noise is one-sided;
+* up to three measurement attempts, keeping the smallest estimate.
+
+The result is written to ``benchmarks/results/BENCH_tune_overhead.json``
+— the seed of the tune-overhead perf trajectory tracked by
+``miniamr-sim trend``.
+"""
+
+import gc
+import json
+import os
+import statistics
+import time
+from dataclasses import replace
+
+from conftest import QUICK, bench_once
+
+from repro import AmrConfig, RunSpec, sphere
+from repro.exec import Sweep, SweepEngine
+from repro.tune import TuneSpec, enumerate_space, materialize, run_tune
+
+PAIRS = 3 if QUICK else 5
+TSTEPS = 2 if QUICK else 4
+ENFORCE = os.environ.get("REPRO_PERF_ENFORCE", "0") == "1"
+BUDGET = 0.10
+
+
+def _tune():
+    config = AmrConfig(
+        npx=2, npy=1, npz=1, init_x=1, init_y=2, init_z=2,
+        nx=8, ny=8, nz=8, num_vars=2, num_tsteps=TSTEPS,
+        stages_per_ts=2, refine_freq=1, checksum_freq=2,
+        max_refine_level=1, payload="synthetic",
+        objects=(sphere(center=(0.3, 0.3, 0.3), radius=0.25),),
+    )
+    base = RunSpec(
+        config=config, machine="laptop", variant="tampi_dataflow",
+        ranks_per_node=2,
+    )
+    return TuneSpec(
+        base=base,
+        space={
+            "variant": ("mpi_only", "fork_join", "tampi_dataflow"),
+            "scheduler": ("locality", "fifo"),
+        },
+        name="tune-overhead",
+    )
+
+
+def _comparator_specs(tune):
+    """Exactly the runs the tuner performs, as one flat sweep."""
+    specs = [replace(tune.base, profile=True)]
+    specs.extend(
+        replace(materialize(tune, assignment), profile=True)
+        for assignment in enumerate_space(tune.space)
+    )
+    return specs
+
+
+def _timed(fn):
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.process_time()
+        fn()
+        return time.process_time() - t0
+    finally:
+        gc.enable()
+
+
+def measure_overhead():
+    tune = _tune()
+    specs = _comparator_specs(tune)
+
+    def raw_sweep():
+        report = SweepEngine(jobs=1).run(
+            Sweep(specs, name="tune-overhead-raw")
+        )
+        assert report.failed == 0
+
+    def tuned():
+        report = run_tune(tune, engine=SweepEngine(jobs=1))
+        assert not report.failed
+        assert report.evaluations == len(specs) - 1
+
+    raw_sweep()   # warm both paths
+    tuned()
+    t_raw, t_tune = [], []
+    for _ in range(PAIRS):
+        t_raw.append(_timed(raw_sweep))
+        t_tune.append(_timed(tuned))
+    ratios = [b / a for a, b in zip(t_raw, t_tune)]
+    return {
+        "pairs": PAIRS,
+        "candidates": len(specs) - 1,
+        "tsteps": TSTEPS,
+        "overhead": min(t_tune) / min(t_raw) - 1.0,
+        "median_pair_overhead": statistics.median(ratios) - 1.0,
+        "baseline_cpu_seconds": min(t_raw),
+    }
+
+
+ATTEMPTS = 3
+TARGET = 0.06  # stop retrying once comfortably under the 10% gate
+
+
+def _measure():
+    best = None
+    for attempt in range(ATTEMPTS):
+        r = measure_overhead()
+        if best is None or r["overhead"] < best["overhead"]:
+            best = r
+        if best["overhead"] < TARGET:
+            break
+    best["attempts"] = attempt + 1
+    best["enforced"] = ENFORCE
+    return best
+
+
+def test_tune_overhead(benchmark, results_dir, save_result):
+    report = bench_once(benchmark, _measure)
+    path = results_dir / "BENCH_tune_overhead.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    save_result(
+        "tune orchestration overhead (best-of-N CPU time, "
+        "run_tune vs raw sweep of identical specs)\n"
+        f"  grid tune               {report['overhead']:+7.1%}  "
+        f"(pair median {report['median_pair_overhead']:+.1%}, "
+        f"{report['pairs']} pairs, "
+        f"{report['candidates']} candidates, "
+        f"baseline {report['baseline_cpu_seconds']:.2f}s)",
+        "tune_overhead",
+    )
+
+    if ENFORCE:
+        assert report["overhead"] < BUDGET, report

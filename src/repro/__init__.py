@@ -42,8 +42,9 @@ from .machine import (
 __version__ = "1.0.0"
 
 from . import exec as exec_  # noqa: E402  (needs __version__ for fingerprints)
-from . import verify  # noqa: E402
+from . import tune, verify  # noqa: E402
 from .exec import ResultCache, Sweep, SweepEngine, SweepReport
+from .tune import TuneReport, TuneSpec, run_tune
 from .verify import AccessRaceError, AccessWitness, GoldenStore, fuzz_sweep
 
 __all__ = [
@@ -68,6 +69,8 @@ __all__ = [
     "Sweep",
     "SweepEngine",
     "SweepReport",
+    "TuneReport",
+    "TuneSpec",
     "amr",
     "core",
     "faults",
@@ -81,11 +84,13 @@ __all__ = [
     "marenostrum4_scaled",
     "mpi",
     "run_simulation",
+    "run_tune",
     "simx",
     "sphere",
     "tampi",
     "tasking",
     "trace",
+    "tune",
     "verify",
     "__version__",
 ]

@@ -24,6 +24,7 @@ from .experiments import (
     Table2Result,
     TraceExperiment,
     build_config,
+    fig4_tune,
     format_table,
     get_pipeline,
     paper_pipeline,
@@ -33,6 +34,7 @@ from .experiments import (
     table1,
     table2,
     trace_runs,
+    tune_pipeline,
     weak_scaling,
 )
 from .inputs import (
@@ -56,6 +58,7 @@ __all__ = [
     "TraceExperiment",
     "build_config",
     "factor3",
+    "fig4_tune",
     "fit_grid",
     "format_table",
     "four_spheres",
@@ -68,5 +71,6 @@ __all__ = [
     "table1",
     "table2",
     "trace_runs",
+    "tune_pipeline",
     "weak_root_dims",
 ]

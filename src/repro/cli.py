@@ -15,11 +15,17 @@ Examples::
     miniamr-sim pipeline paper --quick --show-dag
     miniamr-sim sweep --jobs 4 --telemetry sweep.jsonl
     miniamr-sim top sweep.jsonl --follow
+    miniamr-sim tune --fig4 --quick --json tune.json
+    miniamr-sim tune --variant tampi_dataflow --nodes 2 \\
+        --tune-variants mpi_only tampi_dataflow --tune-rpn 2 4 8
+    miniamr-sim pipeline tune --quick
     miniamr-sim engine-report sweep.jsonl --chrome-trace engine.trace.json
     miniamr-sim trend --results-dir benchmarks/results
     miniamr-sim serve --port 8742 --jobs 4 --journal-dir .repro-serve
     miniamr-sim submit --server http://127.0.0.1:8742 \\
         --variant tampi_dataflow --preset laptop --tenant alice --wait
+    miniamr-sim submit --server http://127.0.0.1:8742 \\
+        --tune-file tune_spec.json --wait
     miniamr-sim status --server http://127.0.0.1:8742
     miniamr-sim top http://127.0.0.1:8742 --follow
 
@@ -51,6 +57,7 @@ from .core import RunSpec, VARIANTS, resolve_ranks_per_node, run_simulation
 from .faults import noise_plan
 from .machine.presets import PRESETS, get_preset
 from .tasking.runtime import SCHEDULERS
+from .tune import OBJECTIVES, STRATEGIES
 
 #: Default on-disk result cache for ``bench``/``sweep`` (override with
 #: --cache-dir / REPRO_CACHE_DIR; disable with --no-cache).
@@ -435,14 +442,17 @@ def _add_client_options(p, *, job_arg=True):
 def _add_submit_parser(sub):
     p = sub.add_parser(
         "submit",
-        help="submit one run (or pipeline) to a serve server; identical "
-             "in-flight submits coalesce onto one execution",
+        help="submit one run (or pipeline, or tune) to a serve server; "
+             "identical in-flight submits coalesce onto one execution",
     )
     _add_client_options(p, job_arg=False)
     p.add_argument("--file", default=None, metavar="SPEC_JSON",
                    help="submit this serialized RunSpec JSON file")
     p.add_argument("--pipeline-file", default=None, metavar="P_JSON",
                    help="submit this serialized PipelineSpec JSON file")
+    p.add_argument("--tune-file", default=None, metavar="T_JSON",
+                   help="submit this serialized TuneSpec JSON file "
+                        "(write one with `tune ... --spec-json T_JSON`)")
     p.add_argument("--tenant", default="anon",
                    help="tenant id for quota accounting "
                         "(default: %(default)s)")
@@ -464,6 +474,97 @@ def _add_submit_parser(sub):
     _add_geometry_options(p)
     _add_fault_options(p)
     _add_pdes_options(p)
+    return p
+
+
+def _add_tune_parser(sub):
+    p = sub.add_parser(
+        "tune",
+        help="explore a declared design space over RunSpec knobs and "
+             "rank the candidates by a measured objective",
+    )
+    # Tune source: a committed preset, a serialized TuneSpec, or a
+    # run-style base plus --tune-* axis declarations.
+    p.add_argument("--fig4", action="store_true",
+                   help="tune the committed Fig 4 problem (4 scaled "
+                        "nodes; variant x ranks-per-node)")
+    p.add_argument("--quick", action="store_true",
+                   help="with --fig4: the reduced-tier geometry")
+    p.add_argument("--file", default=None, metavar="T_JSON",
+                   help="load this serialized TuneSpec JSON instead of "
+                        "building one from options")
+    p.add_argument("--tune-variants", nargs="+", default=None,
+                   choices=sorted(VARIANTS), metavar="V",
+                   help="axis: parallelization variants to explore")
+    p.add_argument("--tune-schedulers", nargs="+", default=None,
+                   choices=sorted(SCHEDULERS), metavar="S",
+                   help="axis: task schedulers to explore")
+    p.add_argument("--tune-rpn", nargs="+", type=int, default=None,
+                   metavar="N",
+                   help="axis: ranks-per-node values (the grid is "
+                        "re-fitted per value)")
+    p.add_argument("--tune-nx", nargs="+", type=int, default=None,
+                   metavar="NX",
+                   help="axis: cubic block sizes (sets nx=ny=nz)")
+    p.add_argument("--tune-pdes-workers", nargs="+", type=int,
+                   default=None, metavar="N",
+                   help="axis: PDES worker counts")
+    p.add_argument("--tune-comm-tasks", nargs="+", type=int,
+                   default=None, metavar="N",
+                   help="axis: max_comm_tasks granularity caps")
+    # Search knobs.
+    p.add_argument("--strategy", choices=sorted(STRATEGIES),
+                   default="grid",
+                   help="search strategy (default: %(default)s)")
+    p.add_argument("--objective", choices=sorted(OBJECTIVES),
+                   default="total_time",
+                   help="ranking objective (default: %(default)s)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="max candidate evaluations (default: the whole "
+                        "space — grid only; --fig4 uses the preset's "
+                        "committed budget)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="search seed for random/halving (default: 0; "
+                        "--fig4 uses the preset's committed seed)")
+    p.add_argument("--tiers", nargs="+", type=float, default=(0.25, 1.0),
+                   metavar="F",
+                   help="halving fidelity tiers as stages_per_ts "
+                        "fractions, ascending to 1.0 "
+                        "(default: 0.25 1.0)")
+    p.add_argument("--eta", type=int, default=2,
+                   help="halving reduction factor (default: %(default)s)")
+    p.add_argument("--robustness", type=float, default=0.0,
+                   metavar="INTENSITY",
+                   help="re-score finalists under the canonical noise "
+                        "mix at this intensity and re-rank by the noisy "
+                        "objective (0 = off)")
+    p.add_argument("--top-k", type=int, default=3,
+                   help="finalists kept for robustness re-scoring "
+                        "(default: %(default)s)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable critical-path/idle-gap pruning of "
+                        "dominated ranks-per-node candidates")
+    p.add_argument("--name", default="tune",
+                   help="tune name used in labels and telemetry "
+                        "(default: %(default)s)")
+    # Outputs.
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the TuneReport JSON here")
+    p.add_argument("--spec-json", default=None, metavar="PATH",
+                   help="also write the resolved TuneSpec JSON here "
+                        "(submittable via `submit --tune-file`)")
+    # Run-style base (ignored with --fig4/--file).
+    p.add_argument("--variant", choices=sorted(VARIANTS),
+                   default="tampi_dataflow",
+                   help="base variant (default: %(default)s)")
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="marenostrum4_scaled")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--ranks-per-node", type=int, default=None)
+    _add_geometry_options(p)
+    _add_fault_options(p)
+    _add_pdes_options(p)
+    _add_engine_options(p)
     return p
 
 
@@ -962,19 +1063,99 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    import json
+
+    from .tune import TuneSpec, run_tune
+
+    sources = sum((
+        args.fig4,
+        args.file is not None,
+        any(values is not None for values in (
+            args.tune_variants, args.tune_schedulers, args.tune_rpn,
+            args.tune_nx, args.tune_pdes_workers, args.tune_comm_tasks,
+        )),
+    ))
+    if sources != 1:
+        raise ValueError(
+            "pass exactly one tune source: --fig4, --file T_JSON, or at "
+            "least one --tune-* axis over a run-style base"
+        )
+    if args.file is not None:
+        with open(args.file) as fh:
+            tune = TuneSpec.from_dict(json.load(fh))
+    elif args.fig4:
+        from .bench import fig4_tune
+
+        # Only explicit --budget/--seed override the preset's committed
+        # values: the default `tune --fig4 --quick` must reproduce the
+        # exact spec CI double-runs and diffs.
+        kwargs = dict(
+            quick=args.quick, robustness=args.robustness,
+            strategy=args.strategy,
+        )
+        if args.budget is not None:
+            kwargs["budget"] = args.budget
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        tune = fig4_tune(**kwargs)
+    else:
+        space = {
+            axis: tuple(values)
+            for axis, values in (
+                ("variant", args.tune_variants),
+                ("scheduler", args.tune_schedulers),
+                ("ranks_per_node", args.tune_rpn),
+                ("nx", args.tune_nx),
+                ("pdes_workers", args.tune_pdes_workers),
+                ("max_comm_tasks", args.tune_comm_tasks),
+            )
+            if values is not None
+        }
+        tune = TuneSpec(
+            base=spec_from_args(args),
+            space=space,
+            objective=args.objective,
+            strategy=args.strategy,
+            budget=0 if args.budget is None else args.budget,
+            seed=0 if args.seed is None else args.seed,
+            tiers=tuple(args.tiers),
+            eta=args.eta,
+            robustness=args.robustness,
+            fault_seed=args.fault_seed,
+            top_k=args.top_k,
+            prune=not args.no_prune,
+            name=args.name,
+        )
+    if args.spec_json:
+        with open(args.spec_json, "w") as fh:
+            json.dump(tune.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    report = run_tune(tune, engine=_make_engine(args))
+    # Files before stdout: SIGPIPE on a closed pipe must not lose them.
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+    print(report.ascii())
+    return 0
+
+
 def cmd_submit(args) -> int:
     import json
 
     from .serve import STATE_EXIT_CODES, ServeClient, ServeError
 
     sources = [
-        source for source in (args.file, args.pipeline_file, args.variant)
+        source for source in (
+            args.file, args.pipeline_file, args.tune_file, args.variant,
+        )
         if source is not None
     ]
     if len(sources) != 1:
         raise ValueError(
             "pass exactly one spec source: --file SPEC_JSON, "
-            "--pipeline-file P_JSON, or run-style --variant ... options"
+            "--pipeline-file P_JSON, --tune-file T_JSON, or run-style "
+            "--variant ... options"
         )
     if args.file:
         with open(args.file) as fh:
@@ -982,6 +1163,9 @@ def cmd_submit(args) -> int:
     elif args.pipeline_file:
         with open(args.pipeline_file) as fh:
             spec, kind = json.load(fh), "pipeline"
+    elif args.tune_file:
+        with open(args.tune_file) as fh:
+            spec, kind = json.load(fh), "tune"
     else:
         spec, kind = spec_from_args(args).to_dict(), "run"
     client = ServeClient(args.server, timeout=args.http_timeout)
@@ -1103,6 +1287,7 @@ def main(argv=None) -> int:
     _add_engine_report_parser(sub)
     _add_trend_parser(sub)
     _add_serve_parser(sub)
+    _add_tune_parser(sub)
     _add_submit_parser(sub)
     _add_status_parser(sub)
     _add_result_parser(sub)
@@ -1121,6 +1306,7 @@ def main(argv=None) -> int:
         "engine-report": cmd_engine_report,
         "trend": cmd_trend,
         "serve": cmd_serve,
+        "tune": cmd_tune,
         "submit": cmd_submit,
         "status": cmd_status,
         "result": cmd_result,

@@ -8,14 +8,19 @@ envelope — updates a small persistent JSON store.
 
 The store key is deliberately *not* the cache fingerprint.  Two specs
 that differ only in observational knobs (``profile``, ``trace``,
-``trace_max_events``) or in an inactive :class:`~repro.faults.FaultPlan`
-execute the same simulation with near-identical cost, so they must share
-one duration history; and unlike cache entries, history stays valid
-across package versions (a version bump invalidates cached *results*,
-not how long a run takes).  :func:`spec_signature` therefore strips the
-observational fields from the fully-resolved spec and omits the package
-version — the ``resolve()`` step already normalizes inactive fault plans
-to ``None`` and equivalent preset/explicit machine spellings to one form.
+``trace_max_events``, ``pdes_partition``) or in an inactive
+:class:`~repro.faults.FaultPlan` execute the same simulation with
+near-identical cost, so they must share one duration history; and
+unlike cache entries, history stays valid across package versions (a
+version bump invalidates cached *results*, not how long a run takes).
+:func:`spec_signature` therefore strips the observational fields from
+the fully-resolved spec and omits the package version — the
+``resolve()`` step already normalizes inactive fault plans to ``None``
+and equivalent preset/explicit machine spellings to one form.  Knobs
+that change *host* cost without changing the simulation — today just
+``pdes_workers``, which divides wall time across worker processes —
+stay in the key: mixing their durations into one entry would mislead
+every consumer (see :data:`SEMANTIC_FIELDS`).
 
 When a signature has no history the engine falls back to
 :func:`fallback_cost`, a conservative work estimate derived from the
@@ -42,28 +47,43 @@ from ..core.spec import RunSpec
 logger = logging.getLogger(__name__)
 
 #: ``RunSpec`` fields stripped from the signature: they change how a run
-#: is *observed* or *hosted* (profiling hooks, tracer retention, the
-#: partitioned-kernel worker layout), not what it computes.  The
-#: ``pdes_*`` knobs do shift host wall time, but they leave the simulated
-#: behaviour byte-identical, and one EWMA-smoothed history per simulation
-#: beats fragmenting it per worker count.  Inactive fault plans need no
-#: entry here: :meth:`RunSpec.resolve` already normalizes them to
-#: ``None``.
+#: is *observed* (profiling hooks, tracer retention), not what it
+#: computes or how long the host works on it.  ``pdes_partition`` stays
+#: here: with the worker count fixed, the rank→worker policy shifts
+#: host time by at most the window-barrier slack, and one EWMA history
+#: per worker count beats fragmenting it per policy.  Inactive fault
+#: plans need no entry here: :meth:`RunSpec.resolve` already normalizes
+#: them to ``None``.
 OBSERVATIONAL_FIELDS = (
-    "profile", "trace", "trace_max_events", "pdes_workers",
-    "pdes_partition",
+    "profile", "trace", "trace_max_events", "pdes_partition",
 )
 
-#: Every other ``RunSpec`` field: these define *what* is simulated, so
-#: they stay in the signature.  The two tuples must jointly cover the
-#: full ``RunSpec`` — a completeness test enforces it, so a new spec
-#: field cannot silently leak into (or out of) duration-history keys
-#: the way ``profile`` once did.
+#: Every other ``RunSpec`` field: these define *what* is simulated — or,
+#: for ``pdes_workers``, change host wall time by integer factors — so
+#: they stay in the signature.  ``pdes_workers`` used to be stripped as
+#: observational, which let partitioned wall-clocks pollute serial
+#: predictions (and vice-versa) through one shared EWMA entry, skewing
+#: the HEFT critical-path ordering; a 4-worker run finishes in a
+#: fraction of the serial host time, so each worker count keeps its own
+#: history.  The two tuples must jointly cover the full ``RunSpec`` — a
+#: completeness test enforces it, so a new spec field cannot silently
+#: leak into (or out of) duration-history keys the way ``profile`` once
+#: did.
 SEMANTIC_FIELDS = (
     "config", "machine", "variant", "num_nodes", "ranks_per_node",
     "scheduler", "sched_seed", "check_access", "delayed_checksum",
-    "stage_barrier", "cost_overrides", "faults",
+    "stage_barrier", "cost_overrides", "faults", "pdes_workers",
 )
+
+#: Version mixed into every signature.  Bumping it orphans every
+#: existing store entry at once — the graceful-migration lever for
+#: changes to the normalization itself (entries written under the old
+#: rules are never read again; predictions degrade to the fallback
+#: model and re-learn within a few runs).  Bumped 1 → 2 when
+#: ``pdes_workers`` moved into the signature: entries keyed under v1
+#: blended serial and partitioned durations, so carrying them forward
+#: would perpetuate the pollution the move fixes.
+SIGNATURE_VERSION = 2
 
 #: Safety factor applied to :func:`fallback_cost` estimates when mixing
 #: them with measured history (cold nodes are assumed expensive, so the
@@ -78,16 +98,22 @@ def spec_signature(spec: RunSpec) -> str:
     observational fields removed and *no* package version mixed in, so:
 
     * specs identical modulo ``profile`` / ``trace`` /
-      ``trace_max_events`` / an inactive ``FaultPlan`` share one key;
+      ``trace_max_events`` / ``pdes_partition`` / an inactive
+      ``FaultPlan`` share one key;
+    * specs differing in ``pdes_workers`` get distinct keys (the worker
+      count divides host wall time, so sharing a history would corrupt
+      both predictions);
     * preset-name and expanded-machine spellings share one key (both
       resolve to the same explicit machine);
-    * history survives package version bumps.
+    * history survives package version bumps (but not
+      :data:`SIGNATURE_VERSION` bumps, which deliberately orphan
+      entries keyed under outdated normalization rules).
     """
     d = spec.resolve().to_dict()
     for field in OBSERVATIONAL_FIELDS:
         d.pop(field, None)
     blob = json.dumps(
-        {"sig": 1, "spec": d},
+        {"sig": SIGNATURE_VERSION, "spec": d},
         sort_keys=True, separators=(",", ":"), allow_nan=False,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -7,7 +7,12 @@ the simulated MPI world.  See the module docstrings for the contract.
 """
 
 from .injectors import FaultInjector, FaultRng, FaultStats, FaultyNoise
-from .plan import FaultPlan, noise_plan, straggler_plan
+from .plan import (
+    MAX_MESSAGE_LOSS_RATE,
+    FaultPlan,
+    noise_plan,
+    straggler_plan,
+)
 
 __all__ = [
     "FaultInjector",
@@ -15,6 +20,7 @@ __all__ = [
     "FaultRng",
     "FaultStats",
     "FaultyNoise",
+    "MAX_MESSAGE_LOSS_RATE",
     "noise_plan",
     "straggler_plan",
 ]

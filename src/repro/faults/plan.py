@@ -34,7 +34,18 @@ committed goldens stay byte-identical.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, fields, replace
+
+#: Largest loss probability a plan may carry: the closest float below
+#: 1.0.  ``message_loss_rate`` is a *per-attempt* probability — at
+#: exactly 1.0 every attempt fails and expected delivery delay
+#: diverges, so validation rejects it and :meth:`FaultPlan.scaled`
+#: clamps here instead of at an arbitrary constant.  Because the clamp
+#: sits at the validation boundary itself, ``scaled(1)`` is the
+#: identity for every valid plan (a 0.9999 loss rate survives a
+#: round-trip, which a hard 0.999 cap used to silently rewrite).
+MAX_MESSAGE_LOSS_RATE = math.nextafter(1.0, 0.0)
 
 
 @dataclass(frozen=True)
@@ -92,8 +103,13 @@ class FaultPlan:
                      "message_jitter", "message_loss_rate", "retry_timeout"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        # A probability: [0, 1) — 0 <= rate is checked above, and 1.0
+        # (every attempt lost) would make expected delay diverge.
         if self.message_loss_rate >= 1.0:
-            raise ValueError("message_loss_rate must be < 1")
+            raise ValueError(
+                "message_loss_rate is a per-attempt probability and "
+                "must be < 1"
+            )
         if self.straggler_factor < 1.0:
             raise ValueError("straggler_factor must be >= 1 (a slowdown)")
         if self.degrade_latency_factor < 1.0:
@@ -152,12 +168,19 @@ class FaultPlan:
     def scaled(self, intensity: float) -> "FaultPlan":
         """The same fault *mix* at a different intensity.
 
-        Stochastic magnitudes (noise amplitude, burst rate, jitter, loss
-        probability) scale linearly; multiplicative slowdowns interpolate
-        from 1 (``factor -> 1 + intensity * (factor - 1)``).  Windows,
-        seeds, and timeouts are structural and stay fixed.  ``scaled(0)``
-        is inactive; ``scaled(1)`` is the plan itself.  This is the knob
-        the resilience experiments sweep.
+        Stochastic magnitudes (noise amplitude, burst rate, jitter) scale
+        linearly without bound — they are rates and durations, not
+        probabilities.  ``message_loss_rate`` *is* a probability, so its
+        scaled value is clamped into the valid [0, 1) range
+        (:data:`MAX_MESSAGE_LOSS_RATE`): without the clamp,
+        ``noise_plan().scaled(60)`` would ask for a loss probability
+        above 1 and the scaled plan's own validation would reject it.
+        Multiplicative slowdowns interpolate from 1
+        (``factor -> 1 + intensity * (factor - 1)``).  Windows, seeds,
+        and timeouts are structural and stay fixed.  ``scaled(0)`` is
+        inactive; ``scaled(1)`` is the plan itself — for *every* valid
+        plan, including loss rates arbitrarily close to 1.  This is the
+        knob the resilience experiments sweep.
         """
         if intensity < 0:
             raise ValueError("intensity must be >= 0")
@@ -174,7 +197,7 @@ class FaultPlan:
             degrade_bandwidth_factor=interp(self.degrade_bandwidth_factor),
             message_jitter=self.message_jitter * intensity,
             message_loss_rate=min(
-                self.message_loss_rate * intensity, 0.999
+                self.message_loss_rate * intensity, MAX_MESSAGE_LOSS_RATE
             ),
         )
 

@@ -18,6 +18,8 @@ minus progress on currently-running jobs, divided by the worker count.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 from .engine_report import EngineReport
@@ -72,6 +74,126 @@ def _fetch_remote_records(url) -> list:
         except ValueError:
             continue  # torn final line of a live stream
     return records
+
+
+class TailReader:
+    """Incremental follower of a live telemetry JSONL file.
+
+    ``follow`` used to re-read the whole stream every frame through a
+    single open position, which made each frame O(file) *and* — worse —
+    kept serving records from a stale inode after the stream was
+    compacted or rotated (:meth:`TelemetryBus` and log shippers replace
+    the file via ``os.replace``): the view silently froze on the old
+    generation.  The reader instead keeps the byte offset of the last
+    *complete* record and, on every :meth:`poll`:
+
+    * reads only the bytes appended since the previous poll;
+    * detects **replacement** (the path's ``(st_dev, st_ino)`` no longer
+      matches the open handle's) and **in-place truncation** (the file
+      shrank below the committed offset) and reopens from the start of
+      the new generation, discarding state from the old one;
+    * leaves a torn final line buffered until its newline arrives, so a
+      writer mid-append never produces a half-parsed record and a
+      reopen never lands mid-line.
+
+    A missing file (the writer is between ``unlink`` and ``replace``,
+    or has not started yet) is an empty poll, not an error.
+    ``records`` accumulates every complete record of the current file
+    generation, ready for :class:`EngineReport`.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self.records = []
+        self._fh = None
+        self._id = None     # (st_dev, st_ino) of the open handle
+        self._offset = 0    # bytes consumed up to the last complete line
+        self._buf = b""     # torn trailing fragment awaiting its newline
+
+    # ------------------------------------------------------------------
+    def _reset(self):
+        if self._fh is not None:
+            self._fh.close()
+        self._fh = None
+        self._id = None
+        self._offset = 0
+        self._buf = b""
+        self.records = []
+
+    def _reopen(self):
+        """Open the current generation of the file, or stay closed."""
+        try:
+            fh = open(self.path, "rb")
+        except OSError:
+            return
+        st = os.fstat(fh.fileno())
+        self._fh = fh
+        self._id = (st.st_dev, st.st_ino)
+
+    # ------------------------------------------------------------------
+    def poll(self) -> list:
+        """Consume newly appended records; the list of *new* records.
+
+        After a compaction/rotation or truncation the whole (new) file
+        is new, so the returned list equals :attr:`records`.
+        """
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            # Mid-replace or not created yet: keep showing what we have.
+            return []
+        if self._fh is not None:
+            replaced = (st.st_dev, st.st_ino) != self._id
+            # Shrinking below what we already consumed (including a
+            # buffered torn fragment) means our bytes are gone.
+            truncated = (
+                not replaced
+                and st.st_size < self._offset + len(self._buf)
+            )
+            if replaced or truncated:
+                self._reset()
+        if self._fh is None:
+            self._reopen()
+            if self._fh is None:
+                return []
+        self._fh.seek(self._offset + len(self._buf))
+        chunk = self._fh.read()
+        if not chunk:
+            return []
+        self._buf += chunk
+        new = []
+        while True:
+            line, sep, rest = self._buf.partition(b"\n")
+            if not sep:
+                break  # torn final line — wait for the newline
+            self._buf = rest
+            self._offset += len(line) + 1
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            try:
+                new.append(json.loads(text))
+            except ValueError as exc:
+                raise TelemetryError(
+                    f"{self.path}: corrupt telemetry record: {exc}"
+                ) from None
+        self.records.extend(new)
+        return new
+
+    def report(self) -> EngineReport:
+        """An :class:`EngineReport` over every record read so far."""
+        return EngineReport(self.records)
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
 
 
 def _eta_seconds(report, now):
@@ -182,32 +304,52 @@ def render_top(report, *, now=None, width=72) -> str:
 def follow(path, *, interval=0.5, out=None, clear=True, max_frames=None):
     """Render the stream in place until ``engine_stop`` (or EOF growth stops).
 
-    ``max_frames`` bounds the loop for tests.  Returns the final frame.
+    Local files are tailed incrementally through a :class:`TailReader`,
+    which survives compaction/rotation (``os.replace``) and in-place
+    truncation of the stream by reopening the new generation from its
+    first complete record; remote ``http(s)://`` streams are re-fetched
+    whole each frame.  ``max_frames`` bounds the loop for tests.
+    Returns the final frame.
     """
     import sys
 
     out = out or sys.stdout
+    remote = isinstance(path, str) and path.startswith(
+        ("http://", "https://")
+    )
+    tail = None if remote else TailReader(path)
     frames = 0
     frame = ""
-    while True:
-        report = read_stream(path)
-        frame = render_top(report, now=time.monotonic())
-        if clear:
-            out.write("\x1b[2J\x1b[H")
-        out.write(frame)
-        out.flush()
-        frames += 1
-        # A serve stream interleaves whole engine lifecycles (one per
-        # pipeline job) — there, only the terminal serve_stop ends the
-        # follow; a plain engine stream still ends at engine_stop.
-        if any(r["type"] == "serve_start" for r in report.records):
-            stopped = any(
-                r["type"] == "serve_stop" for r in report.records
-            )
-        else:
-            stopped = any(
-                r["type"] == "engine_stop" for r in report.records
-            )
-        if stopped or (max_frames is not None and frames >= max_frames):
-            return frame
-        time.sleep(interval)
+    try:
+        while True:
+            if remote:
+                report = read_stream(path)
+            else:
+                tail.poll()
+                report = tail.report()
+            frame = render_top(report, now=time.monotonic())
+            if clear:
+                out.write("\x1b[2J\x1b[H")
+            out.write(frame)
+            out.flush()
+            frames += 1
+            # A serve stream interleaves whole engine lifecycles (one
+            # per pipeline job) — there, only the terminal serve_stop
+            # ends the follow; a plain engine stream still ends at
+            # engine_stop.
+            if any(r["type"] == "serve_start" for r in report.records):
+                stopped = any(
+                    r["type"] == "serve_stop" for r in report.records
+                )
+            else:
+                stopped = any(
+                    r["type"] == "engine_stop" for r in report.records
+                )
+            if stopped or (
+                max_frames is not None and frames >= max_frames
+            ):
+                return frame
+            time.sleep(interval)
+    finally:
+        if tail is not None:
+            tail.close()

@@ -82,6 +82,12 @@ RECORD_TYPES = {
     "pdes_window": ("run", "wid", "window", "dur", "stall", "batches"),
     "pdes_run": ("run", "workers", "windows", "lookahead", "stall",
                  "elapsed"),
+    # -- design-space exploration (repro.tune) ---------------------------
+    "tune_start": ("tune", "strategy", "objective", "budget", "space",
+                   "feasible"),
+    "tune_round": ("tune", "round", "tier", "evaluated"),
+    "tune_prune": ("tune", "candidate", "reason"),
+    "tune_stop": ("tune", "evaluations", "pruned", "best"),
     # -- serve layer (repro.serve broker; ``tenant`` rides on job records
     # too, as an optional context field) ---------------------------------
     "serve_start": ("addr",),

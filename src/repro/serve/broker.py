@@ -22,9 +22,12 @@ The broker sits between the HTTP handlers and a resident
   cannot starve a light one indefinitely.
 
 Run jobs flow through the shared session (subprocess pool, cancelable);
-pipeline jobs execute on a dedicated single-worker engine thread — they
-are DAGs of runs whose inner nodes already cache and parallelize, so
-serving them serially keeps the broker simple without losing work.
+pipeline and tune jobs execute on a dedicated single-worker engine
+thread — they are DAGs/sweeps of runs whose inner nodes already cache
+and parallelize, so serving them serially keeps the broker simple
+without losing work.  Tune jobs are admitted per-tenant exactly like
+everything else: they draw quota tokens, count against ``queue_cap``,
+coalesce by :meth:`TuneSpec.fingerprint`, and memoize their reports.
 
 State is journaled through :class:`~repro.serve.store.JobStore` on every
 transition, so a restarted broker resumes exactly where the journal
@@ -95,8 +98,8 @@ class _Execution:
     def __init__(self, fingerprint, kind, payload, primary, priority,
                  tenant):
         self.fingerprint = fingerprint
-        self.kind = kind                  # "run" | "pipeline"
-        self.payload = payload            # RunSpec | PipelineSpec
+        self.kind = kind                  # "run" | "pipeline" | "tune"
+        self.payload = payload            # RunSpec | PipelineSpec | TuneSpec
         self.primary = primary            # primary job id (names the run)
         self.job_ids = [primary]
         self.ticket = None                # session ticket once submitted
@@ -147,9 +150,9 @@ class Broker:
         self._stop = threading.Event()
         self._started_wall = time.time()
         self._threads = []
-        # Pipelines run on their own single-worker engine (shared cache,
-        # shared telemetry stream, no stats store to avoid cross-thread
-        # writes).
+        # Pipelines and tunes run on their own single-worker engine
+        # (shared cache, shared telemetry stream, no stats store to
+        # avoid cross-thread writes).
         from ..exec.engine import SweepEngine
 
         self._pipeline_engine = SweepEngine(
@@ -272,9 +275,12 @@ class Broker:
     def _payload_from_journal(job: JobRecord):
         from ..core import RunSpec
         from ..pipeline import PipelineSpec
+        from ..tune import TuneSpec
 
         if job.kind == "run":
             return RunSpec.from_dict(job.spec)
+        if job.kind == "tune":
+            return TuneSpec.from_dict(job.spec)
         return PipelineSpec.from_dict(job.spec)
 
     # ------------------------------------------------------------------
@@ -573,7 +579,7 @@ class Broker:
         if memo is not None:
             return memo
         if kind != "run":
-            return None      # pipeline results are memo-only
+            return None      # pipeline/tune results are memo-only
         entry = self.cache.get_entry(fingerprint)
         if entry is None or entry.kind != "result":
             return None
@@ -704,26 +710,42 @@ class Broker:
                         {"event": "started", "job": job.view()}
                     )
             try:
-                report = run_pipeline(
-                    execution.payload, engine=self._pipeline_engine,
-                )
-                if not report.ok:
-                    bad = [
-                        o for o in report.sweep.outcomes if not o.ok
-                    ]
+                if execution.kind == "tune":
+                    # Candidate failures are part of the tune report,
+                    # not a job failure; only a broken declaration or
+                    # engine (the except below) fails the job.
+                    from ..tune import run_tune
+
+                    tune_report = run_tune(
+                        execution.payload, engine=self._pipeline_engine,
+                    )
                     outcome = _PipelineOutcome(
-                        "failed", None,
-                        error="; ".join(
-                            f"{o.name} {o.status}"
-                            + (f": {str(o.error).strip().splitlines()[-1]}"
-                               if o.error else "")
-                            for o in bad
-                        ) or "pipeline failed",
+                        "ok", tune_report.to_dict(),
                     )
                 else:
-                    outcome = _PipelineOutcome(
-                        "ok", _pipeline_result(report),
+                    report = run_pipeline(
+                        execution.payload, engine=self._pipeline_engine,
                     )
+                    if not report.ok:
+                        bad = [
+                            o for o in report.sweep.outcomes if not o.ok
+                        ]
+                        outcome = _PipelineOutcome(
+                            "failed", None,
+                            error="; ".join(
+                                f"{o.name} {o.status}"
+                                + (
+                                    ": " + str(o.error)
+                                    .strip().splitlines()[-1]
+                                    if o.error else ""
+                                )
+                                for o in bad
+                            ) or "pipeline failed",
+                        )
+                    else:
+                        outcome = _PipelineOutcome(
+                            "ok", _pipeline_result(report),
+                        )
             except Exception as exc:   # engine invariants violated
                 outcome = _PipelineOutcome("failed", None, error=str(exc))
             with self._lock:

@@ -26,11 +26,11 @@ Endpoints (all under ``/v1``)::
 
 A submit body is::
 
-    {"v": 1, "kind": "run" | "pipeline", "spec": {...},
+    {"v": 1, "kind": "run" | "pipeline" | "tune", "spec": {...},
      "tenant": "alice", "priority": 0.0}
 
 where ``spec`` is :meth:`RunSpec.to_dict` / :meth:`PipelineSpec.to_dict`
-output.  The response echoes the created job view plus ``mode``:
+/ :meth:`TuneSpec.to_dict` output.  The response echoes the created job view plus ``mode``:
 ``"new"`` (an execution was scheduled), ``"coalesced"`` (an identical
 fingerprint is already queued/running — this job attaches to that one
 execution), or ``"cached"`` (the content-addressed cache already holds
@@ -72,7 +72,7 @@ TERMINAL_STATES = ("done", "failed", "blocked", "canceled")
 #: job terminal state -> client CLI exit code.
 STATE_EXIT_CODES = {"done": 0, "failed": 1, "blocked": 1, "canceled": 1}
 
-SUBMIT_KINDS = ("run", "pipeline")
+SUBMIT_KINDS = ("run", "pipeline", "tune")
 
 
 class ProtocolError(Exception):
@@ -167,6 +167,10 @@ def parse_submit(body):
     try:
         if kind == "run":
             payload = RunSpec.from_dict(spec_dict)
+        elif kind == "tune":
+            from ..tune import TuneSpec
+
+            payload = TuneSpec.from_dict(spec_dict)
         else:
             payload = PipelineSpec.from_dict(spec_dict)
     except (ValueError, KeyError, TypeError) as exc:
@@ -182,10 +186,12 @@ def submit_fingerprint(kind, payload) -> str:
 
     Run specs use their native :meth:`RunSpec.fingerprint` so the
     service shares cache entries with ad-hoc CLI runs byte-for-byte.
-    Pipelines hash their canonical JSON plus the package version (the
-    same discipline, a distinct keyspace).
+    Tunes use :meth:`TuneSpec.fingerprint` (same reason: identical to
+    local ``miniamr-sim tune`` declarations).  Pipelines hash their
+    canonical JSON plus the package version (the same discipline, a
+    distinct keyspace).
     """
-    if kind == "run":
+    if kind in ("run", "tune"):
         return payload.fingerprint()
     from .. import __version__
 

@@ -1,0 +1,53 @@
+"""``repro.tune`` — deterministic design-space exploration.
+
+Declare *what to explore* as a :class:`TuneSpec` (a frozen, seeded,
+fingerprinted search over RunSpec knobs with an objective and a
+budget), hand it to :func:`run_tune`, and get back a ranked
+:class:`TuneReport` whose JSON is byte-identical across worker counts
+and cache states.  Strategies (grid, seeded random, successive
+halving) live in :mod:`repro.tune.strategies` as pure, engine-free
+objects; the loop in :mod:`repro.tune.engine` batches candidates
+through the shared :class:`~repro.exec.SweepEngine`, prunes dominated
+regions from the profiler's idle-gap attribution, and optionally
+re-scores finalists under injected noise for robustness-aware ranking.
+
+CLI: ``miniamr-sim tune``.  Serve: submit kind ``tune``.  Pipeline:
+the ``bench.tune_report`` generator runs a tune as a DAG node.
+"""
+
+from .engine import (
+    PRUNE_THRESHOLD,
+    dependency_bound_fraction,
+    materialize,
+    run_tune,
+    with_tier,
+)
+from .report import TuneReport
+from .spec import AXES, OBJECTIVES, STRATEGIES, TuneSpec
+from .strategies import (
+    GridStrategy,
+    RandomStrategy,
+    SuccessiveHalving,
+    canonical_key,
+    enumerate_space,
+    make_strategy,
+)
+
+__all__ = [
+    "AXES",
+    "GridStrategy",
+    "OBJECTIVES",
+    "PRUNE_THRESHOLD",
+    "RandomStrategy",
+    "STRATEGIES",
+    "SuccessiveHalving",
+    "TuneReport",
+    "TuneSpec",
+    "canonical_key",
+    "dependency_bound_fraction",
+    "enumerate_space",
+    "make_strategy",
+    "materialize",
+    "run_tune",
+    "with_tier",
+]

@@ -1,0 +1,454 @@
+"""The tune engine: drive a :class:`TuneSpec` through the sweep engine.
+
+:func:`run_tune` is the only entry point.  It enumerates the feasible
+candidates, lets the strategy pick what to evaluate (and at which
+fidelity tier), submits each round as one batched
+:class:`~repro.exec.Sweep` — so candidates share the engine's worker
+pool, result cache, and duration-history store — and folds the scored
+outcomes into a ranked, deterministic
+:class:`~repro.tune.TuneReport`.
+
+Three refinements ride on the basic evaluate-and-rank loop:
+
+* **Attribution pruning** (grid/random): a candidate family whose
+  lower-``ranks_per_node`` member is already *dependency-bound* — most
+  of its idle attributed to ``dependency``/``no_ready_work`` by the
+  profiler's idle-gap taxonomy — cannot profit from more ranks, so its
+  higher-rpn siblings are skipped, with the evidence recorded.
+* **Successive halving**: rungs evaluate shrinking candidate sets at
+  ascending fidelity tiers (fractions of ``stages_per_ts``), promoting
+  by observed objective; only the final full-fidelity rung is ranked.
+* **Robustness re-scoring**: the top-``k`` finalists re-run under the
+  spec's :func:`~repro.faults.noise_plan` intensity and are re-ranked
+  by the noisy score, so a config that wins by a hair on a quiet
+  machine cannot outrank one that degrades gracefully.
+
+Determinism: rounds are submitted in canonical order, scores come from
+the bit-deterministic simulator, and every tie breaks on the
+candidate's canonical key — the report is byte-identical across worker
+counts and cache states (enforced by CI's double-run diff).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.spec import RunSpec
+from ..exec import Sweep, SweepEngine
+from .report import TuneReport
+from .spec import OBJECTIVES, TuneSpec
+from .strategies import canonical_key, enumerate_space, make_strategy
+
+#: A candidate counts as dependency-bound when at least this share of
+#: its idle time is attributed to ``dependency`` + ``no_ready_work``
+#: (as opposed to communication or faults) — past that point idle is
+#: created by the task graph itself, and more ranks only shrink the
+#: per-rank work while keeping the graph's critical path.
+PRUNE_THRESHOLD = 0.6
+
+
+# ----------------------------------------------------------------------
+# Candidate materialization
+# ----------------------------------------------------------------------
+def materialize(tune: TuneSpec, assignment) -> RunSpec:
+    """The concrete :class:`RunSpec` of one assignment (full fidelity).
+
+    ``spec`` axes replace RunSpec fields; ``config`` axes rebuild the
+    :class:`AmrConfig`.  ``ranks_per_node`` refits the rank grid onto
+    the base root grid — raising :class:`ValueError` (an *infeasible*
+    candidate) when the grid does not divide, exactly like
+    :func:`repro.bench.fit_grid` does for the experiment builders.
+    """
+    from ..bench.inputs import fit_grid
+
+    base = tune.base
+    cfg = base.config
+    cfg_changes = {}
+    spec_changes = {}
+    if "nx" in assignment:
+        edge = int(assignment["nx"])
+        cfg_changes.update(nx=edge, ny=edge, nz=edge)
+    if "max_comm_tasks" in assignment:
+        cfg_changes["max_comm_tasks"] = int(assignment["max_comm_tasks"])
+    for axis in ("variant", "scheduler"):
+        if axis in assignment:
+            spec_changes[axis] = assignment[axis]
+    if "pdes_workers" in assignment:
+        spec_changes["pdes_workers"] = int(assignment["pdes_workers"])
+    if "ranks_per_node" in assignment:
+        rpn = int(assignment["ranks_per_node"])
+        root = cfg.root_dims
+        px, py, pz = fit_grid(base.num_nodes * rpn, root)
+        cfg_changes.update(
+            npx=px, npy=py, npz=pz,
+            init_x=root[0] // px,
+            init_y=root[1] // py,
+            init_z=root[2] // pz,
+        )
+        spec_changes["ranks_per_node"] = rpn
+    if cfg_changes:
+        spec_changes["config"] = cfg.with_overrides(**cfg_changes)
+    return replace(base, **spec_changes) if spec_changes else base
+
+
+def with_tier(spec: RunSpec, tier: float) -> RunSpec:
+    """``spec`` at fidelity ``tier``: ``stages_per_ts`` scaled down.
+
+    Tier 1.0 is the spec itself; lower tiers run the same mesh and
+    refinement schedule over proportionally fewer stages — cheap
+    *relative* signal for halving rungs, never the ranked number.
+    """
+    if tier >= 1.0:
+        return spec
+    cfg = spec.config
+    stages = max(1, round(cfg.stages_per_ts * tier))
+    if stages == cfg.stages_per_ts:
+        return spec
+    return replace(spec, config=cfg.with_overrides(stages_per_ts=stages))
+
+
+# ----------------------------------------------------------------------
+# Scoring and attribution evidence
+# ----------------------------------------------------------------------
+def _score(tune: TuneSpec, result):
+    """The objective value of one successful result (``None`` if the
+    objective's source is unavailable)."""
+    source = OBJECTIVES[tune.objective][1]
+    if source == "result":
+        return float(getattr(result, tune.objective))
+    profile = result.profile
+    if profile is None:
+        return None
+    return float(getattr(profile, tune.objective))
+
+
+def dependency_bound_fraction(profile):
+    """Share of a profile's idle attributed to the task graph itself."""
+    if profile is None:
+        return None
+    by_blocker = profile.idle.get("by_blocker", {})
+    total = sum(by_blocker.values())
+    if total <= 0:
+        return 0.0
+    bound = by_blocker.get("dependency", 0.0) + by_blocker.get(
+        "no_ready_work", 0.0
+    )
+    return bound / total
+
+
+def _metrics(result):
+    """The attribution evidence attached to every ranked entry."""
+    metrics = {
+        "total_time": float(result.total_time),
+        "gflops": float(result.gflops),
+    }
+    profile = result.profile
+    if profile is not None:
+        metrics["overlap_fraction"] = float(profile.overlap_fraction)
+        metrics["comm_blocked_fraction"] = float(
+            profile.comm_blocked_fraction
+        )
+        metrics["critical_path_length"] = float(
+            profile.critical_path.get("length", 0.0)
+        )
+        metrics["dependency_bound_fraction"] = dependency_bound_fraction(
+            profile
+        )
+    return metrics
+
+
+def _family_key(assignment) -> str:
+    """Identity of an assignment modulo ``ranks_per_node`` (the pruning
+    family: members differ only in rank count)."""
+    rest = {k: v for k, v in assignment.items() if k != "ranks_per_node"}
+    return canonical_key(rest)
+
+
+# ----------------------------------------------------------------------
+# The tune loop
+# ----------------------------------------------------------------------
+class _Evaluation:
+    """One (assignment, tier) evaluation's outcome."""
+
+    __slots__ = ("assignment", "tier", "spec", "score", "result", "error")
+
+    def __init__(self, assignment, tier, spec, score, result, error):
+        self.assignment = assignment
+        self.tier = tier
+        self.spec = spec
+        self.score = score
+        self.result = result
+        self.error = error
+
+
+def run_tune(tune: TuneSpec, engine: SweepEngine = None) -> TuneReport:
+    """Explore ``tune``'s space and return the ranked report.
+
+    ``engine=None`` uses a fresh serial, uncached engine; passing a
+    shared engine reuses its cache (warm tunes re-evaluate nothing),
+    duration history, worker pool, and telemetry bus.  The budget
+    bounds *search* evaluations; the baseline run and the finalists'
+    robustness re-scores ride on top of it.
+    """
+    engine = engine or SweepEngine(jobs=1)
+    telemetry = getattr(engine, "telemetry", None)
+    minimize = tune.minimize
+
+    candidates, infeasible = [], []
+    for assignment in enumerate_space(tune.space):
+        try:
+            materialize(tune, assignment)
+        except (ValueError, TypeError) as exc:
+            infeasible.append(
+                {"assignment": assignment, "error": str(exc)}
+            )
+        else:
+            candidates.append(assignment)
+    strategy = make_strategy(tune, candidates)
+    if telemetry is not None:
+        telemetry.emit(
+            "tune_start", tune=tune.name, strategy=tune.strategy,
+            objective=tune.objective, budget=tune.budget,
+            space=tune.space_size(), feasible=len(candidates),
+        )
+
+    evaluations = 0
+    failed = []
+    round_no = 0
+
+    def evaluate(batch, tier):
+        """One batched sweep; per-assignment :class:`_Evaluation`s."""
+        nonlocal evaluations, round_no
+        if not batch:
+            return []
+        specs = [
+            replace(with_tier(materialize(tune, a), tier), profile=True)
+            for a in batch
+        ]
+        labels = [
+            f"{tune.name}:{canonical_key(a)}@t{tier:g}" for a in batch
+        ]
+        report = engine.run(
+            Sweep(specs, name=f"{tune.name}:round{round_no}",
+                  labels=labels)
+        )
+        out = []
+        for assignment, spec, outcome in zip(
+            batch, specs, report.outcomes
+        ):
+            if outcome.ok:
+                out.append(_Evaluation(
+                    assignment, tier, spec,
+                    _score(tune, outcome.result), outcome.result, None,
+                ))
+            else:
+                out.append(_Evaluation(
+                    assignment, tier, spec, None, None,
+                    outcome.error or outcome.status,
+                ))
+        evaluations += len(batch)
+        if telemetry is not None:
+            telemetry.emit(
+                "tune_round", tune=tune.name, round=round_no,
+                tier=tier, evaluated=len(batch),
+            )
+        round_no += 1
+        return out
+
+    # Baseline: the base spec as declared, full fidelity (outside the
+    # budget — it is the yardstick, not a candidate).
+    baseline_spec = replace(tune.base, profile=True)
+    baseline_outcome = engine.run(
+        Sweep([baseline_spec], name=f"{tune.name}:baseline",
+              labels=[f"{tune.name}:baseline"])
+    ).outcomes[0]
+    baseline = None
+    if baseline_outcome.ok:
+        baseline = {
+            "assignment": {},
+            "fingerprint": baseline_spec.fingerprint(),
+            "score": _score(tune, baseline_outcome.result),
+            "metrics": _metrics(baseline_outcome.result),
+        }
+    else:
+        failed.append({
+            "assignment": {}, "tier": 1.0,
+            "error": baseline_outcome.error or baseline_outcome.status,
+        })
+
+    pruned = []
+    finished = []  # full-fidelity _Evaluations, rankable
+    if tune.strategy in ("grid", "random"):
+        plan = strategy.plan
+        # Ascending-rpn batches give the pruner its bite: a family's
+        # cheapest member runs first, and its attribution can veto the
+        # rest.  Without the axis (or pruning) the plan is one batch.
+        rpn_axis = (
+            tune.prune
+            and len(tune.space.get("ranks_per_node", ())) > 1
+        )
+        if rpn_axis:
+            levels = sorted({a["ranks_per_node"] for a in plan})
+            batches = [
+                [a for a in plan if a["ranks_per_node"] == level]
+                for level in levels
+            ]
+        else:
+            batches = [plan]
+        blocked = {}  # family key -> (rpn, dep_fraction) evidence
+        for batch in batches:
+            survivors = []
+            for assignment in batch:
+                family = _family_key(assignment)
+                evidence = blocked.get(family)
+                if (
+                    evidence is not None
+                    and assignment.get("ranks_per_node", 0) > evidence[0]
+                ):
+                    reason = (
+                        f"dominated: {evidence[1]:.0%} of idle at "
+                        f"ranks_per_node={evidence[0]} is "
+                        f"dependency-bound; more ranks cannot help"
+                    )
+                    pruned.append({
+                        "assignment": assignment,
+                        "reason": reason,
+                        "evidence": {
+                            "ranks_per_node": evidence[0],
+                            "dependency_bound_fraction": evidence[1],
+                            "threshold": PRUNE_THRESHOLD,
+                        },
+                    })
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "tune_prune", tune=tune.name,
+                            candidate=canonical_key(assignment),
+                            reason=reason,
+                        )
+                else:
+                    survivors.append(assignment)
+            for ev in evaluate(survivors, 1.0):
+                finished.append(ev)
+                if ev.error is not None or not rpn_axis:
+                    continue
+                fraction = dependency_bound_fraction(ev.result.profile)
+                if fraction is None or fraction < PRUNE_THRESHOLD:
+                    continue
+                family = _family_key(ev.assignment)
+                rpn = ev.assignment["ranks_per_node"]
+                if family not in blocked or rpn < blocked[family][0]:
+                    blocked[family] = (rpn, fraction)
+    else:  # successive halving
+        rung_batch = strategy.initial()
+        for rung, tier in enumerate(tune.tiers):
+            evals = evaluate(rung_batch, tier)
+            if tier >= 1.0:
+                finished.extend(evals)
+            scored = [(ev.assignment, ev.score) for ev in evals]
+            for ev in evals:
+                if ev.error is not None:
+                    failed.append({
+                        "assignment": ev.assignment, "tier": tier,
+                        "error": ev.error,
+                    })
+            rung_batch = strategy.promote(scored, rung)
+
+    # Rank the full-fidelity evaluations (failures to the ledger).
+    ranked = []
+    for ev in finished:
+        if ev.error is not None:
+            if tune.strategy in ("grid", "random"):
+                failed.append({
+                    "assignment": ev.assignment, "tier": ev.tier,
+                    "error": ev.error,
+                })
+            continue
+        ranked.append(ev)
+
+    def clean_order(ev):
+        return (
+            ev.score if minimize else -ev.score,
+            canonical_key(ev.assignment),
+        )
+
+    ranked.sort(key=clean_order)
+
+    # Robustness pass: re-score the finalists under injected noise and
+    # let the noisy ordering decide among them.
+    robust_scores = {}
+    if tune.robustness > 0 and ranked:
+        from ..faults import noise_plan
+
+        finalists = ranked[:tune.top_k]
+        plan = noise_plan(tune.robustness, seed=tune.fault_seed)
+        specs = [replace(ev.spec, faults=plan) for ev in finalists]
+        report = engine.run(Sweep(
+            specs, name=f"{tune.name}:robustness",
+            labels=[
+                f"{tune.name}:robust:{canonical_key(ev.assignment)}"
+                for ev in finalists
+            ],
+        ))
+        evaluations += len(specs)
+        for ev, outcome in zip(finalists, report.outcomes):
+            if outcome.ok:
+                robust_scores[canonical_key(ev.assignment)] = _score(
+                    tune, outcome.result
+                )
+
+        def robust_order(ev):
+            key = canonical_key(ev.assignment)
+            score = robust_scores.get(key)
+            if score is None:
+                return (1, 0.0, key)
+            return (0, score if minimize else -score, key)
+
+        ranked = (
+            sorted(finalists, key=robust_order)
+            + ranked[tune.top_k:]
+        )
+
+    entries = []
+    for rank, ev in enumerate(ranked, start=1):
+        key = canonical_key(ev.assignment)
+        robust = robust_scores.get(key)
+        delta = None
+        if robust is not None and ev.score:
+            delta = robust / ev.score - 1.0
+        entries.append({
+            "rank": rank,
+            "assignment": ev.assignment,
+            "fingerprint": ev.spec.fingerprint(),
+            "tier": ev.tier,
+            "score": ev.score,
+            "metrics": _metrics(ev.result),
+            "robust_score": robust,
+            "robustness_delta": delta,
+        })
+
+    report = TuneReport(
+        name=tune.name,
+        objective=tune.objective,
+        strategy=tune.strategy,
+        budget=tune.budget,
+        seed=tune.seed,
+        space=tune.space,
+        fingerprint=tune.fingerprint(),
+        baseline=baseline,
+        entries=entries,
+        pruned=pruned,
+        infeasible=infeasible,
+        failed=failed,
+        evaluations=evaluations,
+        truncated=strategy.truncated,
+    )
+    if telemetry is not None:
+        telemetry.emit(
+            "tune_stop", tune=tune.name, evaluations=evaluations,
+            pruned=len(pruned),
+            best=(
+                canonical_key(entries[0]["assignment"])
+                if entries else None
+            ),
+        )
+    return report

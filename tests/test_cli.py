@@ -375,3 +375,61 @@ def test_trend_bad_baseline_dir_exits_2(capsys, tmp_path):
     assert main(["trend", "--results-dir", str(cur),
                  "--baseline-dir", str(empty)]) == 2
     assert "no BENCH_" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# tune
+# ----------------------------------------------------------------------
+TUNE_BASE = [
+    "tune", "--variant", "tampi_dataflow", "--preset", "laptop",
+    "--nodes", "1", "--root", "2", "2", "2",
+    "--nx", "4", "--num-vars", "2", "--tsteps", "1", "--stages", "2",
+    "--checksum-freq", "2", "--max-refine-level", "1", "--no-cache",
+    "--no-stats",
+]
+
+
+def test_tune_requires_exactly_one_source(capsys):
+    assert main(TUNE_BASE) == 2
+    assert "exactly one tune source" in capsys.readouterr().err
+    assert main(TUNE_BASE + ["--fig4", "--tune-rpn", "1", "2"]) == 2
+    assert "exactly one tune source" in capsys.readouterr().err
+
+
+def test_tune_run_style_ranks_and_reports(capsys, tmp_path):
+    spec_json = tmp_path / "tune-spec.json"
+    report_json = tmp_path / "tune-report.json"
+    rc = main(TUNE_BASE + [
+        "--tune-variants", "mpi_only", "tampi_dataflow",
+        "--json", str(report_json), "--spec-json", str(spec_json),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "== tune:" in out
+    assert "best vs baseline:" in out
+
+    import json
+
+    from repro.tune import TuneReport, TuneSpec
+
+    tune = TuneSpec.from_dict(json.loads(spec_json.read_text()))
+    assert tune.space == {"variant": ("mpi_only", "tampi_dataflow")}
+    report = TuneReport.from_dict(json.loads(report_json.read_text()))
+    assert report.fingerprint == tune.fingerprint()
+    assert [e["rank"] for e in report.entries] == [1, 2]
+
+    # The emitted spec re-runs through --file to the same report bytes.
+    assert main(TUNE_BASE[:1] + [
+        "--file", str(spec_json), "--no-cache", "--no-stats",
+        "--json", str(tmp_path / "again.json"),
+    ]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "again.json").read_bytes() == (
+        report_json.read_bytes()
+    )
+
+
+def test_tune_rejects_bad_axis_combination(capsys):
+    rc = main(TUNE_BASE + ["--tune-rpn", "2", "2"])
+    assert rc == 2
+    assert "repeats" in capsys.readouterr().err

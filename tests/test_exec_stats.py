@@ -47,18 +47,60 @@ def test_observational_fields_share_one_signature():
     ) == sig
 
 
-def test_pdes_fields_share_one_signature():
-    """Partitioned execution computes the same simulation, so its worker
-    layout must not fragment the duration history (regression: new
-    ``pdes_*`` spec fields have to be stripped like ``profile`` was)."""
-    sig = spec_signature(base_spec())
-    assert spec_signature(base_spec(pdes_workers=4)) == sig
+def test_pdes_worker_counts_keep_distinct_histories():
+    """Regression: ``pdes_workers`` divides host wall time, so a serial
+    run and a 4-worker run must NOT share one EWMA entry (they used to,
+    polluting both predictions and skewing critical-path ordering)."""
+    serial = spec_signature(base_spec())
+    assert spec_signature(base_spec(pdes_workers=4)) != serial
+    assert spec_signature(base_spec(pdes_workers=2)) != spec_signature(
+        base_spec(pdes_workers=4)
+    )
+    # The partition *policy* is still observational: with the worker
+    # count fixed it only shifts window-barrier slack.
     assert spec_signature(
         base_spec(pdes_workers=2, pdes_partition="contiguous")
-    ) == sig
+    ) == spec_signature(base_spec(pdes_workers=2))
+    # Observational knobs still fold into the partitioned key.
     assert spec_signature(
         base_spec(pdes_workers=8, profile=True)
-    ) == sig
+    ) == spec_signature(base_spec(pdes_workers=8))
+
+
+def test_pdes_worker_histories_accumulate_separately(tmp_path):
+    """The satellite claim end-to-end: recording a partitioned duration
+    must leave the serial prediction untouched, and vice-versa."""
+    store = RunStatsStore(tmp_path / "stats.json")
+    serial_sig = spec_signature(base_spec())
+    pdes_sig = spec_signature(base_spec(pdes_workers=4))
+    store.record(serial_sig, 8.0)
+    store.record(pdes_sig, 2.0)
+    assert store.predict(serial_sig) == 8.0
+    assert store.predict(pdes_sig) == 2.0
+    entry = store.get(serial_sig)
+    assert entry["runs"] == 1 and entry["last"] == 8.0
+
+
+def test_signature_version_orphans_v1_entries():
+    """Moving ``pdes_workers`` into the signature bumped the version, so
+    every pre-migration key (which blended serial and partitioned
+    durations) is unreachable — the graceful-invalidation contract."""
+    import hashlib
+    import json
+
+    from repro.exec.stats import OBSERVATIONAL_FIELDS, SIGNATURE_VERSION
+
+    assert SIGNATURE_VERSION >= 2
+    spec = base_spec()
+    d = spec.resolve().to_dict()
+    for field in OBSERVATIONAL_FIELDS:
+        d.pop(field, None)
+    v1_blob = json.dumps(
+        {"sig": 1, "spec": d},
+        sort_keys=True, separators=(",", ":"), allow_nan=False,
+    )
+    v1_key = hashlib.sha256(v1_blob.encode("utf-8")).hexdigest()
+    assert spec_signature(spec) != v1_key
 
 
 def test_every_spec_field_is_classified():

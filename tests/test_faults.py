@@ -109,6 +109,46 @@ def test_plan_scaled_interpolates_factors_from_one():
     assert not plan.scaled(0.0).is_active()
 
 
+def test_plan_scaled_clamps_loss_probability_into_range():
+    """Regression: scaling up must never yield a loss *probability*
+    outside [0, 1) — the scaled plan has to pass its own validation."""
+    from repro.faults import MAX_MESSAGE_LOSS_RATE
+
+    plan = noise_plan(1.0)  # 2% loss at intensity 1
+    for intensity in (49.0, 50.0, 1e6):
+        scaled = plan.scaled(intensity)
+        assert 0.0 <= scaled.message_loss_rate < 1.0
+        # Round-trips through validation and JSON untouched.
+        assert FaultPlan.from_dict(scaled.to_dict()) == scaled
+    assert plan.scaled(1e6).message_loss_rate == MAX_MESSAGE_LOSS_RATE
+    # Unsaturated scaling stays exactly linear.
+    assert plan.scaled(10.0).message_loss_rate == pytest.approx(0.2)
+
+
+def test_plan_scaled_identity_near_the_probability_boundary():
+    """scaled(1) must be the identity for every valid plan — including
+    loss rates in (0.999, 1), which an arbitrary hard cap used to
+    silently rewrite."""
+    from repro.faults import MAX_MESSAGE_LOSS_RATE
+
+    for rate in (0.999, 0.9995, MAX_MESSAGE_LOSS_RATE):
+        plan = FaultPlan(message_loss_rate=rate)
+        assert plan.scaled(1.0) == plan
+    # The boundary itself is invalid, one ulp below is the maximum.
+    with pytest.raises(ValueError):
+        FaultPlan(message_loss_rate=1.0)
+    FaultPlan(message_loss_rate=MAX_MESSAGE_LOSS_RATE)  # largest valid
+
+
+def test_plan_scaled_rates_and_durations_are_not_clamped():
+    """Only probabilities clamp: jitter and burst rate are unbounded
+    physical quantities and keep scaling linearly."""
+    plan = noise_plan(1.0)
+    big = plan.scaled(100.0)
+    assert big.message_jitter == pytest.approx(plan.message_jitter * 100)
+    assert big.cpu_burst_rate == pytest.approx(plan.cpu_burst_rate * 100)
+
+
 def test_plan_json_round_trip():
     plan = noise_plan(0.7, seed=5).with_overrides(
         straggler_ranks=(0, 3), straggler_factor=1.5,

@@ -514,3 +514,70 @@ def test_shutdown_rejects_new_submits(tmp_path, marker_dir):
         broker.submit(submit_body(small_spec()))
     assert err.value.code == "shutting_down"
     assert err.value.http_status == 503
+
+
+# ----------------------------------------------------------------------
+# Tune jobs
+# ----------------------------------------------------------------------
+def small_tune():
+    from repro.tune import TuneSpec
+
+    return TuneSpec(
+        base=small_spec(variant="tampi_dataflow"),
+        space={"variant": ("mpi_only", "tampi_dataflow")},
+        name="serve-tune",
+    )
+
+
+def tune_body(tune, *, tenant="anon", priority=0.0):
+    return {"v": 1, "kind": "tune", "spec": tune.to_dict(),
+            "tenant": tenant, "priority": priority}
+
+
+def test_parse_submit_tune_roundtrip():
+    tune = small_tune()
+    kind, payload, tenant, priority = parse_submit(tune_body(tune))
+    assert kind == "tune"
+    assert payload == tune
+    # Tunes coalesce/memoize on their native fingerprint, exactly like
+    # runs — identical to a local `miniamr-sim tune` declaration.
+    assert submit_fingerprint(kind, payload) == tune.fingerprint()
+
+
+def test_tune_submit_executes_and_memoizes(tmp_path, marker_dir):
+    broker = make_broker(tmp_path)
+    broker.start()
+    try:
+        tune = small_tune()
+        first = broker.submit(tune_body(tune))
+        assert first["mode"] == "new"
+        wait_terminal(broker, [first["job"]["id"]])
+        job = broker.store.get(first["job"]["id"])
+        assert job.state == "done", job.error
+        report = broker.result(first["job"]["id"])["result"]
+        assert report["name"] == "serve-tune"
+        assert [e["rank"] for e in report["entries"]] == [1, 2]
+        assert report["baseline"] is not None
+        # An identical re-submit is served from the memo, no new work.
+        again = broker.submit(tune_body(tune, tenant="other"))
+        assert again["mode"] == "cached"
+        assert again["job"]["state"] == "done"
+        duplicate = broker.result(again["job"]["id"])["result"]
+        assert json.dumps(duplicate, sort_keys=True) == json.dumps(
+            report, sort_keys=True
+        )
+    finally:
+        broker.shutdown(drain_timeout=5.0)
+
+
+def test_tune_submit_rejects_invalid_spec(tmp_path, marker_dir):
+    broker = make_broker(tmp_path)
+    broker.start()
+    try:
+        body = tune_body(small_tune())
+        body["spec"]["space"] = {}
+        with pytest.raises(ProtocolError) as err:
+            broker.submit(body)
+        assert err.value.code == "invalid_spec"
+    finally:
+        broker.shutdown(drain_timeout=5.0)

@@ -458,3 +458,130 @@ class TestEngineReportExports:
         blob = json.dumps(norm)
         assert '"t"' not in blob and "wid" not in blob
         assert norm["jobs"] == 2
+
+
+# ----------------------------------------------------------------------
+# Live tailing: the ``top --follow`` reader across rotation/truncation
+# ----------------------------------------------------------------------
+def _line(rtype, t, **kw):
+    return json.dumps(dict(type=rtype, t=t, pid=1, **kw)) + "\n"
+
+
+def _start(t=0.0, graph="g"):
+    return _line("engine_start", t, graph=graph, jobs=1, total=2)
+
+
+def _stop(t=9.0, graph="g"):
+    return _line("engine_stop", t, graph=graph, makespan=t, executed=2,
+                 cached=0, failed=0, blocked=0)
+
+
+class TestTailFollow:
+    def test_reader_is_incremental(self, tmp_path):
+        from repro.obs.live import TailReader
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(_start() + _line("job_queued", 1.0, node="a"))
+        with TailReader(path) as tail:
+            first = tail.poll()
+            assert [r["type"] for r in first] == [
+                "engine_start", "job_queued",
+            ]
+            assert tail.poll() == []  # nothing appended
+            with open(path, "a") as fh:
+                fh.write(_line("job_queued", 2.0, node="b"))
+            second = tail.poll()
+            assert [r["node"] for r in second] == ["b"]
+            assert len(tail.records) == 3
+            assert tail.report().graph == "g"
+
+    def test_reader_buffers_torn_final_line(self, tmp_path):
+        from repro.obs.live import TailReader
+
+        path = tmp_path / "t.jsonl"
+        whole = _line("job_queued", 1.0, node="a")
+        path.write_text(_start() + whole[:10])  # writer mid-append
+        with TailReader(path) as tail:
+            assert [r["type"] for r in tail.poll()] == ["engine_start"]
+            with open(path, "a") as fh:
+                fh.write(whole[10:])  # the rest of the record arrives
+            assert [r["node"] for r in tail.poll()] == ["a"]
+
+    def test_reader_reopens_after_compaction(self, tmp_path):
+        """os.replace swaps the inode under the follower — the pre-fix
+        reader kept serving the stale generation forever."""
+        from repro.obs.live import TailReader
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            _start(graph="before")
+            + _line("job_queued", 1.0, node="a")
+            + _line("job_queued", 2.0, node="b")
+        )
+        with TailReader(path) as tail:
+            assert len(tail.poll()) == 3
+            # Compaction: a new, smaller generation replaces the file.
+            compacted = tmp_path / "t.jsonl.new"
+            compacted.write_text(_start(graph="after") + _stop())
+            os.replace(compacted, path)
+            fresh = tail.poll()
+            assert [r["type"] for r in fresh] == [
+                "engine_start", "engine_stop",
+            ]
+            # State from the dead generation is gone.
+            assert tail.records == fresh
+            assert tail.report().graph == "after"
+
+    def test_reader_reopens_after_in_place_truncation(self, tmp_path):
+        from repro.obs.live import TailReader
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            _start() + _line("job_queued", 1.0, node="a" * 40)
+        )
+        with TailReader(path) as tail:
+            assert len(tail.poll()) == 2
+            path.write_text(_start(graph="g2"))  # same inode, shrunk
+            records = tail.poll()
+            assert [r["graph"] for r in records] == ["g2"]
+            assert tail.records == records
+
+    def test_reader_tolerates_missing_file(self, tmp_path):
+        from repro.obs.live import TailReader
+
+        path = tmp_path / "t.jsonl"
+        with TailReader(path) as tail:
+            assert tail.poll() == []  # not created yet — not an error
+            path.write_text(_start())
+            assert len(tail.poll()) == 1
+            path.unlink()  # writer between unlink and replace
+            assert tail.poll() == []
+            assert len(tail.records) == 1  # keeps showing what it has
+
+    def test_follow_survives_rotation_mid_stream(self, tmp_path,
+                                                 monkeypatch):
+        """End to end: ``top --follow`` must pick up the new generation
+        (and its engine_stop) after the stream is compacted."""
+        import io
+        import time as time_mod
+
+        from repro.obs.live import follow
+
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            _start(graph="before") + _line("job_queued", 1.0, node="a")
+        )
+
+        def rotate_instead_of_sleeping(_interval):
+            compacted = tmp_path / "t.jsonl.new"
+            compacted.write_text(_start(graph="after") + _stop())
+            os.replace(compacted, path)
+
+        monkeypatch.setattr(
+            time_mod, "sleep", rotate_instead_of_sleeping
+        )
+        out = io.StringIO()
+        frame = follow(path, interval=0.01, out=out, clear=False,
+                       max_frames=5)
+        assert "after" in frame and "finished" in frame
+        assert "before" not in frame

@@ -1,0 +1,420 @@
+"""repro.tune: spec validation, strategies, materialization, run_tune.
+
+The load-bearing contract is determinism: identical ``TuneSpec`` + seed
+must serialize to a byte-identical ``TuneReport`` regardless of worker
+count or cache state.  The end-to-end tests here enforce exactly that,
+alongside the unit behavior of each moving part.
+"""
+
+import json
+import types
+
+import pytest
+
+from repro import AmrConfig, RunSpec, sphere
+from repro.exec import ResultCache, SweepEngine
+from repro.tune import (
+    GridStrategy,
+    RandomStrategy,
+    SuccessiveHalving,
+    TuneReport,
+    TuneSpec,
+    canonical_key,
+    dependency_bound_fraction,
+    enumerate_space,
+    materialize,
+    run_tune,
+    with_tier,
+)
+
+
+def small_config(**overrides):
+    kwargs = dict(
+        npx=2, npy=1, npz=1, init_x=2, init_y=2, init_z=2,
+        nx=4, ny=4, nz=4, num_vars=2, num_tsteps=1, stages_per_ts=4,
+        refine_freq=2, checksum_freq=4, max_refine_level=1,
+        payload="synthetic",
+        objects=(sphere(center=(0.3, 0.3, 0.3), radius=0.25),),
+    )
+    kwargs.update(overrides)
+    return AmrConfig(**kwargs)
+
+
+def base_spec(**overrides):
+    kwargs = dict(
+        config=small_config(), machine="laptop",
+        variant="tampi_dataflow", num_nodes=1, ranks_per_node=2,
+    )
+    kwargs.update(overrides)
+    return RunSpec(**kwargs)
+
+
+def variant_tune(**overrides):
+    kwargs = dict(
+        base=base_spec(),
+        space={"variant": ("mpi_only", "fork_join", "tampi_dataflow")},
+    )
+    kwargs.update(overrides)
+    return TuneSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# TuneSpec
+# ----------------------------------------------------------------------
+class TestTuneSpec:
+    def test_space_is_normalized_sorted_with_tuple_values(self):
+        tune = TuneSpec(
+            base=base_spec(),
+            space={"variant": ["mpi_only"], "scheduler": ["fifo"]},
+        )
+        assert list(tune.space) == ["scheduler", "variant"]
+        assert tune.space["variant"] == ("mpi_only",)
+
+    def test_rejects_bad_spaces(self):
+        base = base_spec()
+        with pytest.raises(ValueError, match="at least one axis"):
+            TuneSpec(base=base, space={})
+        with pytest.raises(ValueError, match="unknown axis"):
+            TuneSpec(base=base, space={"turbo": (1,)})
+        with pytest.raises(ValueError, match="repeats"):
+            TuneSpec(base=base, space={"ranks_per_node": (2, 2)})
+        with pytest.raises(ValueError, match="no values"):
+            TuneSpec(base=base, space={"variant": ()})
+        with pytest.raises(ValueError, match="must be positive"):
+            TuneSpec(base=base, space={"ranks_per_node": (0,)})
+        with pytest.raises(ValueError, match="must be ints"):
+            TuneSpec(base=base, space={"ranks_per_node": (True,)})
+        # max_comm_tasks legitimately allows 0 (= uncapped).
+        TuneSpec(base=base, space={"max_comm_tasks": (0, 2)})
+
+    def test_budget_zero_is_grid_only(self):
+        with pytest.raises(ValueError, match="needs an explicit budget"):
+            variant_tune(strategy="random")
+        with pytest.raises(ValueError, match="needs an explicit budget"):
+            variant_tune(strategy="halving")
+        assert variant_tune(strategy="random", budget=2).budget == 2
+
+    def test_tiers_validation(self):
+        with pytest.raises(ValueError, match="end at 1.0"):
+            variant_tune(tiers=(0.25, 0.5))
+        with pytest.raises(ValueError, match="ascending"):
+            variant_tune(tiers=(0.5, 0.5, 1.0))
+        with pytest.raises(ValueError, match=r"in \(0, 1\]"):
+            variant_tune(tiers=(-0.5, 1.0))
+
+    def test_roundtrip_and_fingerprint(self):
+        tune = variant_tune(strategy="random", budget=2, seed=7,
+                            robustness=0.5, name="t")
+        again = TuneSpec.from_dict(json.loads(json.dumps(tune.to_dict())))
+        assert again == tune
+        assert again.fingerprint() == tune.fingerprint()
+        assert variant_tune().fingerprint() != tune.fingerprint()
+        assert variant_tune(seed=1).fingerprint() != (
+            variant_tune(seed=2).fingerprint()
+        )
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = variant_tune().to_dict()
+        data["walltime"] = 60
+        with pytest.raises(ValueError, match="unknown TuneSpec fields"):
+            TuneSpec.from_dict(data)
+
+    def test_space_size_and_objective_direction(self):
+        tune = TuneSpec(
+            base=base_spec(),
+            space={"variant": ("mpi_only", "fork_join"),
+                   "ranks_per_node": (1, 2, 4)},
+        )
+        assert tune.space_size() == 6
+        assert tune.minimize
+        assert not variant_tune(objective="gflops").minimize
+        assert variant_tune(objective="overlap_fraction").needs_profile
+
+
+# ----------------------------------------------------------------------
+# Strategies (pure candidate logic)
+# ----------------------------------------------------------------------
+class TestStrategies:
+    def test_enumerate_space_is_canonical(self):
+        space = {"variant": ("b", "a"), "ranks_per_node": (2, 1)}
+        assert enumerate_space(space) == [
+            {"ranks_per_node": 2, "variant": "b"},
+            {"ranks_per_node": 2, "variant": "a"},
+            {"ranks_per_node": 1, "variant": "b"},
+            {"ranks_per_node": 1, "variant": "a"},
+        ]
+
+    def test_grid_truncates_to_budget_and_counts_it(self):
+        candidates = enumerate_space({"ranks_per_node": (1, 2, 4, 8)})
+        full = GridStrategy(candidates)
+        assert full.plan == candidates and full.truncated == 0
+        cut = GridStrategy(candidates, budget=3)
+        assert cut.plan == candidates[:3] and cut.truncated == 1
+
+    def test_random_is_seeded_and_without_replacement(self):
+        candidates = enumerate_space({"ranks_per_node": tuple(range(1, 9))})
+        a = RandomStrategy(candidates, budget=5, seed=3)
+        b = RandomStrategy(candidates, budget=5, seed=3)
+        assert a.plan == b.plan and len(a.plan) == 5
+        keys = [canonical_key(x) for x in a.plan]
+        assert len(set(keys)) == 5
+        assert all(x in candidates for x in a.plan)
+        assert a.truncated == 3
+        assert RandomStrategy(candidates, 5, seed=4).plan != a.plan
+
+    def test_halving_sizes_fill_the_budget(self):
+        candidates = enumerate_space({"ranks_per_node": tuple(range(1, 9))})
+        s = SuccessiveHalving(candidates, budget=6, seed=0,
+                              tiers=(0.5, 1.0), eta=2, minimize=True)
+        assert s.rung_sizes == [4, 2]
+        assert len(s.initial()) == 4
+        assert s.truncated == 4
+
+    def test_halving_rejects_starving_budget(self):
+        candidates = enumerate_space({"ranks_per_node": (1, 2)})
+        with pytest.raises(ValueError, match="cannot fund"):
+            SuccessiveHalving(candidates, budget=1, seed=0,
+                              tiers=(0.5, 1.0), eta=2, minimize=True)
+
+    def test_promote_keeps_the_observed_best(self):
+        candidates = enumerate_space({"ranks_per_node": (1, 2, 3, 4)})
+        s = SuccessiveHalving(candidates, budget=6, seed=0,
+                              tiers=(0.5, 1.0), eta=2, minimize=True)
+        scored = [
+            ({"ranks_per_node": 1}, 4.0),
+            ({"ranks_per_node": 2}, 1.0),
+            ({"ranks_per_node": 3}, None),  # failed: never promotes
+            ({"ranks_per_node": 4}, 2.0),
+        ]
+        assert s.promote(scored, 0) == [
+            {"ranks_per_node": 2}, {"ranks_per_node": 4},
+        ]
+        assert s.promote(scored, 1) == []  # past the last tier
+
+    def test_promote_maximizing_flips_the_order(self):
+        candidates = enumerate_space({"ranks_per_node": (1, 2, 3, 4)})
+        s = SuccessiveHalving(candidates, budget=6, seed=0,
+                              tiers=(0.5, 1.0), eta=2, minimize=False)
+        scored = [({"ranks_per_node": n}, float(n)) for n in (1, 2, 3, 4)]
+        assert s.promote(scored, 0) == [
+            {"ranks_per_node": 4}, {"ranks_per_node": 3},
+        ]
+
+
+# ----------------------------------------------------------------------
+# Materialization
+# ----------------------------------------------------------------------
+class TestMaterialize:
+    def test_spec_axes_replace_runspec_fields(self):
+        tune = TuneSpec(
+            base=base_spec(),
+            space={"variant": ("mpi_only",), "scheduler": ("fifo",),
+                   "pdes_workers": (2,)},
+        )
+        spec = materialize(tune, {
+            "variant": "mpi_only", "scheduler": "fifo", "pdes_workers": 2,
+        })
+        assert spec.variant == "mpi_only"
+        assert spec.scheduler == "fifo"
+        assert spec.pdes_workers == 2
+        assert spec.config == tune.base.config
+
+    def test_nx_axis_sets_a_cubic_block(self):
+        tune = TuneSpec(base=base_spec(), space={"nx": (8,)})
+        cfg = materialize(tune, {"nx": 8}).config
+        assert (cfg.nx, cfg.ny, cfg.nz) == (8, 8, 8)
+        assert cfg.num_tsteps == tune.base.config.num_tsteps
+
+    def test_ranks_per_node_refits_the_grid(self):
+        tune = TuneSpec(base=base_spec(), space={"ranks_per_node": (4,)})
+        spec = materialize(tune, {"ranks_per_node": 4})
+        assert spec.ranks_per_node == 4
+        assert spec.config.num_ranks == 4
+        assert spec.config.root_dims == tune.base.config.root_dims
+
+    def test_undividable_grid_is_infeasible(self):
+        tune = TuneSpec(base=base_spec(), space={"ranks_per_node": (32,)})
+        with pytest.raises(ValueError):
+            materialize(tune, {"ranks_per_node": 32})
+
+    def test_with_tier_scales_stages_with_a_floor(self):
+        spec = base_spec()
+        assert with_tier(spec, 1.0) is spec
+        assert with_tier(spec, 0.5).config.stages_per_ts == 2
+        assert with_tier(spec, 0.01).config.stages_per_ts == 1
+
+    def test_dependency_bound_fraction(self):
+        assert dependency_bound_fraction(None) is None
+        empty = types.SimpleNamespace(idle={"by_blocker": {}})
+        assert dependency_bound_fraction(empty) == 0.0
+        profile = types.SimpleNamespace(idle={"by_blocker": {
+            "dependency": 3.0, "no_ready_work": 1.0, "transit": 4.0,
+        }})
+        assert dependency_bound_fraction(profile) == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# run_tune end to end
+# ----------------------------------------------------------------------
+class TestRunTune:
+    def test_grid_ranks_all_candidates_against_the_baseline(self):
+        report = run_tune(variant_tune())
+        assert [e["rank"] for e in report.entries] == [1, 2, 3]
+        scores = [e["score"] for e in report.entries]
+        assert scores == sorted(scores)
+        assert report.evaluations == 3
+        assert report.baseline is not None
+        # The base variant is in the space, so the winner cannot lose
+        # to the yardstick.
+        assert report.improvement_over_baseline() >= 0
+        for entry in report.entries:
+            assert "overlap_fraction" in entry["metrics"]
+            assert "dependency_bound_fraction" in entry["metrics"]
+
+    def test_report_is_byte_identical_across_engines_and_caches(
+        self, tmp_path
+    ):
+        tune = variant_tune(robustness=0.5, top_k=2)
+        serial = run_tune(tune).to_json()
+        cache = ResultCache(tmp_path / "cache")
+        cold = run_tune(tune, engine=SweepEngine(jobs=2, cache=cache))
+        warm = run_tune(tune, engine=SweepEngine(jobs=1, cache=cache))
+        assert cold.to_json() == serial
+        assert warm.to_json() == serial
+
+    def test_infeasible_candidates_are_ledgered_not_evaluated(self):
+        tune = TuneSpec(
+            base=base_spec(), space={"ranks_per_node": (2, 32)},
+        )
+        report = run_tune(tune)
+        assert report.evaluations == 1
+        assert len(report.entries) == 1
+        assert report.infeasible[0]["assignment"] == {
+            "ranks_per_node": 32,
+        }
+
+    def test_grid_budget_truncates_and_reports_it(self):
+        report = run_tune(variant_tune(budget=2))
+        assert report.evaluations == 2
+        assert report.truncated == 1
+        assert "unexplored" in report.ascii()
+
+    def test_dependency_bound_family_prunes_higher_rpn(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.tune.engine.dependency_bound_fraction",
+            lambda profile: None if profile is None else 0.97,
+        )
+        tune = TuneSpec(
+            base=base_spec(), space={"ranks_per_node": (1, 2, 4)},
+        )
+        report = run_tune(tune)
+        assert [e["assignment"] for e in report.entries] == [
+            {"ranks_per_node": 1},
+        ]
+        assert [p["assignment"] for p in report.pruned] == [
+            {"ranks_per_node": 2}, {"ranks_per_node": 4},
+        ]
+        evidence = report.pruned[0]["evidence"]
+        assert evidence["ranks_per_node"] == 1
+        assert evidence["dependency_bound_fraction"] == pytest.approx(0.97)
+        assert "dependency-bound" in report.pruned[0]["reason"]
+
+    def test_prune_false_evaluates_the_whole_family(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.tune.engine.dependency_bound_fraction",
+            lambda profile: None if profile is None else 0.97,
+        )
+        tune = TuneSpec(
+            base=base_spec(), space={"ranks_per_node": (1, 2, 4)},
+            prune=False,
+        )
+        report = run_tune(tune)
+        assert len(report.entries) == 3
+        assert report.pruned == []
+
+    def test_robustness_rescoring_annotates_finalists(self):
+        report = run_tune(variant_tune(robustness=1.0, top_k=2))
+        assert report.evaluations == 5  # 3 search + 2 robustness
+        robust = [e["robust_score"] for e in report.entries]
+        assert robust[0] is not None and robust[1] is not None
+        assert robust[2] is None
+        assert report.entries[0]["robustness_delta"] is not None
+        # Noisy finalists stay ordered by the noisy score.
+        assert robust[0] <= robust[1]
+
+    def test_halving_ranks_only_full_fidelity_survivors(self):
+        tune = variant_tune(strategy="halving", budget=5, seed=1,
+                            tiers=(0.5, 1.0), eta=2)
+        report = run_tune(tune)
+        # Ladder: 3 cheap + 1 full within budget 5.
+        assert report.evaluations == 4
+        assert len(report.entries) == 1
+        assert report.entries[0]["tier"] == 1.0
+
+    def test_telemetry_records_the_tune_lifecycle(self, tmp_path):
+        from repro.obs.telemetry import TelemetryBus
+
+        stream = tmp_path / "tune.jsonl"
+        engine = SweepEngine(jobs=1, telemetry=TelemetryBus(stream))
+        report = run_tune(variant_tune(), engine=engine)
+        records = [
+            json.loads(line)
+            for line in stream.read_text().splitlines()
+        ]
+        types_seen = [r["type"] for r in records]
+        assert "tune_start" in types_seen
+        assert "tune_round" in types_seen
+        assert "tune_stop" in types_seen
+        start = next(r for r in records if r["type"] == "tune_start")
+        assert start["space"] == 3 and start["feasible"] == 3
+        stop = next(r for r in records if r["type"] == "tune_stop")
+        assert stop["best"] == canonical_key(
+            report.entries[0]["assignment"]
+        )
+
+    def test_report_roundtrips_through_json(self):
+        report = run_tune(variant_tune())
+        again = TuneReport.from_dict(json.loads(report.to_json()))
+        assert again.to_json() == report.to_json()
+        assert again.best == report.entries[0]
+
+
+# ----------------------------------------------------------------------
+# TuneReport (synthetic)
+# ----------------------------------------------------------------------
+class TestTuneReport:
+    def _report(self, objective, baseline_score, best_score):
+        return TuneReport(
+            name="t", objective=objective, strategy="grid", budget=0,
+            seed=0, space={"variant": ("a",)}, fingerprint="f" * 64,
+            baseline={"assignment": {}, "fingerprint": "b" * 64,
+                      "score": baseline_score, "metrics": {}},
+            entries=[{
+                "rank": 1, "assignment": {"variant": "a"},
+                "fingerprint": "c" * 64, "tier": 1.0,
+                "score": best_score, "metrics": {},
+                "robust_score": None, "robustness_delta": None,
+            }],
+        )
+
+    def test_improvement_sign_follows_the_direction(self):
+        assert self._report(
+            "total_time", 2.0, 1.5
+        ).improvement_over_baseline() == pytest.approx(0.5)
+        assert self._report(
+            "gflops", 2.0, 1.5
+        ).improvement_over_baseline() == pytest.approx(-0.5)
+        assert self._report(
+            "total_time", None, 1.5
+        ).improvement_over_baseline() is None
+
+    def test_ascii_verdicts(self):
+        assert "improves on the baseline" in self._report(
+            "total_time", 2.0, 1.5
+        ).ascii()
+        assert "baseline already optimal" in self._report(
+            "total_time", 1.5, 1.5
+        ).ascii()
+        assert "baseline stays best" in self._report(
+            "gflops", 2.0, 1.5
+        ).ascii()

@@ -1,0 +1,229 @@
+"""Property tests for the tuner (hypothesis).
+
+Three laws the design-space engine must hold everywhere, not just on
+the committed presets: strategies only ever emit assignments that live
+inside the declared space (and the RunSpecs they materialize into stay
+in-space too), successive-halving promotion is monotone in the observed
+objective, and an identical ``TuneSpec`` + seed yields a byte-identical
+``TuneReport`` whether or not a result cache sits in between.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AmrConfig, RunSpec, sphere
+from repro.exec import ResultCache, SweepEngine
+from repro.tune import (
+    GridStrategy,
+    RandomStrategy,
+    SuccessiveHalving,
+    TuneSpec,
+    canonical_key,
+    enumerate_space,
+    materialize,
+    run_tune,
+)
+
+#: Axis -> the value pool property cases draw from (all feasible on the
+#: 4-rank base grid below, so materialization never filters them out).
+AXIS_POOLS = {
+    "variant": ("mpi_only", "fork_join", "tampi_dataflow"),
+    "scheduler": ("locality", "fifo", "fuzz"),
+    "ranks_per_node": (1, 2, 4),
+    "nx": (4, 6, 8),
+    "pdes_workers": (1, 2),
+    "max_comm_tasks": (0, 1, 2),
+}
+
+
+def base_spec():
+    cfg = AmrConfig(
+        npx=2, npy=1, npz=1, init_x=2, init_y=2, init_z=2,
+        nx=4, ny=4, nz=4, num_vars=2, num_tsteps=1, stages_per_ts=4,
+        refine_freq=2, checksum_freq=4, max_refine_level=1,
+        payload="synthetic",
+        objects=(sphere(center=(0.3, 0.3, 0.3), radius=0.25),),
+    )
+    return RunSpec(
+        config=cfg, machine="laptop", variant="tampi_dataflow",
+        num_nodes=1, ranks_per_node=2,
+    )
+
+
+@st.composite
+def spaces(draw, max_axes=3):
+    axes = draw(st.lists(
+        st.sampled_from(sorted(AXIS_POOLS)),
+        unique=True, min_size=1, max_size=max_axes,
+    ))
+    return {
+        axis: tuple(draw(st.lists(
+            st.sampled_from(AXIS_POOLS[axis]),
+            unique=True, min_size=1, max_size=3,
+        )))
+        for axis in axes
+    }
+
+
+def in_space(assignment, space):
+    return (
+        set(assignment) == set(space)
+        and all(assignment[a] in space[a] for a in assignment)
+    )
+
+
+# ----------------------------------------------------------------------
+# Law 1: strategies only emit in-space assignments (and in-space specs)
+# ----------------------------------------------------------------------
+@given(space=spaces(), budget=st.integers(0, 12))
+def test_grid_plan_stays_in_space_and_accounts_for_truncation(
+    space, budget
+):
+    candidates = enumerate_space(space)
+    strategy = GridStrategy(candidates, budget)
+    assert all(in_space(a, space) for a in strategy.plan)
+    keys = [canonical_key(a) for a in strategy.plan]
+    assert len(set(keys)) == len(keys)
+    assert len(strategy.plan) + strategy.truncated == len(candidates)
+    if budget:
+        assert len(strategy.plan) <= budget
+
+
+@given(space=spaces(), budget=st.integers(1, 12), seed=st.integers(0, 99))
+def test_random_plan_stays_in_space_without_replacement(
+    space, budget, seed
+):
+    candidates = enumerate_space(space)
+    strategy = RandomStrategy(candidates, budget, seed)
+    assert all(in_space(a, space) for a in strategy.plan)
+    keys = [canonical_key(a) for a in strategy.plan]
+    assert len(set(keys)) == len(keys)
+    assert len(strategy.plan) == min(budget, len(candidates))
+    again = RandomStrategy(candidates, budget, seed)
+    assert again.plan == strategy.plan
+
+
+@given(space=spaces(), seed=st.integers(0, 99))
+def test_halving_initial_rung_stays_in_space(space, seed):
+    candidates = enumerate_space(space)
+    strategy = SuccessiveHalving(
+        candidates, budget=2 * len(candidates), seed=seed,
+        tiers=(0.5, 1.0), eta=2, minimize=True,
+    )
+    rung = strategy.initial()
+    assert all(in_space(a, space) for a in rung)
+    keys = [canonical_key(a) for a in rung]
+    assert len(set(keys)) == len(keys)
+    assert strategy.rung_sizes[0] == len(rung)
+    assert sum(strategy.rung_sizes) <= 2 * len(candidates)
+
+
+@given(space=spaces(max_axes=2), seed=st.integers(0, 99))
+def test_materialized_candidates_realize_their_assignment(space, seed):
+    tune = TuneSpec(base=base_spec(), space=space)
+    for assignment in enumerate_space(space):
+        spec = materialize(tune, assignment)
+        for axis, value in assignment.items():
+            if axis == "nx":
+                assert (spec.config.nx, spec.config.ny,
+                        spec.config.nz) == (value, value, value)
+            elif axis == "max_comm_tasks":
+                assert spec.config.max_comm_tasks == value
+            elif axis == "ranks_per_node":
+                assert spec.ranks_per_node == value
+                assert spec.config.num_ranks == (
+                    spec.num_nodes * value
+                )
+                assert spec.config.root_dims == (
+                    tune.base.config.root_dims
+                )
+            else:
+                assert getattr(spec, axis) == value
+
+
+# ----------------------------------------------------------------------
+# Law 2: halving promotion is monotone in the observed objective
+# ----------------------------------------------------------------------
+@given(
+    scores=st.lists(
+        st.one_of(
+            st.none(),
+            st.floats(0.001, 1000, allow_nan=False, allow_infinity=False),
+        ),
+        min_size=2, max_size=12,
+    ),
+    minimize=st.booleans(),
+)
+def test_promotion_is_monotone_in_observed_score(scores, minimize):
+    candidates = [{"max_comm_tasks": i} for i in range(len(scores))]
+    strategy = SuccessiveHalving(
+        candidates, budget=2 * len(candidates), seed=0,
+        tiers=(0.5, 1.0), eta=2, minimize=minimize,
+    )
+    scored = list(zip(candidates, scores))
+    promoted = {
+        canonical_key(a) for a in strategy.promote(scored, 0)
+    }
+    assert len(promoted) == strategy.rung_sizes[1]
+
+    def better(a, b):  # strictly better observed score
+        return a < b if minimize else a > b
+
+    for assignment, score in scored:
+        if canonical_key(assignment) in promoted or score is None:
+            continue
+        # A non-promoted scored candidate must not beat any promotee.
+        for other, other_score in scored:
+            if canonical_key(other) not in promoted:
+                continue
+            assert other_score is not None  # failures never outrank
+            assert not better(score, other_score)
+
+
+@given(
+    scores=st.lists(
+        st.floats(0.001, 1000, allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=12,
+    ),
+    minimize=st.booleans(),
+)
+def test_promotion_is_deterministic_under_ties(scores, minimize):
+    candidates = [{"max_comm_tasks": i} for i in range(len(scores))]
+    strategy = SuccessiveHalving(
+        candidates, budget=2 * len(candidates), seed=0,
+        tiers=(0.5, 1.0), eta=2, minimize=minimize,
+    )
+    scored = list(zip(candidates, scores))
+    first = strategy.promote(scored, 0)
+    # Ties break on the canonical key, so the input order is irrelevant.
+    assert strategy.promote(list(reversed(scored)), 0) == first
+    assert strategy.promote(scored, 0) == first
+
+
+# ----------------------------------------------------------------------
+# Law 3: identical TuneSpec + seed => byte-identical report, cache or no
+# ----------------------------------------------------------------------
+@settings(max_examples=4, deadline=None)
+@given(
+    strategy=st.sampled_from(("grid", "random", "halving")),
+    seed=st.integers(0, 3),
+)
+def test_identical_tune_is_byte_identical_cache_on_and_off(
+    tmp_path_factory, strategy, seed
+):
+    tune = TuneSpec(
+        base=base_spec(),
+        space={"variant": ("mpi_only", "fork_join", "tampi_dataflow")},
+        strategy=strategy,
+        budget=0 if strategy == "grid" else 4,
+        seed=seed,
+    )
+    uncached = run_tune(tune, engine=SweepEngine(jobs=1)).to_json()
+    cache = ResultCache(tmp_path_factory.mktemp("tune-cache"))
+    cold = run_tune(tune, engine=SweepEngine(jobs=1, cache=cache))
+    warm = run_tune(tune, engine=SweepEngine(jobs=1, cache=cache))
+    assert cold.to_json() == uncached
+    assert warm.to_json() == uncached
+    assert json.loads(uncached)["seed"] == seed
